@@ -1,0 +1,72 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench is a standalone binary that prints the rows of the paper
+// figure it regenerates. Scale knobs come from the environment:
+//   THREESIGMA_BENCH_SCALE=quick|default|full   (workload length multiplier;
+//       "full" approximates the paper's 5-hour windows)
+//   THREESIGMA_SEED=<n>
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/env.h"
+#include "src/common/table.h"
+#include "src/core/experiment.h"
+
+namespace threesigma {
+
+// The paper's SC256/RC256 stand-in: 4 placement groups x 64 nodes.
+inline ClusterConfig Cluster256() { return ClusterConfig::Uniform(4, 64); }
+
+// The GOOGLE-scale cluster for Fig. 12 (12,584 nodes ~ the trace's 12,583).
+inline ClusterConfig ClusterGoogleScale() { return ClusterConfig::Uniform(8, 1573); }
+
+// Baseline experiment configuration; `base_hours` is the workload length at
+// default scale (the paper's counterpart is usually 2 or 5 hours).
+inline ExperimentConfig MakeE2EConfig(double base_hours, double load = 1.4) {
+  ExperimentConfig config;
+  config.cluster = Cluster256();
+  config.workload.env = EnvironmentKind::kGoogle;
+  config.workload.duration = Hours(base_hours * BenchScale());
+  config.workload.load = load;
+  config.workload.seed = BenchSeed();
+  config.sim.cycle_period = 10.0;
+  config.sim.reactive_min_gap = 2.0;
+  config.sim.seed = BenchSeed();
+  config.sched.cycle_period = config.sim.cycle_period;
+  return config;
+}
+
+inline std::vector<std::string> MetricsHeaders() {
+  return {"system",       "SLO miss %",  "goodput (M-hr)", "SLO gp (M-hr)",
+          "BE gp (M-hr)", "BE lat (s)",  "preempts",       "abandoned"};
+}
+
+inline std::vector<std::string> MetricsRow(const RunMetrics& m) {
+  return {m.system,
+          TablePrinter::Fmt(m.slo_miss_rate_percent, 1),
+          TablePrinter::Fmt(m.goodput_machine_hours, 1),
+          TablePrinter::Fmt(m.slo_goodput_machine_hours, 1),
+          TablePrinter::Fmt(m.be_goodput_machine_hours, 1),
+          TablePrinter::Fmt(m.mean_be_latency_seconds, 0),
+          std::to_string(m.preemptions),
+          std::to_string(m.abandoned)};
+}
+
+inline void PrintHeaderBlock(const std::string& title, const std::string& paper_ref,
+                             const GeneratedWorkload& workload) {
+  std::cout << "==== " << title << " ====\n"
+            << paper_ref << "\n"
+            << "jobs=" << workload.jobs.size() << " pretrain=" << workload.pretrain.size()
+            << " offered_load=" << TablePrinter::Fmt(workload.offered_load, 2)
+            << " scale=" << GetEnvString("THREESIGMA_BENCH_SCALE", "default")
+            << " seed=" << BenchSeed() << "\n\n";
+}
+
+}  // namespace threesigma
+
+#endif  // BENCH_BENCH_UTIL_H_

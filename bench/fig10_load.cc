@@ -1,0 +1,50 @@
+// Fig. 10 — sensitivity to cluster load (E2E-LOAD-l workloads).
+//
+// Paper-reported shape: SLO miss rises with load for every system, with
+// 3Sigma tracking PointPerfEst closely and staying well below PointRealEst
+// and Prio; as load grows, every system sacrifices BE goodput to protect SLO
+// jobs, and the BE-goodput gap between PerfEst and 3Sigma widens (3Sigma
+// hedges runtime uncertainty with extra room).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace threesigma;
+
+int main() {
+  const std::vector<SystemKind> systems = {SystemKind::kThreeSigma, SystemKind::kPointPerfEst,
+                                           SystemKind::kPointRealEst, SystemKind::kPrio};
+  const std::vector<double> loads = {1.0, 1.2, 1.4, 1.6};
+
+  std::cout << "==== Fig. 10: load sensitivity (E2E-LOAD-l) ====\n";
+  std::cout << "Paper: miss rises with load; 3Sigma ~ PerfEst << RealEst; BE goodput "
+               "falls as SLO jobs are prioritized\n\n";
+
+  TablePrinter miss({"load", "3Sigma", "PointPerfEst", "PointRealEst", "Prio"});
+  TablePrinter be_gp({"load", "3Sigma", "PointPerfEst", "PointRealEst", "Prio"});
+  TablePrinter be_lat({"load", "3Sigma", "PointPerfEst", "PointRealEst", "Prio"});
+  for (double load : loads) {
+    ExperimentConfig config = MakeE2EConfig(/*base_hours=*/0.5, load);
+    config.workload.seed = BenchSeed() + static_cast<uint64_t>(load * 10);
+    const GeneratedWorkload workload = GenerateWorkload(config.cluster, config.workload);
+    std::vector<std::string> miss_row = {TablePrinter::Fmt(load, 1)};
+    std::vector<std::string> gp_row = {TablePrinter::Fmt(load, 1)};
+    std::vector<std::string> lat_row = {TablePrinter::Fmt(load, 1)};
+    for (const RunMetrics& m : RunSystems(systems, config, workload)) {
+      miss_row.push_back(TablePrinter::Fmt(m.slo_miss_rate_percent, 1));
+      gp_row.push_back(TablePrinter::Fmt(m.be_goodput_machine_hours, 0));
+      lat_row.push_back(TablePrinter::Fmt(m.mean_be_latency_seconds, 0));
+    }
+    miss.AddRow(miss_row);
+    be_gp.AddRow(gp_row);
+    be_lat.AddRow(lat_row);
+  }
+  std::cout << "(a) SLO miss %:\n";
+  miss.Print(std::cout);
+  std::cout << "\n(b) BE goodput (M-hr):\n";
+  be_gp.Print(std::cout);
+  std::cout << "\n(c) BE latency (s):\n";
+  be_lat.Print(std::cout);
+  return 0;
+}

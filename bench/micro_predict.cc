@@ -1,0 +1,137 @@
+// Predictor and histogram micro-benchmarks (google-benchmark): streaming
+// histogram ingest, distribution queries used in every MILP formulation, and
+// end-to-end 3σPredict record/predict throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/histogram/empirical_distribution.h"
+#include "src/histogram/stream_histogram.h"
+#include "src/predict/predictor.h"
+
+namespace threesigma {
+namespace {
+
+void BM_StreamHistogramUpdate(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 4096; ++i) {
+    samples.push_back(rng.LogNormal(4.0, 1.5));
+  }
+  StreamHistogram hist(static_cast<size_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    hist.Update(samples[i++ & 4095]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamHistogramUpdate)->Arg(20)->Arg(80);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  Rng rng(2);
+  StreamHistogram hist(80);
+  for (int i = 0; i < 100000; ++i) {
+    hist.Update(rng.LogNormal(4.0, 1.5));
+  }
+  double q = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hist.Quantile(q));
+    q += 0.013;
+    if (q > 0.99) {
+      q = 0.01;
+    }
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void BM_ExpectedUtilityEvaluation(benchmark::State& state) {
+  // The Eq. 1 inner loop exactly as the scheduler runs it per option.
+  Rng rng(3);
+  StreamHistogram hist(80);
+  for (int i = 0; i < 10000; ++i) {
+    hist.Update(rng.LogNormal(5.0, 1.0));
+  }
+  const auto dist = EmpiricalDistribution::FromHistogram(hist);
+  const double deadline = 600.0;
+  double start = 0.0;
+  for (auto _ : state) {
+    const double eu =
+        dist.ExpectedValue([&](double t) { return start + t <= deadline ? 1.0 : 0.0; });
+    benchmark::DoNotOptimize(eu);
+    start += 10.0;
+    if (start > 1200.0) {
+      start = 0.0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExpectedUtilityEvaluation);
+
+void BM_ConditionalUpdate(benchmark::State& state) {
+  // The Eq. 2 renormalization run for every running job every cycle.
+  Rng rng(4);
+  StreamHistogram hist(80);
+  for (int i = 0; i < 10000; ++i) {
+    hist.Update(rng.LogNormal(5.0, 1.0));
+  }
+  const auto dist = EmpiricalDistribution::FromHistogram(hist);
+  double elapsed = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.ConditionalGivenExceeds(elapsed));
+    elapsed = elapsed > 400.0 ? 1.0 : elapsed * 1.3;
+  }
+}
+BENCHMARK(BM_ConditionalUpdate);
+
+void BM_PredictorRecord(benchmark::State& state) {
+  Rng rng(5);
+  ThreeSigmaPredictor predictor;
+  std::vector<JobFeatures> features;
+  std::vector<double> runtimes;
+  for (int i = 0; i < 512; ++i) {
+    features.push_back({"user=u" + std::to_string(i % 50),
+                        "jobname=j" + std::to_string(i % 120),
+                        "user+jobname=u" + std::to_string(i % 50) + "|j" +
+                            std::to_string(i % 120),
+                        "tasks=" + std::to_string(1 << (i % 6))});
+    runtimes.push_back(rng.LogNormal(4.0, 1.0));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    predictor.RecordCompletion(features[i & 511], runtimes[i & 511]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorRecord);
+
+void BM_PredictorPredict(benchmark::State& state) {
+  // §6.5: prediction latency at job submission must be negligible (the paper
+  // measured max 14 ms on their testbed).
+  Rng rng(6);
+  ThreeSigmaPredictor predictor;
+  std::vector<JobFeatures> features;
+  for (int i = 0; i < 512; ++i) {
+    features.push_back({"user=u" + std::to_string(i % 50),
+                        "jobname=j" + std::to_string(i % 120),
+                        "user+jobname=u" + std::to_string(i % 50) + "|j" +
+                            std::to_string(i % 120),
+                        "tasks=" + std::to_string(1 << (i % 6))});
+  }
+  for (int i = 0; i < 20000; ++i) {
+    predictor.RecordCompletion(features[static_cast<size_t>(rng.UniformInt(0, 511))],
+                               rng.LogNormal(4.0, 1.0));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.Predict(features[i & 511], 0.0));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorPredict);
+
+}  // namespace
+}  // namespace threesigma
+
+BENCHMARK_MAIN();

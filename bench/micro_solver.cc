@@ -1,0 +1,121 @@
+// Solver micro-benchmarks (google-benchmark): simplex scaling with problem
+// size, branch-and-bound on scheduler-shaped binary programs, and the
+// §4.3.6 warm-start ablation.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/solver/lp_model.h"
+#include "src/solver/milp.h"
+#include "src/solver/simplex.h"
+
+namespace threesigma {
+namespace {
+
+// A scheduler-shaped model: `jobs` jobs x `options_per_job` binary options,
+// at-most-one demand rows, `capacity_rows` shared <= rows.
+LpModel SchedulerShapedModel(int jobs, int options_per_job, int capacity_rows, Rng& rng,
+                             std::vector<int>* int_vars) {
+  LpModel model;
+  std::vector<std::vector<LpTerm>> capacity(capacity_rows);
+  for (int j = 0; j < jobs; ++j) {
+    std::vector<LpTerm> demand;
+    for (int o = 0; o < options_per_job; ++o) {
+      const int var = model.AddVariable(0.0, 1.0, rng.Uniform(0.1, 10.0));
+      int_vars->push_back(var);
+      demand.push_back({var, 1.0});
+      for (int c = 0; c < capacity_rows; ++c) {
+        if (rng.Bernoulli(0.4)) {
+          capacity[c].push_back({var, rng.Uniform(0.5, 4.0)});
+        }
+      }
+    }
+    model.AddRow(RowSense::kLessEqual, 1.0, std::move(demand));
+  }
+  for (int c = 0; c < capacity_rows; ++c) {
+    model.AddRow(RowSense::kLessEqual, rng.Uniform(4.0, 16.0), std::move(capacity[c]));
+  }
+  return model;
+}
+
+void BM_SimplexSchedulerShaped(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  Rng rng(42);
+  std::vector<int> int_vars;
+  const LpModel model = SchedulerShapedModel(jobs, 12, 24, rng, &int_vars);
+  for (auto _ : state) {
+    const LpSolution sol = SolveLp(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+  state.counters["vars"] = model.num_variables();
+  state.counters["rows"] = model.num_rows();
+}
+BENCHMARK(BM_SimplexSchedulerShaped)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MilpSchedulerShaped(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  Rng rng(42);
+  std::vector<int> int_vars;
+  const LpModel model = SchedulerShapedModel(jobs, 12, 24, rng, &int_vars);
+  MilpOptions options;
+  options.max_nodes = 6;
+  options.time_limit_seconds = 0.1;
+  for (auto _ : state) {
+    MilpSolver solver(model, int_vars);
+    const MilpSolution sol = solver.Solve(options);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_MilpSchedulerShaped)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Warm-start ablation: solving with the previous solution as the incumbent
+// vs from scratch (the paper's primary scalability optimization).
+void BM_MilpWarmStart(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  Rng rng(42);
+  std::vector<int> int_vars;
+  const LpModel model = SchedulerShapedModel(32, 12, 24, rng, &int_vars);
+  MilpSolver solver(model, int_vars);
+  MilpOptions cold;
+  cold.max_nodes = 40;
+  const MilpSolution reference = solver.Solve(cold);
+  MilpOptions options;
+  options.max_nodes = 40;
+  if (warm) {
+    options.warm_start = reference.values;
+  }
+  for (auto _ : state) {
+    MilpSolver s(model, int_vars);
+    const MilpSolution sol = s.Solve(options);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+  state.SetLabel(warm ? "warm-start" : "cold");
+}
+BENCHMARK(BM_MilpWarmStart)->Arg(0)->Arg(1);
+
+void BM_SimplexDense(benchmark::State& state) {
+  // Dense random LP: stresses pricing and the basis inverse.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  LpModel model;
+  for (int i = 0; i < n; ++i) {
+    model.AddVariable(0.0, 1.0, rng.Uniform(-1.0, 5.0));
+  }
+  for (int r = 0; r < n / 2; ++r) {
+    std::vector<LpTerm> terms;
+    for (int i = 0; i < n; ++i) {
+      terms.push_back({i, rng.Uniform(0.0, 2.0)});
+    }
+    model.AddRow(RowSense::kLessEqual, rng.Uniform(1.0, n / 4.0), std::move(terms));
+  }
+  for (auto _ : state) {
+    const LpSolution sol = SolveLp(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_SimplexDense)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace threesigma
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Compare all seven systems (Table 1 + Fig. 8 ablations) over one workload,
+// with a breakdown of *why* SLO jobs missed under each.
+//
+//   ./build/examples/compare_schedulers            (Google-like workload)
+//   THREESIGMA_SEED=7 ./build/examples/compare_schedulers
+
+#include <iostream>
+
+#include "src/common/env.h"
+#include "src/common/table.h"
+#include "src/core/experiment.h"
+
+using namespace threesigma;
+
+namespace {
+
+struct MissBreakdown {
+  int never_started = 0;   // Abandoned or unfinished without ever running.
+  int finished_late = 0;   // Completed after the deadline.
+  int still_running = 0;   // Running at the simulation stop.
+};
+
+MissBreakdown Breakdown(const SimResult& result) {
+  MissBreakdown b;
+  for (const JobRecord& job : result.jobs) {
+    if (!job.spec.is_slo() || !job.MissedDeadline()) {
+      continue;
+    }
+    if (job.status == JobStatus::kCompleted) {
+      ++b.finished_late;
+    } else if (job.start_time != kNever) {
+      ++b.still_running;
+    } else {
+      ++b.never_started;
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  ExperimentConfig config;
+  config.cluster = ClusterConfig::Uniform(4, 64);
+  config.workload.env = EnvironmentKind::kGoogle;
+  config.workload.duration = Minutes(40.0);
+  config.workload.load = 1.4;
+  config.workload.seed = BenchSeed();
+  config.sim.cycle_period = 10.0;
+  config.sim.seed = BenchSeed();
+  config.sched.cycle_period = config.sim.cycle_period;
+
+  const GeneratedWorkload workload = GenerateWorkload(config.cluster, config.workload);
+  std::cout << "Workload: " << workload.jobs.size() << " jobs over 40 simulated minutes, "
+            << "offered load " << TablePrinter::Fmt(workload.offered_load, 2) << "\n\n";
+
+  TablePrinter table({"system", "SLO miss %", "never started", "finished late",
+                      "still running", "goodput (M-hr)", "BE lat (s)", "preempts"});
+  for (SystemKind kind :
+       {SystemKind::kThreeSigma, SystemKind::kThreeSigmaNoDist, SystemKind::kThreeSigmaNoOE,
+        SystemKind::kThreeSigmaNoAdapt, SystemKind::kPointPerfEst, SystemKind::kPointRealEst,
+        SystemKind::kPrio}) {
+    const SimResult result = SimulateSystem(kind, config, workload);
+    const RunMetrics m = ComputeMetrics(result, SystemName(kind));
+    const MissBreakdown b = Breakdown(result);
+    table.AddRow({m.system, TablePrinter::Fmt(m.slo_miss_rate_percent, 1),
+                  std::to_string(b.never_started), std::to_string(b.finished_late),
+                  std::to_string(b.still_running),
+                  TablePrinter::Fmt(m.goodput_machine_hours, 1),
+                  TablePrinter::Fmt(m.mean_be_latency_seconds, 0),
+                  std::to_string(m.preemptions)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading the breakdown: PointRealEst's misses concentrate in 'never\n"
+               "started' (over-estimated jobs discarded as hopeless) and 'finished late'\n"
+               "(under-estimated jobs started too close to their deadlines); 3Sigma\n"
+               "converts most of both back into on-time completions.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Deadline scenarios: the paper's §2.3 intuition, driven through the public
+// scheduling API — why distributions beat point estimates, and how 3σSched's
+// mis-estimate handling behaves.
+//
+//   ./build/examples/deadline_scenarios
+
+#include <algorithm>
+#include <iostream>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/job.h"
+#include "src/common/table.h"
+#include "src/histogram/empirical_distribution.h"
+#include "src/predict/predictor.h"
+#include "src/sched/distribution_scheduler.h"
+
+using namespace threesigma;
+
+namespace {
+
+// A predictor scripted per job name (the "history" for this walkthrough).
+class ScriptedPredictor : public RuntimePredictor {
+ public:
+  void Set(const std::string& name, EmpiricalDistribution dist) {
+    table_["job=" + name] = std::move(dist);
+  }
+  RuntimePrediction Predict(const JobFeatures& features, double) override {
+    RuntimePrediction pred;
+    for (const std::string& f : features) {
+      const auto it = table_.find(f);
+      if (it != table_.end()) {
+        pred.distribution = it->second;
+        pred.point_estimate = it->second.Mean();
+        pred.from_history = true;
+        return pred;
+      }
+    }
+    pred.distribution = EmpiricalDistribution::Point(60.0);
+    pred.point_estimate = 60.0;
+    return pred;
+  }
+  void RecordCompletion(const JobFeatures&, double) override {}
+
+ private:
+  std::map<std::string, EmpiricalDistribution> table_;
+};
+
+JobSpec Slo(JobId id, const std::string& name, Duration runtime, Time deadline,
+            double value) {
+  JobSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.type = JobType::kSlo;
+  spec.true_runtime = runtime;
+  spec.num_tasks = 1;
+  spec.deadline = deadline;
+  spec.utility = UtilityFunction::SloStep(value, deadline);
+  spec.features = {"job=" + name};
+  return spec;
+}
+
+void Banner(const std::string& text) { std::cout << "\n### " << text << "\n"; }
+
+}  // namespace
+
+int main() {
+  std::cout << "Why schedule with distributions? Three short scenarios.\n";
+
+  // -------------------------------------------------------------------------
+  Banner("1. Same mean, different risk (the paper's case A vs case B)");
+  const auto wide = EmpiricalDistribution::FromUniform(0.0, Minutes(10.0), 200);
+  const auto narrow = EmpiricalDistribution::FromUniform(Minutes(2.5), Minutes(7.5), 200);
+  TablePrinter risk({"distribution", "mean (min)", "P(SLO misses 15-min deadline if BE runs first)"});
+  for (const auto& [label, dist] :
+       std::vector<std::pair<std::string, const EmpiricalDistribution*>>{
+           {"U(0,10)", &wide}, {"U(2.5,7.5)", &narrow}}) {
+    // BE runs first, SLO starts when BE finishes: miss iff T_BE + T_SLO > 15.
+    const double p_miss = std::max(0.0, dist->ExpectedValue([&](double be_t) {
+      return 1.0 - dist->CdfAtMost(Minutes(15.0) - be_t);
+    }));
+    risk.AddRow({label, TablePrinter::Fmt(dist->Mean() / 60.0, 1),
+                 TablePrinter::Fmt(p_miss, 3)});
+  }
+  risk.Print(std::cout);
+  std::cout << "A point estimate (mean = 5 min) cannot tell these apart; the\n"
+               "distribution exposes the 12.5% risk (paper, §2.3) that makes deferring\n"
+               "the SLO job unsafe in case A and perfectly safe in case B.\n";
+
+  // -------------------------------------------------------------------------
+  Banner("2. Over-estimate handling rescues a mis-profiled job");
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 2);
+  ScriptedPredictor predictor;
+  // History claims ~30 min, but this run would actually take 4 minutes: a
+  // classic over-estimate (input shrank, code improved, ...).
+  predictor.Set("overest", EmpiricalDistribution::FromUniform(Minutes(28), Minutes(32), 50));
+  DistSchedulerConfig config;
+  config.planahead = Minutes(20.0);
+  config.num_start_slots = 8;
+  DistributionScheduler sched(cluster, &predictor, config);
+  sched.OnJobArrival(Slo(1, "overest", Minutes(4.0), Minutes(10.0), 10.0), 0.0);
+  ClusterStateView view;
+  view.cluster = &cluster;
+  view.free_nodes = {2};
+  const CycleResult r = sched.RunCycle(0.0, view);
+  std::cout << (r.start.empty()
+                    ? "Job NOT scheduled (this is what a point scheduler does: it discards\n"
+                      "the job as hopeless)."
+                    : "Job scheduled despite 'impossible' history: adaptive over-estimate\n"
+                      "handling extended its utility past the deadline, and the idle\n"
+                      "cluster tries it. It will actually finish in 4 minutes.")
+            << "\n";
+
+  // -------------------------------------------------------------------------
+  Banner("3. Under-estimate handling: a job outruns its entire history");
+  const auto short_hist = EmpiricalDistribution::FromUniform(30.0, 60.0, 20);
+  std::cout << "History max = " << short_hist.MaxValue() << "s. After the job runs past\n"
+            << "that, Eq. 2 conditioning has no surviving atoms:\n";
+  TablePrinter ue({"elapsed (s)", "conditional distribution"});
+  for (double elapsed : {10.0, 45.0, 61.0}) {
+    const auto cond = short_hist.ConditionalGivenExceeds(elapsed);
+    ue.AddRow({TablePrinter::Fmt(elapsed, 0),
+               cond.empty() ? "EMPTY -> exp-inc extension (2^t cycles, t=0,1,2,...)"
+                            : "mean " + TablePrinter::Fmt(cond.Mean(), 1) + "s over " +
+                                  std::to_string(cond.size()) + " atoms"});
+  }
+  ue.Print(std::cout);
+  std::cout << "3σSched then books the straggler for exponentially growing extensions\n"
+               "instead of assuming it finishes momentarily (§4.2.1), so queued jobs\n"
+               "are not starved by repeated 'it will be done any second now' plans.\n";
+  return 0;
+}

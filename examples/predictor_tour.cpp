@@ -1,0 +1,94 @@
+// Predictor tour: how 3σPredict builds per-feature runtime histories, scores
+// its four expert estimators with NMAE, and hands the scheduler the winning
+// feature's full runtime distribution.
+//
+//   ./build/examples/predictor_tour
+
+#include <iostream>
+#include <sstream>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/predict/predictor.h"
+#include "src/predict/predictor_io.h"
+#include "src/workload/generator.h"
+#include "src/workload/trace_model.h"
+
+using namespace threesigma;
+
+int main() {
+  // Replay a Mustang-like stream: a mix of highly repetitive campaigns and
+  // erratic dev/test populations.
+  const EnvironmentModel env = EnvironmentModel::Make(EnvironmentKind::kMustang, 64, 42);
+  Rng rng(7);
+  ThreeSigmaPredictor predictor;
+  for (int i = 0; i < 20000; ++i) {
+    const TraceJob job = env.Sample(rng);
+    predictor.RecordCompletion(MakeJobFeatures(job), job.runtime);
+  }
+  std::cout << "Trained on 20000 jobs; " << predictor.history_count()
+            << " feature-value histories (constant memory each).\n\n";
+
+  // Predict a few fresh jobs and show what the predictor actually did.
+  TablePrinter table({"user", "jobname", "actual (s)", "point est (s)", "dist p10..p90 (s)",
+                      "winning expert"});
+  for (int i = 0; i < 8; ++i) {
+    const TraceJob job = env.Sample(rng);
+    const RuntimePrediction pred = predictor.Predict(MakeJobFeatures(job), job.runtime);
+    table.AddRow({job.user, job.jobname, TablePrinter::Fmt(job.runtime, 0),
+                  TablePrinter::Fmt(pred.point_estimate, 0),
+                  TablePrinter::Fmt(pred.distribution.Quantile(0.1), 0) + " .. " +
+                      TablePrinter::Fmt(pred.distribution.Quantile(0.9), 0),
+                  pred.source});
+  }
+  table.Print(std::cout);
+
+  // Peek inside one feature history: the four experts and their NMAE scores.
+  const TraceJob probe = env.Sample(rng);
+  const std::string feature = "user=" + probe.user;
+  const FeatureHistory* history = predictor.history(feature);
+  if (history != nullptr) {
+    std::cout << "\nExperts for " << feature << " (" << history->count()
+              << " completions):\n";
+    TablePrinter experts({"expert", "estimate (s)", "NMAE", "scored samples"});
+    for (size_t k = 0; k < kNumExperts; ++k) {
+      const auto kind = static_cast<ExpertKind>(k);
+      experts.AddRow({ExpertKindName(kind),
+                      history->Seeded(kind) ? TablePrinter::Fmt(history->Estimate(kind), 0)
+                                            : "-",
+                      TablePrinter::Fmt(history->NmaeScore(kind), 3),
+                      std::to_string(history->NmaeSamples(kind))});
+    }
+    experts.Print(std::cout);
+    std::cout << "Best expert: " << ExpertKindName(history->BestExpert()) << "\n";
+  }
+
+  // The Eq. 2 update: what the scheduler knows about a running job.
+  std::cout << "\nConditional (Eq. 2) update for a running job of " << feature << ":\n";
+  const RuntimePrediction pred = predictor.Predict({feature}, 0.0);
+  TablePrinter cond({"elapsed (s)", "E[T | T > elapsed] (s)", "P(done in +60s)"});
+  for (double elapsed : {0.0, 60.0, 300.0, 1800.0}) {
+    const EmpiricalDistribution updated = pred.distribution.ConditionalGivenExceeds(elapsed);
+    if (updated.empty()) {
+      cond.AddRow({TablePrinter::Fmt(elapsed, 0), "outran all history (under-estimate!)",
+                   "-"});
+      continue;
+    }
+    cond.AddRow({TablePrinter::Fmt(elapsed, 0), TablePrinter::Fmt(updated.Mean(), 0),
+                 TablePrinter::Fmt(updated.CdfAtMost(elapsed + 60.0), 3)});
+  }
+  cond.Print(std::cout);
+
+  // Persistence: the full streaming state round-trips through text, so a
+  // restarted scheduler resumes with warm histories instead of cold starts.
+  std::stringstream snapshot;
+  SavePredictor(snapshot, predictor);
+  ThreeSigmaPredictor restored;
+  const bool ok = LoadPredictor(snapshot, &restored);
+  std::cout << "\nPersistence: saved " << predictor.history_count() << " histories ("
+            << snapshot.str().size() / 1024 << " KiB), restore "
+            << (ok && restored.history_count() == predictor.history_count() ? "OK"
+                                                                            : "FAILED")
+            << "\n";
+  return 0;
+}

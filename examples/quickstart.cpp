@@ -1,0 +1,44 @@
+// Quickstart: generate a small Google-like workload, run 3Sigma on a
+// simulated 256-node cluster, and print the success metrics.
+//
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "src/common/table.h"
+#include "src/core/experiment.h"
+
+using namespace threesigma;
+
+int main() {
+  ExperimentConfig config;
+  config.cluster = ClusterConfig::Uniform(/*num_groups=*/4, /*nodes_per_group=*/64);
+
+  config.workload.env = EnvironmentKind::kGoogle;
+  config.workload.duration = Hours(1.0);
+  config.workload.load = 1.4;
+  config.workload.seed = 7;
+
+  config.sim.cycle_period = 10.0;
+  config.sim.fidelity = SimFidelity::kIdeal;
+
+  config.sched.cycle_period = config.sim.cycle_period;
+
+  GeneratedWorkload workload = GenerateWorkload(config.cluster, config.workload);
+  std::cout << "Generated " << workload.jobs.size() << " jobs ("
+            << workload.pretrain.size() << " pre-training), offered load "
+            << workload.offered_load << "\n\n";
+
+  TablePrinter table({"system", "SLO miss %", "goodput (M-hr)", "BE latency (s)",
+                      "preemptions"});
+  for (SystemKind kind : {SystemKind::kThreeSigma, SystemKind::kPointPerfEst,
+                          SystemKind::kPointRealEst, SystemKind::kPrio}) {
+    const RunMetrics m = RunSystem(kind, config, workload);
+    table.AddRow({m.system, TablePrinter::Fmt(m.slo_miss_rate_percent, 1),
+                  TablePrinter::Fmt(m.goodput_machine_hours, 1),
+                  TablePrinter::Fmt(m.mean_be_latency_seconds, 0),
+                  std::to_string(m.preemptions)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,208 @@
+// run_experiment — the full experiment driver.
+//
+// Runs any subset of the Table 1 systems over a synthetic workload (Google /
+// HedgeFund / Mustang models) or a trace loaded from CSV/SWF, printing the
+// §5 success metrics plus an ASCII cluster-utilization timeline, and
+// optionally exporting per-job and per-run CSVs.
+//
+//   ./build/examples/run_experiment --env=mustang --hours=1 --load=1.2
+//   ./build/examples/run_experiment --systems=3Sigma,Prio --jobs-csv=out.csv
+//   ./build/examples/run_experiment --swf=trace.swf --hours=2
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/common/flags.h"
+#include "src/common/table.h"
+#include "src/core/experiment.h"
+#include "src/metrics/report.h"
+#include "src/metrics/timeline.h"
+#include "src/workload/trace_io.h"
+
+using namespace threesigma;
+
+namespace {
+
+bool ParseEnv(const std::string& name, EnvironmentKind* out) {
+  if (name == "google") {
+    *out = EnvironmentKind::kGoogle;
+  } else if (name == "hedgefund") {
+    *out = EnvironmentKind::kHedgeFund;
+  } else if (name == "mustang") {
+    *out = EnvironmentKind::kMustang;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseSystem(const std::string& name, SystemKind* out) {
+  for (SystemKind kind :
+       {SystemKind::kThreeSigma, SystemKind::kThreeSigmaNoDist, SystemKind::kThreeSigmaNoOE,
+        SystemKind::kThreeSigmaNoAdapt, SystemKind::kPointPerfEst, SystemKind::kPointRealEst,
+        SystemKind::kPrio}) {
+    if (name == SystemName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string env_name = "google";
+  std::string systems_csv = "3Sigma,PointPerfEst,PointRealEst,Prio";
+  std::string swf_path;
+  std::string trace_csv_path;
+  std::string jobs_csv_out;
+  std::string metrics_csv_out;
+  double hours = 0.5;
+  double load = 1.4;
+  int64_t seed = 42;
+  int64_t groups = 4;
+  int64_t nodes_per_group = 64;
+  double cycle = 10.0;
+  bool high_fidelity = false;
+  bool timeline = true;
+  bool slack_breakdown = false;
+
+  FlagParser parser(
+      "run_experiment — drive 3Sigma and its baselines over a workload.\n"
+      "Synthetic by default; --swf/--trace-csv replay a real trace through\n"
+      "the identical shaping pipeline.");
+  parser.AddString("env", &env_name, "workload model: google | hedgefund | mustang")
+      .AddString("systems", &systems_csv, "comma-separated Table 1 system names")
+      .AddString("swf", &swf_path, "replay a Standard Workload Format trace file")
+      .AddString("trace-csv", &trace_csv_path, "replay a native trace CSV file")
+      .AddString("jobs-csv", &jobs_csv_out, "write per-job results CSV here")
+      .AddString("metrics-csv", &metrics_csv_out, "write per-system metrics CSV here")
+      .AddDouble("hours", &hours, "workload window length in hours")
+      .AddDouble("load", &load, "offered load (machine-time / capacity)")
+      .AddInt("seed", &seed, "base RNG seed")
+      .AddInt("groups", &groups, "node groups (equivalence sets)")
+      .AddInt("nodes-per-group", &nodes_per_group, "nodes per group")
+      .AddDouble("cycle", &cycle, "scheduling cycle period in seconds")
+      .AddBool("high-fidelity", &high_fidelity, "use the noisy 'RC256' simulator mode")
+      .AddBool("timeline", &timeline, "print the ASCII utilization timeline")
+      .AddBool("slack-breakdown", &slack_breakdown, "print SLO miss rate by deadline slack");
+  if (!parser.Parse(argc, argv)) {
+    return parser.exit_code();
+  }
+
+  ExperimentConfig config;
+  config.cluster =
+      ClusterConfig::Uniform(static_cast<int>(groups), static_cast<int>(nodes_per_group));
+  if (!ParseEnv(env_name, &config.workload.env)) {
+    std::cerr << "unknown --env '" << env_name << "'\n";
+    return 1;
+  }
+  config.workload.duration = Hours(hours);
+  config.workload.load = load;
+  config.workload.seed = static_cast<uint64_t>(seed);
+  config.sim.cycle_period = cycle;
+  config.sim.seed = static_cast<uint64_t>(seed);
+  config.sim.fidelity = high_fidelity ? SimFidelity::kHighFidelity : SimFidelity::kIdeal;
+  config.sched.cycle_period = cycle;
+
+  GeneratedWorkload workload;
+  if (!swf_path.empty() || !trace_csv_path.empty()) {
+    const std::string path = swf_path.empty() ? trace_csv_path : swf_path;
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open trace file '" << path << "'\n";
+      return 1;
+    }
+    SwfReadOptions swf_options;
+    swf_options.max_tasks = config.cluster.max_group_size();
+    std::vector<TimedTraceJob> records =
+        swf_path.empty() ? ReadTraceCsv(in) : ReadSwf(in, swf_options);
+    // Keep the requested window; pre-train on everything before it.
+    std::vector<TimedTraceJob> window;
+    std::vector<TimedTraceJob> history;
+    for (TimedTraceJob& r : records) {
+      if (r.job.num_tasks > config.cluster.max_group_size()) {
+        continue;
+      }
+      (r.submit <= config.workload.duration ? window : history).push_back(std::move(r));
+    }
+    workload.jobs = ShapeTraceJobs(window, config.cluster, config.workload);
+    for (const TimedTraceJob& r : history) {
+      JobSpec spec;
+      spec.true_runtime = r.job.runtime;
+      spec.features = MakeJobFeatures(r.job);
+      workload.pretrain.push_back(std::move(spec));
+    }
+    double work = 0.0;
+    for (const JobSpec& job : workload.jobs) {
+      work += job.true_runtime * job.num_tasks;
+    }
+    workload.offered_load = work / (config.cluster.total_nodes() * config.workload.duration);
+    std::cout << "Replaying " << workload.jobs.size() << " trace jobs from " << path << " ("
+              << workload.pretrain.size() << " later jobs used for pre-training)\n";
+  } else {
+    workload = GenerateWorkload(config.cluster, config.workload);
+  }
+  std::cout << "Workload: " << workload.jobs.size() << " jobs, offered load "
+            << TablePrinter::Fmt(workload.offered_load, 2) << ", cluster "
+            << config.cluster.total_nodes() << " nodes in " << config.cluster.num_groups()
+            << " groups\n\n";
+
+  std::vector<RunMetrics> all_metrics;
+  std::ofstream jobs_csv;
+  if (!jobs_csv_out.empty()) {
+    jobs_csv.open(jobs_csv_out);
+  }
+
+  TablePrinter table({"system", "SLO miss %", "goodput (M-hr)", "BE lat mean/p90 (s)",
+                      "preempts", "mean cycle (ms)"});
+  std::istringstream systems_stream(systems_csv);
+  std::string system_name;
+  while (std::getline(systems_stream, system_name, ',')) {
+    SystemKind kind;
+    if (!ParseSystem(system_name, &kind)) {
+      std::cerr << "unknown system '" << system_name << "'\n";
+      return 1;
+    }
+    const SimResult result = SimulateSystem(kind, config, workload);
+    const RunMetrics m = ComputeMetrics(result, system_name);
+    all_metrics.push_back(m);
+    table.AddRow({m.system, TablePrinter::Fmt(m.slo_miss_rate_percent, 1),
+                  TablePrinter::Fmt(m.goodput_machine_hours, 1),
+                  TablePrinter::Fmt(m.mean_be_latency_seconds, 0) + " / " +
+                      TablePrinter::Fmt(m.p90_be_latency_seconds, 0),
+                  std::to_string(m.preemptions),
+                  TablePrinter::Fmt(m.mean_cycle_seconds * 1000.0, 1)});
+    if (timeline) {
+      std::cout << "---- " << system_name << " cluster occupancy ----\n"
+                << ClusterTimeline(config.cluster, result).RenderAscii() << "\n";
+    }
+    if (slack_breakdown) {
+      std::cout << "---- " << system_name << " SLO miss by deadline slack ----\n";
+      TablePrinter slack_table({"slack bucket", "jobs", "missed", "miss %"});
+      for (const SlackBucketMetrics& b :
+           MissBySlack(result, {0.0, 30.0, 50.0, 70.0, 1000.0})) {
+        slack_table.AddRow({TablePrinter::Fmt(b.slack_low, 0) + "-" +
+                                TablePrinter::Fmt(b.slack_high, 0) + "%",
+                            std::to_string(b.jobs), std::to_string(b.missed),
+                            TablePrinter::Fmt(b.miss_rate_percent, 1)});
+      }
+      slack_table.Print(std::cout);
+      std::cout << "\n";
+    }
+    if (jobs_csv.is_open()) {
+      jobs_csv << "# system=" << system_name << "\n";
+      WriteJobRecordsCsv(jobs_csv, result.jobs);
+    }
+  }
+  table.Print(std::cout);
+
+  if (!metrics_csv_out.empty()) {
+    std::ofstream out(metrics_csv_out);
+    WriteRunMetricsCsv(out, all_metrics);
+    std::cout << "\nWrote metrics CSV to " << metrics_csv_out << "\n";
+  }
+  return 0;
+}

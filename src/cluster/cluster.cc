@@ -1,0 +1,37 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace threesigma {
+
+ClusterConfig::ClusterConfig(std::vector<NodeGroup> groups) : groups_(std::move(groups)) {
+  total_nodes_ = 0;
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    TS_CHECK_EQ(groups_[i].id, static_cast<int>(i));
+    TS_CHECK_GT(groups_[i].node_count, 0);
+    total_nodes_ += groups_[i].node_count;
+  }
+}
+
+ClusterConfig ClusterConfig::Uniform(int num_groups, int nodes_per_group) {
+  TS_CHECK_GT(num_groups, 0);
+  TS_CHECK_GT(nodes_per_group, 0);
+  std::vector<NodeGroup> groups;
+  groups.reserve(static_cast<size_t>(num_groups));
+  for (int i = 0; i < num_groups; ++i) {
+    groups.push_back(NodeGroup{i, "group-" + std::to_string(i), nodes_per_group});
+  }
+  return ClusterConfig(std::move(groups));
+}
+
+int ClusterConfig::max_group_size() const {
+  int best = 0;
+  for (const NodeGroup& g : groups_) {
+    best = std::max(best, g.node_count);
+  }
+  return best;
+}
+
+}  // namespace threesigma

@@ -1,0 +1,45 @@
+// Cluster resource model.
+//
+// The cluster is a set of node groups (racks / machine classes). A node group
+// is the unit of placement and is what the paper calls an *equivalence set*
+// (§4.3.3): the MILP's spatial complexity scales with the number of groups,
+// not the number of nodes — the property the 12,583-node scalability
+// experiment (Fig. 12) relies on.
+
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+namespace threesigma {
+
+struct NodeGroup {
+  int id = 0;
+  std::string name;
+  int node_count = 0;
+};
+
+class ClusterConfig {
+ public:
+  ClusterConfig() = default;
+  explicit ClusterConfig(std::vector<NodeGroup> groups);
+
+  // `num_groups` equal groups of `nodes_per_group` nodes.
+  static ClusterConfig Uniform(int num_groups, int nodes_per_group);
+
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  int total_nodes() const { return total_nodes_; }
+  const NodeGroup& group(int id) const { return groups_[id]; }
+  const std::vector<NodeGroup>& groups() const { return groups_; }
+  // The largest single group (upper bound on a gang placement).
+  int max_group_size() const;
+
+ private:
+  std::vector<NodeGroup> groups_;
+  int total_nodes_ = 0;
+};
+
+}  // namespace threesigma
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,26 @@
+#include "src/cluster/job.h"
+
+#include <algorithm>
+
+namespace threesigma {
+
+bool JobSpec::PrefersGroup(int group_id) const {
+  if (preferred_groups.empty()) {
+    return true;
+  }
+  return std::find(preferred_groups.begin(), preferred_groups.end(), group_id) !=
+         preferred_groups.end();
+}
+
+double JobSpec::RuntimeMultiplier(int group_id) const {
+  return PrefersGroup(group_id) ? 1.0 : nonpreferred_slowdown;
+}
+
+double JobSpec::DeadlineSlackPercent() const {
+  if (deadline == kNever || true_runtime <= 0.0) {
+    return 0.0;
+  }
+  return (deadline - submit_time - true_runtime) / true_runtime * 100.0;
+}
+
+}  // namespace threesigma

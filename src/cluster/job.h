@@ -1,0 +1,70 @@
+// Job model.
+//
+// Jobs are gangs of `num_tasks` single-node tasks (the evaluation's
+// mapper-only Gridmix jobs): all tasks start together on one node group and
+// the job finishes when its runtime elapses. SLO jobs carry deadlines and
+// soft placement preferences — running on a non-preferred group stretches
+// the runtime by `nonpreferred_slowdown` (1.5× in the paper's workloads).
+
+#ifndef SRC_CLUSTER_JOB_H_
+#define SRC_CLUSTER_JOB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/utility.h"
+#include "src/common/units.h"
+#include "src/predict/prediction.h"
+
+namespace threesigma {
+
+using JobId = int64_t;
+
+enum class JobType {
+  kSlo,         // Deadline-bound production job.
+  kBestEffort,  // Latency-sensitive best-effort job.
+};
+
+struct JobSpec {
+  JobId id = 0;
+  std::string name;
+  std::string user;
+  JobType type = JobType::kBestEffort;
+
+  Time submit_time = 0.0;
+  // Ground-truth runtime on *preferred* resources; hidden from all
+  // non-oracle predictors.
+  Duration true_runtime = 0.0;
+  // Gang width: nodes required, all simultaneously.
+  int num_tasks = 1;
+
+  // SLO only: absolute completion deadline.
+  Time deadline = kNever;
+
+  // Group ids this job prefers; empty means "indifferent" (all groups run at
+  // full speed). Non-preferred groups stretch the runtime.
+  std::vector<int> preferred_groups;
+  double nonpreferred_slowdown = 1.5;
+
+  // Utility of completing at a given time (§3.1).
+  UtilityFunction utility = UtilityFunction::BestEffortLinear(1.0, 0.0, 3600.0);
+
+  // Features for 3σPredict ("user=...", "jobname=...", ...).
+  JobFeatures features;
+
+  bool is_slo() const { return type == JobType::kSlo; }
+  bool PrefersGroup(int group_id) const;
+  // Runtime multiplier on `group_id`: 1.0 if preferred/indifferent, else the
+  // slowdown factor.
+  double RuntimeMultiplier(int group_id) const;
+  // Ground-truth runtime on the given group.
+  Duration TrueRuntimeOn(int group_id) const { return true_runtime * RuntimeMultiplier(group_id); }
+  // The deadline slack definition of §5:
+  //   (deadline - submit - runtime) / runtime * 100.
+  double DeadlineSlackPercent() const;
+};
+
+}  // namespace threesigma
+
+#endif  // SRC_CLUSTER_JOB_H_

@@ -1,0 +1,48 @@
+// Lightweight assertion macros used across the 3Sigma codebase.
+//
+// CHECK-style assertions are enabled in all build types: schedulers make
+// irreversible decisions (preemption, placement), so internal invariant
+// violations must fail fast rather than silently corrupt a plan.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace threesigma {
+
+// Terminates the process after printing `msg` with source location.
+[[noreturn]] inline void CheckFailed(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace threesigma
+
+#define TS_CHECK(cond)                                                   \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::threesigma::CheckFailed(__FILE__, __LINE__, #cond);              \
+    }                                                                    \
+  } while (0)
+
+#define TS_CHECK_MSG(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream ts_check_oss_;                                  \
+      ts_check_oss_ << #cond << " — " << msg;                            \
+      ::threesigma::CheckFailed(__FILE__, __LINE__, ts_check_oss_.str());\
+    }                                                                    \
+  } while (0)
+
+#define TS_CHECK_GE(a, b) TS_CHECK_MSG((a) >= (b), (a) << " vs " << (b))
+#define TS_CHECK_GT(a, b) TS_CHECK_MSG((a) > (b), (a) << " vs " << (b))
+#define TS_CHECK_LE(a, b) TS_CHECK_MSG((a) <= (b), (a) << " vs " << (b))
+#define TS_CHECK_LT(a, b) TS_CHECK_MSG((a) < (b), (a) << " vs " << (b))
+#define TS_CHECK_EQ(a, b) TS_CHECK_MSG((a) == (b), (a) << " vs " << (b))
+#define TS_CHECK_NE(a, b) TS_CHECK_MSG((a) != (b), (a) << " vs " << (b))
+
+#endif  // SRC_COMMON_CHECK_H_

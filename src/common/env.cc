@@ -1,0 +1,54 @@
+#include "src/common/env.h"
+
+#include <cstdlib>
+
+namespace threesigma {
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') {
+    return fallback;
+  }
+  return value;
+}
+
+int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) {
+    return fallback;
+  }
+  return parsed;
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value) {
+    return fallback;
+  }
+  return parsed;
+}
+
+double BenchScale() {
+  const std::string scale = GetEnvString("THREESIGMA_BENCH_SCALE", "default");
+  if (scale == "quick") {
+    return 0.25;
+  }
+  if (scale == "full") {
+    return 4.0;
+  }
+  return 1.0;
+}
+
+uint64_t BenchSeed() { return static_cast<uint64_t>(GetEnvInt("THREESIGMA_SEED", 42)); }
+
+}  // namespace threesigma

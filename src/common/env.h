@@ -1,0 +1,30 @@
+// Environment-variable configuration for benches.
+//
+// Benches run standalone under `for b in build/bench/*; do $b; done`, so they
+// take their scale knobs from the environment instead of argv:
+//   THREESIGMA_BENCH_SCALE=quick|default|full — workload size multiplier.
+//   THREESIGMA_SEED=<n>                       — base RNG seed.
+
+#ifndef SRC_COMMON_ENV_H_
+#define SRC_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace threesigma {
+
+// Returns the env var value or `fallback` when unset/empty.
+std::string GetEnvString(const char* name, const std::string& fallback);
+int64_t GetEnvInt(const char* name, int64_t fallback);
+double GetEnvDouble(const char* name, double fallback);
+
+// Workload scale factor for benches: 0.25 for "quick", 1.0 for "default",
+// 4.0 for "full" (approximately paper-scale workload lengths).
+double BenchScale();
+
+// Base seed for bench RNGs (THREESIGMA_SEED, default 42).
+uint64_t BenchSeed();
+
+}  // namespace threesigma
+
+#endif  // SRC_COMMON_ENV_H_

@@ -1,0 +1,162 @@
+#include "src/common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace threesigma {
+
+FlagParser::FlagParser(std::string program_doc) : program_doc_(std::move(program_doc)) {}
+
+FlagParser& FlagParser::AddString(const std::string& name, std::string* target,
+                                  std::string doc) {
+  TS_CHECK(target != nullptr);
+  flags_[name] = Flag{Kind::kString, target, std::move(doc), "\"" + *target + "\""};
+  return *this;
+}
+
+FlagParser& FlagParser::AddInt(const std::string& name, int64_t* target, std::string doc) {
+  TS_CHECK(target != nullptr);
+  flags_[name] = Flag{Kind::kInt, target, std::move(doc), std::to_string(*target)};
+  return *this;
+}
+
+FlagParser& FlagParser::AddDouble(const std::string& name, double* target, std::string doc) {
+  TS_CHECK(target != nullptr);
+  std::ostringstream os;
+  os << *target;
+  flags_[name] = Flag{Kind::kDouble, target, std::move(doc), os.str()};
+  return *this;
+}
+
+FlagParser& FlagParser::AddBool(const std::string& name, bool* target, std::string doc) {
+  TS_CHECK(target != nullptr);
+  flags_[name] = Flag{Kind::kBool, target, std::move(doc), *target ? "true" : "false"};
+  return *this;
+}
+
+std::string FlagParser::HelpText() const {
+  std::ostringstream os;
+  os << program_doc_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    switch (flag.kind) {
+      case Kind::kString:
+        os << "=<string>";
+        break;
+      case Kind::kInt:
+        os << "=<int>";
+        break;
+      case Kind::kDouble:
+        os << "=<float>";
+        break;
+      case Kind::kBool:
+        os << " | --no-" << name;
+        break;
+    }
+    os << "\n      " << flag.doc << " (default " << flag.default_text << ")\n";
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+bool FlagParser::Assign(const std::string& name, const std::string& value) {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(), HelpText().c_str());
+    return false;
+  }
+  Flag& flag = it->second;
+  char* end = nullptr;
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return true;
+    case Kind::kInt: {
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "flag --%s: expected integer, got '%s'\n", name.c_str(),
+                     value.c_str());
+        return false;
+      }
+      *static_cast<int64_t*>(flag.target) = v;
+      return true;
+    }
+    case Kind::kDouble: {
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "flag --%s: expected number, got '%s'\n", name.c_str(),
+                     value.c_str());
+        return false;
+      }
+      *static_cast<double*>(flag.target) = v;
+      return true;
+    }
+    case Kind::kBool:
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(flag.target) = true;
+        return true;
+      }
+      if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+        return true;
+      }
+      std::fprintf(stderr, "flag --%s: expected true/false, got '%s'\n", name.c_str(),
+                   value.c_str());
+      return false;
+  }
+  return false;
+}
+
+bool FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stdout, "%s", HelpText().c_str());
+      exit_code_ = 0;
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      if (!Assign(body.substr(0, eq), body.substr(eq + 1))) {
+        exit_code_ = 1;
+        return false;
+      }
+      continue;
+    }
+    // --no-name for bools.
+    if (body.rfind("no-", 0) == 0) {
+      const auto it = flags_.find(body.substr(3));
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        *static_cast<bool*>(it->second.target) = false;
+        continue;
+      }
+    }
+    // Bare bool, or --name value.
+    const auto it = flags_.find(body);
+    if (it != flags_.end() && it->second.kind == Kind::kBool) {
+      *static_cast<bool*>(it->second.target) = true;
+      continue;
+    }
+    if (i + 1 < argc) {
+      if (!Assign(body, argv[++i])) {
+        exit_code_ = 1;
+        return false;
+      }
+      continue;
+    }
+    std::fprintf(stderr, "flag --%s is missing a value\n", body.c_str());
+    exit_code_ = 1;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace threesigma

@@ -1,0 +1,58 @@
+// Minimal command-line flag parsing for the example/tool binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`. Unknown flags are an error (with a generated --help text), so
+// typos fail fast instead of silently running the default experiment.
+
+#ifndef SRC_COMMON_FLAGS_H_
+#define SRC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace threesigma {
+
+class FlagParser {
+ public:
+  // `program_doc` is printed at the top of --help.
+  explicit FlagParser(std::string program_doc);
+
+  // Registration: each returns *this for chaining. `doc` appears in --help.
+  FlagParser& AddString(const std::string& name, std::string* target, std::string doc);
+  FlagParser& AddInt(const std::string& name, int64_t* target, std::string doc);
+  FlagParser& AddDouble(const std::string& name, double* target, std::string doc);
+  FlagParser& AddBool(const std::string& name, bool* target, std::string doc);
+
+  // Parses argv. Returns false (after printing help or an error to the given
+  // streams) when the program should exit; true to proceed. `--help` returns
+  // false with exit_code 0; parse errors return false with exit_code 1.
+  bool Parse(int argc, const char* const* argv);
+
+  int exit_code() const { return exit_code_; }
+  // Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string HelpText() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string doc;
+    std::string default_text;
+  };
+
+  bool Assign(const std::string& name, const std::string& value);
+
+  std::string program_doc_;
+  std::map<std::string, Flag> flags_;  // Ordered for stable --help output.
+  std::vector<std::string> positional_;
+  int exit_code_ = 0;
+};
+
+}  // namespace threesigma
+
+#endif  // SRC_COMMON_FLAGS_H_

@@ -1,0 +1,39 @@
+// ASCII table and CSV output for benches and examples.
+//
+// Every bench prints the rows of the paper table/figure it regenerates; the
+// formatting lives here so all benches produce uniform, diffable output.
+
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace threesigma {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds a row; each cell is pre-formatted text. Row width must match headers.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Fmt(double value, int precision = 2);
+
+  // Renders an aligned ASCII table.
+  void Print(std::ostream& os) const;
+  // Renders comma-separated values (headers + rows).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace threesigma
+
+#endif  // SRC_COMMON_TABLE_H_

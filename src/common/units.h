@@ -1,0 +1,30 @@
+// Time and resource units.
+//
+// Simulation time is a double count of seconds since the start of the run.
+// Machine-hours (the paper's goodput unit) are derived as nodes × seconds /
+// 3600. Using plain doubles keeps the solver interface (which is already in
+// continuous time) free of conversions; helpers below give readable literals.
+
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+namespace threesigma {
+
+// Seconds since simulation start.
+using Time = double;
+// A span of simulated seconds.
+using Duration = double;
+
+constexpr Duration Seconds(double s) { return s; }
+constexpr Duration Minutes(double m) { return m * 60.0; }
+constexpr Duration Hours(double h) { return h * 3600.0; }
+
+// Converts nodes × seconds into machine-hours (the goodput unit in the paper).
+constexpr double MachineHours(double nodes, Duration seconds) { return nodes * seconds / 3600.0; }
+
+// Sentinel for "never" / unset times.
+constexpr Time kNever = -1.0;
+
+}  // namespace threesigma
+
+#endif  // SRC_COMMON_UNITS_H_

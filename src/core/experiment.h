@@ -1,0 +1,50 @@
+// Experiment runner: the §5 harness shared by every bench.
+//
+// An experiment fixes a cluster, a generated workload, and simulator
+// settings, then runs one or more systems over the identical job stream and
+// reports the paper's success metrics per system.
+
+#ifndef SRC_CORE_EXPERIMENT_H_
+#define SRC_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/core/systems.h"
+#include "src/metrics/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/workload/generator.h"
+
+namespace threesigma {
+
+struct ExperimentConfig {
+  ClusterConfig cluster = ClusterConfig::Uniform(4, 64);  // 256 nodes.
+  WorkloadOptions workload;
+  SimOptions sim;
+  DistSchedulerConfig sched;  // Shared scheduler knobs; toggles set per system.
+};
+
+// Pre-trains the system's predictor on `workload.pretrain` (§5 "Estimates"),
+// simulates `workload.jobs`, and aggregates metrics.
+RunMetrics RunSystem(SystemKind kind, const ExperimentConfig& config,
+                     const GeneratedWorkload& workload);
+
+// As above, with an already-built instance (used for Fig. 9 synthetic
+// systems and tests).
+RunMetrics RunSystemInstance(SystemInstance& instance, const std::string& display_name,
+                             const ExperimentConfig& config, const GeneratedWorkload& workload,
+                             bool pretrain = true);
+
+// Runs several systems over the same workload.
+std::vector<RunMetrics> RunSystems(const std::vector<SystemKind>& kinds,
+                                   const ExperimentConfig& config,
+                                   const GeneratedWorkload& workload);
+
+// Full raw simulation access (Fig. 12 needs per-cycle stats).
+SimResult SimulateSystem(SystemKind kind, const ExperimentConfig& config,
+                         const GeneratedWorkload& workload);
+
+}  // namespace threesigma
+
+#endif  // SRC_CORE_EXPERIMENT_H_

@@ -1,0 +1,89 @@
+// Empirical runtime distributions.
+//
+// 3σSched consumes runtime distributions through this type. A distribution is
+// a finite set of weighted atoms (runtime, probability) sorted by runtime —
+// exactly what an 80-bin streaming histogram provides. Atoms make all of the
+// scheduler's math exact and cheap:
+//   - CDF / survival queries are prefix sums (Eq. 3's 1 − CDF(t)),
+//   - the elapsed-time conditional update is an exact renormalization of the
+//     surviving atoms (Eq. 2),
+//   - expected utility (Eq. 1) is a weighted sum over atoms.
+
+#ifndef SRC_HISTOGRAM_EMPIRICAL_DISTRIBUTION_H_
+#define SRC_HISTOGRAM_EMPIRICAL_DISTRIBUTION_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/histogram/stream_histogram.h"
+#include "src/histogram/tdigest.h"
+
+namespace threesigma {
+
+class EmpiricalDistribution {
+ public:
+  struct Atom {
+    double value;
+    double probability;
+  };
+
+  EmpiricalDistribution() = default;
+
+  // A degenerate (point-mass) distribution; how point estimates are plumbed
+  // through the distribution-based machinery (3SigmaNoDist, PointPerfEst...).
+  static EmpiricalDistribution Point(double value);
+  // Equal-weight atoms, one per sample (duplicates merge).
+  static EmpiricalDistribution FromSamples(std::vector<double> samples);
+  // One atom per histogram bin, weighted by bin count.
+  static EmpiricalDistribution FromHistogram(const StreamHistogram& hist);
+  // One atom per t-digest centroid, weighted by centroid weight (sketch
+  // ablation; see histogram/tdigest.h).
+  static EmpiricalDistribution FromTDigest(const TDigest& digest);
+  // Discretized normal truncated at zero; used by the Fig. 9 perturbation
+  // study, which feeds the scheduler ~N(runtime·(1+shift), runtime·CoV).
+  static EmpiricalDistribution FromNormal(double mean, double stddev, size_t atoms = 41);
+  // Discretized uniform on [lo, hi]; the paper's §2.3/Fig. 5 worked example.
+  static EmpiricalDistribution FromUniform(double lo, double hi, size_t atoms = 41);
+
+  bool empty() const { return atoms_.empty(); }
+  size_t size() const { return atoms_.size(); }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  // P(T <= t).
+  double CdfAtMost(double t) const;
+  // P(T > t) = 1 − CDF(t): the probability the job still holds resources at
+  // elapsed time t (Eq. 3).
+  double Survival(double t) const;
+  double Mean() const;
+  // Standard deviation of the atom distribution (population form).
+  double StdDev() const;
+  // Smallest value v with P(T <= v) >= q.
+  double Quantile(double q) const;
+  // Largest observed runtime; running past it is the under-estimate signal
+  // (§4.2.1).
+  double MaxValue() const;
+  double MinValue() const;
+
+  // The Eq. 2 update: distribution of T given T > elapsed. Returns an empty
+  // distribution when no atom survives (the job outran its entire history —
+  // the under-estimate case the caller must handle).
+  EmpiricalDistribution ConditionalGivenExceeds(double elapsed) const;
+
+  // E[f(T)] — the Eq. 1 workhorse.
+  double ExpectedValue(const std::function<double(double)>& f) const;
+
+  // Returns a copy with every atom value multiplied by `factor` (> 0); models
+  // the workload's slower non-preferred resources (jobs run 1.5× longer).
+  EmpiricalDistribution Scaled(double factor) const;
+  // Returns a copy with every atom shifted by `delta` (values clamped >= 0).
+  EmpiricalDistribution Shifted(double delta) const;
+
+ private:
+  static EmpiricalDistribution FromAtoms(std::vector<Atom> atoms);
+
+  std::vector<Atom> atoms_;  // Sorted by value; probabilities sum to 1.
+};
+
+}  // namespace threesigma
+
+#endif  // SRC_HISTOGRAM_EMPIRICAL_DISTRIBUTION_H_

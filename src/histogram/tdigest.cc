@@ -1,0 +1,153 @@
+#include "src/histogram/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace threesigma {
+
+TDigest::TDigest(double compression) : compression_(compression) {
+  TS_CHECK_GE(compression, 10.0);
+}
+
+void TDigest::Update(double value, double weight) {
+  TS_CHECK_GT(weight, 0.0);
+  if (empty()) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buffer_.push_back(Centroid{value, weight});
+  buffered_weight_ += weight;
+  if (buffer_.size() >= static_cast<size_t>(4.0 * compression_)) {
+    Compress();
+  }
+}
+
+void TDigest::Merge(const TDigest& other) {
+  if (other.empty()) {
+    return;
+  }
+  if (empty()) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  other.Compress();
+  for (const Centroid& c : other.centroids_) {
+    buffer_.push_back(c);
+    buffered_weight_ += c.weight;
+  }
+  Compress();
+}
+
+double TDigest::WeightLimit(double q_left) const {
+  // k1 scale function: k(q) = (δ/2π)·asin(2q−1). The capacity of a centroid
+  // starting at quantile q_left is the weight that advances k by 1.
+  const double k = compression_ / (2.0 * 3.14159265358979323846) *
+                   std::asin(2.0 * std::clamp(q_left, 0.0, 1.0) - 1.0);
+  const double k_next = k + 1.0;
+  const double q_next =
+      0.5 * (std::sin(k_next * 2.0 * 3.14159265358979323846 / compression_) + 1.0);
+  return std::max((q_next - q_left) * (total_weight_ + buffered_weight_), 1.0);
+}
+
+void TDigest::Compress() const {
+  if (buffer_.empty()) {
+    return;
+  }
+  std::vector<Centroid> all;
+  all.reserve(centroids_.size() + buffer_.size());
+  all.insert(all.end(), centroids_.begin(), centroids_.end());
+  all.insert(all.end(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  total_weight_ += buffered_weight_;
+  buffered_weight_ = 0.0;
+  std::sort(all.begin(), all.end(),
+            [](const Centroid& a, const Centroid& b) { return a.mean < b.mean; });
+
+  centroids_.clear();
+  double cumulative = 0.0;  // Weight strictly before the open centroid.
+  Centroid open = all.front();
+  for (size_t i = 1; i < all.size(); ++i) {
+    const double q_left = cumulative / total_weight_;
+    if (open.weight + all[i].weight <= WeightLimit(q_left)) {
+      // Absorb into the open centroid (weighted mean update).
+      const double w = open.weight + all[i].weight;
+      open.mean = (open.mean * open.weight + all[i].mean * all[i].weight) / w;
+      open.weight = w;
+    } else {
+      cumulative += open.weight;
+      centroids_.push_back(open);
+      open = all[i];
+    }
+  }
+  centroids_.push_back(open);
+}
+
+const std::vector<TDigest::Centroid>& TDigest::centroids() const {
+  Compress();
+  return centroids_;
+}
+
+double TDigest::Quantile(double q) const {
+  TS_CHECK(!empty());
+  TS_CHECK_GE(q, 0.0);
+  TS_CHECK_LE(q, 1.0);
+  Compress();
+  if (centroids_.size() == 1) {
+    return centroids_[0].mean;
+  }
+  const double target = q * total_weight_;
+  // Walk centroids treating each as centered mass; interpolate between
+  // midpoints, clamping to [min, max].
+  double cumulative = 0.0;
+  double prev_mid_weight = 0.0;
+  double prev_mean = min_;
+  for (const Centroid& c : centroids_) {
+    const double mid = cumulative + c.weight / 2.0;
+    if (target <= mid) {
+      const double span = mid - prev_mid_weight;
+      const double frac = span <= 0.0 ? 0.0 : (target - prev_mid_weight) / span;
+      return std::clamp(prev_mean + frac * (c.mean - prev_mean), min_, max_);
+    }
+    cumulative += c.weight;
+    prev_mid_weight = mid;
+    prev_mean = c.mean;
+  }
+  return max_;
+}
+
+double TDigest::CdfAtMost(double value) const {
+  TS_CHECK(!empty());
+  Compress();
+  if (value < min_) {
+    return 0.0;
+  }
+  if (value >= max_) {
+    return 1.0;
+  }
+  // Inverse of the quantile interpolation: midpoints as knots.
+  double cumulative = 0.0;
+  double prev_mid = 0.0;
+  double prev_mean = min_;
+  for (const Centroid& c : centroids_) {
+    const double mid = cumulative + c.weight / 2.0;
+    if (value < c.mean) {
+      const double span = c.mean - prev_mean;
+      const double frac = span <= 0.0 ? 1.0 : (value - prev_mean) / span;
+      return std::clamp((prev_mid + frac * (mid - prev_mid)) / total_weight_, 0.0, 1.0);
+    }
+    cumulative += c.weight;
+    prev_mid = mid;
+    prev_mean = c.mean;
+  }
+  return 1.0;
+}
+
+}  // namespace threesigma

@@ -1,0 +1,64 @@
+// t-digest quantile sketch (Dunning & Ertl), merging variant.
+//
+// An alternative to the Ben-Haim & Tom-Tov streaming histogram the paper
+// uses for runtime distributions. The t-digest bounds centroid weights by a
+// quantile-dependent scale function, so tails get finer resolution than the
+// middle — attractive for heavy-tailed runtimes. bench/abl06_sketches
+// compares the two sketches' quantile accuracy and ingest cost on
+// runtime-like streams; EmpiricalDistribution::FromTDigest lets either back
+// the scheduler.
+
+#ifndef SRC_HISTOGRAM_TDIGEST_H_
+#define SRC_HISTOGRAM_TDIGEST_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace threesigma {
+
+class TDigest {
+ public:
+  struct Centroid {
+    double mean;
+    double weight;
+  };
+
+  // `compression` (δ) bounds the number of centroids to roughly 2δ.
+  explicit TDigest(double compression = 100.0);
+
+  void Update(double value, double weight = 1.0);
+  void Merge(const TDigest& other);
+
+  // Approximate q-quantile, q in [0, 1].
+  double Quantile(double q) const;
+  // Approximate P(X <= value).
+  double CdfAtMost(double value) const;
+
+  double total_weight() const { return total_weight_ + buffered_weight_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  bool empty() const { return total_weight() == 0.0; }
+  // Compresses the buffer and returns the centroid list.
+  const std::vector<Centroid>& centroids() const;
+  size_t centroid_count() const { return centroids().size(); }
+
+ private:
+  // Scale function k(q) and its inverse control per-centroid capacity.
+  double WeightLimit(double q_left) const;
+  void Compress() const;
+
+  double compression_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+
+  // Merged state + an insertion buffer compressed lazily (mutable: queries
+  // compress on demand but are logically const).
+  mutable std::vector<Centroid> centroids_;
+  mutable std::vector<Centroid> buffer_;
+  mutable double total_weight_ = 0.0;
+  mutable double buffered_weight_ = 0.0;
+};
+
+}  // namespace threesigma
+
+#endif  // SRC_HISTOGRAM_TDIGEST_H_

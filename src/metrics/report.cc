@@ -1,0 +1,61 @@
+#include "src/metrics/report.h"
+
+#include <ostream>
+
+namespace threesigma {
+namespace {
+
+const char* StatusName(JobStatus status) {
+  switch (status) {
+    case JobStatus::kPending:
+      return "pending";
+    case JobStatus::kRunning:
+      return "running";
+    case JobStatus::kCompleted:
+      return "completed";
+    case JobStatus::kAbandoned:
+      return "abandoned";
+    case JobStatus::kUnfinished:
+      return "unfinished";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void WriteJobRecordsCsv(std::ostream& os, const std::vector<JobRecord>& jobs) {
+  os << "id,user,name,type,tasks,submit,true_runtime,deadline,status,start,finish,"
+        "group,preemptions,completed_work,missed_deadline\n";
+  for (const JobRecord& job : jobs) {
+    os << job.spec.id << "," << job.spec.user << "," << job.spec.name << ","
+       << (job.spec.is_slo() ? "slo" : "be") << "," << job.spec.num_tasks << ","
+       << job.spec.submit_time << "," << job.spec.true_runtime << ","
+       << (job.spec.deadline == kNever ? -1.0 : job.spec.deadline) << ","
+       << StatusName(job.status) << "," << job.start_time << "," << job.finish_time << ","
+       << job.group << "," << job.preemptions << "," << job.completed_work << ","
+       << (job.MissedDeadline() ? 1 : 0) << "\n";
+  }
+}
+
+void WriteRunMetricsCsv(std::ostream& os, const std::vector<RunMetrics>& runs) {
+  os << "system,slo_jobs,slo_censored,be_jobs,slo_missed,slo_miss_rate_percent,"
+        "slo_completed,be_completed,abandoned,unfinished,preemptions,"
+        "goodput_machine_hours,slo_goodput_machine_hours,be_goodput_machine_hours,"
+        "mean_be_latency_s,p50_be_latency_s,p90_be_latency_s,p99_be_latency_s,"
+        "mean_cycle_s,max_cycle_s,mean_solver_s,max_solver_s,max_milp_variables,"
+        "max_milp_rows\n";
+  for (const RunMetrics& m : runs) {
+    os << m.system << "," << m.slo_jobs << "," << m.slo_censored << "," << m.be_jobs << ","
+       << m.slo_missed << "," << m.slo_miss_rate_percent << "," << m.slo_completed << ","
+       << m.be_completed << "," << m.abandoned << "," << m.unfinished << ","
+       << m.preemptions << "," << m.goodput_machine_hours << ","
+       << m.slo_goodput_machine_hours << "," << m.be_goodput_machine_hours << ","
+       << m.mean_be_latency_seconds << "," << m.p50_be_latency_seconds << ","
+       << m.p90_be_latency_seconds << "," << m.p99_be_latency_seconds << ","
+       << m.mean_cycle_seconds << "," << m.max_cycle_seconds << "," << m.mean_solver_seconds
+       << "," << m.max_solver_seconds << "," << m.max_milp_variables << ","
+       << m.max_milp_rows << "\n";
+  }
+}
+
+}  // namespace threesigma

@@ -1,0 +1,22 @@
+// Result export: per-job CSV rows and metric summaries for offline analysis.
+
+#ifndef SRC_METRICS_REPORT_H_
+#define SRC_METRICS_REPORT_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/metrics/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace threesigma {
+
+// One CSV row per job: identity, class, timings, outcome, deadline verdict.
+void WriteJobRecordsCsv(std::ostream& os, const std::vector<JobRecord>& jobs);
+
+// One CSV row per system run, covering every RunMetrics field benches use.
+void WriteRunMetricsCsv(std::ostream& os, const std::vector<RunMetrics>& runs);
+
+}  // namespace threesigma
+
+#endif  // SRC_METRICS_REPORT_H_

@@ -1,0 +1,95 @@
+#include "src/metrics/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/check.h"
+#include "src/common/table.h"
+
+namespace threesigma {
+
+ClusterTimeline::ClusterTimeline(const ClusterConfig& cluster, const SimResult& result,
+                                 int samples)
+    : cluster_(cluster), end_time_(std::max(result.end_time, 1e-9)) {
+  TS_CHECK_GT(samples, 1);
+  grid_.resize(static_cast<size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    grid_[static_cast<size_t>(i)] =
+        end_time_ * static_cast<double>(i) / static_cast<double>(samples - 1);
+  }
+  occupancy_.assign(static_cast<size_t>(cluster.num_groups()),
+                    std::vector<int>(static_cast<size_t>(samples), 0));
+  for (const JobRecord& job : result.jobs) {
+    for (const JobRun& run : job.runs) {
+      TS_CHECK_GE(run.group, 0);
+      TS_CHECK_LT(run.group, cluster.num_groups());
+      TS_CHECK_LE(run.start, run.end);
+      // Half-open occupancy [start, end): a completing job's nodes are free
+      // at the completion instant.
+      const auto first = std::lower_bound(grid_.begin(), grid_.end(), run.start);
+      for (auto it = first; it != grid_.end() && *it < run.end; ++it) {
+        occupancy_[static_cast<size_t>(run.group)]
+                  [static_cast<size_t>(it - grid_.begin())] += job.spec.num_tasks;
+      }
+    }
+  }
+  // Sanity: the simulator never oversubscribes a group.
+  for (int g = 0; g < cluster.num_groups(); ++g) {
+    for (int i = 0; i < samples; ++i) {
+      TS_CHECK_LE(occupancy(g, i), cluster.group(g).node_count);
+    }
+  }
+}
+
+double ClusterTimeline::UtilizationAt(int i) const {
+  int busy = 0;
+  for (int g = 0; g < cluster_.num_groups(); ++g) {
+    busy += occupancy(g, i);
+  }
+  return static_cast<double>(busy) / cluster_.total_nodes();
+}
+
+double ClusterTimeline::MeanUtilization() const {
+  double total = 0.0;
+  for (int i = 0; i < samples(); ++i) {
+    total += UtilizationAt(i);
+  }
+  return total / samples();
+}
+
+double ClusterTimeline::MeanGroupUtilization(int group) const {
+  double total = 0.0;
+  for (int i = 0; i < samples(); ++i) {
+    total += static_cast<double>(occupancy(group, i)) / cluster_.group(group).node_count;
+  }
+  return total / samples();
+}
+
+std::string ClusterTimeline::RenderAscii() const {
+  // Five shades from idle to full.
+  static constexpr char kShades[] = {'.', ':', '=', '+', '#'};
+  std::ostringstream os;
+  size_t name_width = 0;
+  for (const NodeGroup& g : cluster_.groups()) {
+    name_width = std::max(name_width, g.name.size());
+  }
+  for (int g = 0; g < cluster_.num_groups(); ++g) {
+    const NodeGroup& group = cluster_.group(g);
+    os << group.name;
+    for (size_t pad = group.name.size(); pad < name_width; ++pad) {
+      os << ' ';
+    }
+    os << " |";
+    for (int i = 0; i < samples(); ++i) {
+      const double frac = static_cast<double>(occupancy(g, i)) / group.node_count;
+      const int shade = std::min(4, static_cast<int>(frac * 5.0));
+      os << kShades[shade];
+    }
+    os << "| " << TablePrinter::Fmt(MeanGroupUtilization(g) * 100.0, 0) << "% mean\n";
+  }
+  os << "cluster mean utilization: " << TablePrinter::Fmt(MeanUtilization() * 100.0, 1)
+     << "% over " << TablePrinter::Fmt(end_time_ / 60.0, 1) << " minutes\n";
+  return os.str();
+}
+
+}  // namespace threesigma

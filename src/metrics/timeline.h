@@ -1,0 +1,50 @@
+// Cluster timeline reconstruction and ASCII rendering.
+//
+// Rebuilds per-group node occupancy over time from a simulation's job
+// records (each completed/preempted run is a rectangle in cluster
+// space-time — the §4.3.1 picture), computes utilization statistics, and
+// renders a terminal-friendly utilization strip per node group. Used by the
+// examples and by tests that assert occupancy never exceeds capacity.
+
+#ifndef SRC_METRICS_TIMELINE_H_
+#define SRC_METRICS_TIMELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/sim/simulator.h"
+
+namespace threesigma {
+
+class ClusterTimeline {
+ public:
+  // Samples occupancy on a uniform grid of `samples` points covering
+  // [0, result.end_time].
+  ClusterTimeline(const ClusterConfig& cluster, const SimResult& result, int samples = 80);
+
+  int samples() const { return static_cast<int>(grid_.size()); }
+  Time end_time() const { return end_time_; }
+  // Nodes busy in `group` at sample `i`.
+  int occupancy(int group, int i) const { return occupancy_[group][i]; }
+  // Busy fraction of the whole cluster at sample `i`.
+  double UtilizationAt(int i) const;
+  // Time-averaged utilization of the whole cluster over the run.
+  double MeanUtilization() const;
+  // Time-averaged utilization of one group.
+  double MeanGroupUtilization(int group) const;
+
+  // One line per group: '.' (idle) through '#' (full), e.g.
+  //   group-0 |..:=+##=:...|  63% mean
+  std::string RenderAscii() const;
+
+ private:
+  const ClusterConfig& cluster_;
+  Time end_time_;
+  std::vector<Time> grid_;
+  std::vector<std::vector<int>> occupancy_;  // [group][sample]
+};
+
+}  // namespace threesigma
+
+#endif  // SRC_METRICS_TIMELINE_H_

@@ -1,0 +1,33 @@
+// Prediction types shared by 3σPredict and the schedulers.
+
+#ifndef SRC_PREDICT_PREDICTION_H_
+#define SRC_PREDICT_PREDICTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/histogram/empirical_distribution.h"
+
+namespace threesigma {
+
+// A job's features, each pre-joined as "name=value" (e.g. "user=alice",
+// "jobname=etl-nightly", "resources=64", and combined features such as
+// "user+jobname=alice|etl-nightly"). §4.1: attributes can be combined to
+// form a single feature.
+using JobFeatures = std::vector<std::string>;
+
+struct RuntimePrediction {
+  // Estimated runtime distribution (what 3σSched consumes).
+  EmpiricalDistribution distribution;
+  // The winning expert's point estimate (what PointRealEst consumes).
+  double point_estimate = 0.0;
+  // Which feature-value:estimator expert produced the estimate, for
+  // diagnostics (e.g. "user=alice:rolling").
+  std::string source;
+  // False when the prediction is a cold-start default rather than history.
+  bool from_history = false;
+};
+
+}  // namespace threesigma
+
+#endif  // SRC_PREDICT_PREDICTION_H_

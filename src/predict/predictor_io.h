@@ -1,0 +1,36 @@
+// 3σPredict state persistence.
+//
+// A production predictor accumulates months of history (the paper pre-trains
+// on everything before each experiment window); losing it on restart would
+// reset every estimate to cold-start. SavePredictor/LoadPredictor serialize
+// the full per-feature state — streaming histogram bins, the four experts'
+// accumulators, and NMAE scores — to a line-oriented text format that
+// round-trips exactly.
+//
+// Format (one logical record per feature):
+//   threesigma-predictor v1
+//   feature <url-escaped-key> <count>
+//   hist <max_bins> <min> <max> <bin_count> {<centroid> <count>}...
+//   avg <count> <mean> <m2> <min> <max> <sum>
+//   ewma <alpha> <seeded> <value>
+//   recent <capacity> <next> <size> {<value>}...
+//   nmae <abs_error> <actual_sum> <samples>   (x4, expert enum order)
+
+#ifndef SRC_PREDICT_PREDICTOR_IO_H_
+#define SRC_PREDICT_PREDICTOR_IO_H_
+
+#include <iosfwd>
+
+#include "src/predict/predictor.h"
+
+namespace threesigma {
+
+void SavePredictor(std::ostream& os, const ThreeSigmaPredictor& predictor);
+
+// Replaces `predictor`'s state with the stream's contents. Returns false on
+// malformed input (predictor state is unspecified then).
+bool LoadPredictor(std::istream& is, ThreeSigmaPredictor* predictor);
+
+}  // namespace threesigma
+
+#endif  // SRC_PREDICT_PREDICTOR_IO_H_

@@ -1,0 +1,490 @@
+#include "src/sched/distribution_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/solver/milp.h"
+
+namespace threesigma {
+namespace {
+
+// Options below this expected utility are pruned from the MILP (§4.3.6).
+constexpr double kMinOptionUtility = 1e-6;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  const std::chrono::duration<double> d = std::chrono::steady_clock::now() - t0;
+  return d.count();
+}
+
+}  // namespace
+
+DistributionScheduler::DistributionScheduler(const ClusterConfig& cluster,
+                                             RuntimePredictor* predictor,
+                                             DistSchedulerConfig config)
+    : cluster_(cluster), predictor_(predictor), config_(std::move(config)) {
+  TS_CHECK(predictor_ != nullptr);
+  TS_CHECK_GT(config_.num_start_slots, 0);
+  TS_CHECK_GT(config_.planahead, 0.0);
+}
+
+void DistributionScheduler::OnJobArrival(const JobSpec& spec, Time now) {
+  JobInfo info;
+  info.spec = spec;
+
+  const RuntimePrediction prediction = predictor_->Predict(spec.features, spec.true_runtime);
+  info.point_estimate = prediction.point_estimate;
+  if (config_.use_distribution) {
+    info.sched_dist = prediction.distribution;
+  } else {
+    info.sched_dist = EmpiricalDistribution::Point(prediction.point_estimate);
+  }
+
+  // §4.2.2/§4.2.3: over-estimate handling turns the SLO utility cliff into a
+  // linear decay. Adaptive mode enables it only when the history claims the
+  // job cannot meet its deadline window — the tell-tale of an over-estimate.
+  info.effective_utility = spec.utility;
+  if (spec.is_slo() && spec.deadline != kNever && config_.overestimate_handling) {
+    const double window = spec.deadline - spec.submit_time;
+    if (window > 0.0) {
+      bool enable = true;
+      if (config_.adaptive_oe) {
+        const double p_meet = info.sched_dist.CdfAtMost(window);
+        enable = p_meet < config_.oe_probability_threshold;
+      }
+      info.oe_enabled = enable;
+      if (enable) {
+        // The decay must span the runtimes the history considers plausible,
+        // or the "impossible" job would still value to zero everywhere.
+        const double span = std::max(window, info.sched_dist.MaxValue());
+        const double decay = std::max(span * config_.oe_decay_factor, config_.cycle_period);
+        info.effective_utility = spec.utility.WithOverestimateDecay(decay);
+      }
+    }
+  }
+
+  jobs_[spec.id] = std::move(info);
+  pending_.push_back(spec.id);
+  dirty_ = true;
+  (void)now;
+}
+
+void DistributionScheduler::OnJobStarted(JobId id, int group, Time now) {
+  auto it = jobs_.find(id);
+  TS_CHECK(it != jobs_.end());
+  JobInfo& info = it->second;
+  info.running = true;
+  info.group = group;
+  info.start_time = now;
+  info.underest_level = -1;
+  info.underest_finish = kNever;
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
+  dirty_ = true;
+}
+
+void DistributionScheduler::OnJobFinished(JobId id, Time now, Duration observed_runtime) {
+  auto it = jobs_.find(id);
+  TS_CHECK(it != jobs_.end());
+  predictor_->RecordCompletion(it->second.spec.features, observed_runtime);
+  jobs_.erase(it);
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
+  dirty_ = true;
+  (void)now;
+}
+
+void DistributionScheduler::OnJobPreempted(JobId id, Time now) {
+  auto it = jobs_.find(id);
+  TS_CHECK(it != jobs_.end());
+  JobInfo& info = it->second;
+  TS_CHECK(info.running);
+  info.running = false;
+  info.group = -1;
+  info.start_time = kNever;
+  info.underest_level = -1;
+  info.underest_finish = kNever;
+  info.planned_group = -1;
+  info.planned_start = kNever;
+  pending_.push_back(id);
+  dirty_ = true;
+  (void)now;
+}
+
+void DistributionScheduler::UpdateUnderestimate(JobInfo& info, Time now) const {
+  TS_CHECK(info.running);
+  const double mult = info.spec.RuntimeMultiplier(info.group);
+  const double max_known = info.sched_dist.MaxValue() * mult;
+  const double elapsed = now - info.start_time;
+  if (elapsed < max_known) {
+    return;
+  }
+  // §4.2.1: once elapsed reaches the largest historical runtime, extend the
+  // estimated finish by 2^t cycles, t = 0, 1, 2, ... on each expiry.
+  if (info.underest_level < 0) {
+    info.underest_level = 0;
+    info.underest_finish = now + config_.cycle_period;
+    return;
+  }
+  while (now >= info.underest_finish) {
+    ++info.underest_level;
+    info.underest_finish += std::pow(2.0, info.underest_level) * config_.cycle_period;
+  }
+}
+
+double DistributionScheduler::RunningSurvival(JobInfo& info, Time now, Time tau) const {
+  TS_CHECK(info.running);
+  TS_CHECK_GE(tau, now);
+  if (info.underest_level >= 0) {
+    // Under-estimated job: a point remaining-time estimate (exp-inc).
+    return tau < info.underest_finish ? 1.0 : 0.0;
+  }
+  const double mult = info.spec.RuntimeMultiplier(info.group);
+  const double elapsed = now - info.start_time;
+  const double total_at_tau = elapsed + (tau - now);
+  // Eq. 2: S(total | T > elapsed) = S(total) / S(elapsed), in the scaled
+  // (on-this-group) time base.
+  const EmpiricalDistribution scaled =
+      mult == 1.0 ? info.sched_dist : info.sched_dist.Scaled(mult);
+  const double s_elapsed = scaled.Survival(elapsed);
+  if (s_elapsed <= 0.0) {
+    // Raced past the max between updates; treat as one more cycle.
+    return tau < now + config_.cycle_period ? 1.0 : 0.0;
+  }
+  return scaled.Survival(total_at_tau) / s_elapsed;
+}
+
+CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& state) {
+  const auto cycle_start = std::chrono::steady_clock::now();
+  CycleResult result;
+  TS_CHECK(state.cluster != nullptr);
+
+  // Solve-skip: with unchanged state, no deferred start coming due, and a
+  // recent solve, this cycle cannot improve on the previous plan.
+  if (!dirty_ && now < last_solve_ + config_.max_solve_skip) {
+    bool plan_due = false;
+    for (JobId id : pending_) {
+      const JobInfo& info = jobs_.at(id);
+      if (info.planned_start != kNever && info.planned_start <= now + config_.cycle_period) {
+        plan_due = true;
+        break;
+      }
+    }
+    if (!plan_due) {
+      result.cycle_seconds = SecondsSince(cycle_start);
+      return result;
+    }
+  }
+  dirty_ = false;
+  last_solve_ = now;
+  const int num_groups = cluster_.num_groups();
+  const int slots = config_.num_start_slots;
+  const double delta = config_.planahead / slots;
+
+  // --- 1. Running jobs: conditional consumption per (group, slot). ---------
+  for (const RunningJobView& r : state.running) {
+    auto it = jobs_.find(r.id);
+    TS_CHECK_MSG(it != jobs_.end(), "unknown running job " << r.id);
+    UpdateUnderestimate(it->second, now);
+  }
+  // consumed[g][i]: expected nodes used at tau_i by running jobs.
+  std::vector<std::vector<double>> consumed(num_groups, std::vector<double>(slots, 0.0));
+  // Preemption candidates: running best-effort jobs (§4.3.5).
+  struct PreemptCandidate {
+    JobId id;
+    int group;
+    double k;
+    std::vector<double> survival;  // Per slot.
+    double cost;
+  };
+  std::vector<PreemptCandidate> preemptables;
+  for (const RunningJobView& r : state.running) {
+    JobInfo& info = jobs_.at(r.id);
+    std::vector<double> survival(slots);
+    for (int i = 0; i < slots; ++i) {
+      survival[i] = RunningSurvival(info, now, now + i * delta);
+      consumed[r.group][i] += r.num_tasks * survival[i];
+    }
+    if (config_.enable_preemption && r.type == JobType::kBestEffort) {
+      preemptables.push_back(PreemptCandidate{
+          r.id, r.group, static_cast<double>(r.num_tasks), std::move(survival),
+          config_.preemption_cost_factor * info.effective_utility.peak_value()});
+    }
+  }
+
+  // --- 2. Pending selection and abandonment. ------------------------------
+  std::vector<JobId> considered;
+  {
+    std::vector<JobId> slo;
+    std::vector<JobId> be;
+    for (JobId id : pending_) {
+      JobInfo& info = jobs_.at(id);
+      // A job whose utility is already zero for *any* completion time can
+      // never contribute; retire it (its deadline + decay window passed).
+      if (info.spec.is_slo() && info.effective_utility.ValueAtCompletion(now) <= 0.0) {
+        result.abandon.push_back(id);
+        continue;
+      }
+      (info.spec.is_slo() ? slo : be).push_back(id);
+    }
+    std::sort(slo.begin(), slo.end(), [&](JobId a, JobId b) {
+      return jobs_.at(a).spec.deadline < jobs_.at(b).spec.deadline;
+    });
+    std::sort(be.begin(), be.end(), [&](JobId a, JobId b) {
+      return jobs_.at(a).spec.submit_time < jobs_.at(b).spec.submit_time;
+    });
+    for (JobId id : slo) {
+      considered.push_back(id);
+    }
+    for (JobId id : be) {
+      considered.push_back(id);
+    }
+    if (static_cast<int>(considered.size()) > config_.max_pending_considered) {
+      considered.resize(config_.max_pending_considered);
+    }
+  }
+  for (JobId id : result.abandon) {
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
+    jobs_.erase(id);
+  }
+  if (considered.empty()) {
+    result.cycle_seconds = SecondsSince(cycle_start);
+    return result;
+  }
+
+  // --- 3. Options and their valuation (Eq. 1). -----------------------------
+  struct Option {
+    JobId job;
+    int group;
+    int slot;  // Start slot index; slot 0 == start now.
+    double eu;
+    // Expected node consumption at slot offsets [0, slots - slot).
+    std::vector<double> consumption;
+    int var = -1;  // MILP indicator (kMilp backend only).
+  };
+  std::vector<Option> options;
+  // Per job: option indices (demand rows / greedy candidate sets).
+  std::map<JobId, std::vector<size_t>> job_options;
+
+  for (JobId id : considered) {
+    JobInfo& info = jobs_.at(id);
+    const double k = info.spec.num_tasks;
+    for (int g = 0; g < num_groups; ++g) {
+      if (info.spec.num_tasks > cluster_.group(g).node_count) {
+        continue;
+      }
+      const double mult = info.spec.RuntimeMultiplier(g);
+      const EmpiricalDistribution dist =
+          mult == 1.0 ? info.sched_dist : info.sched_dist.Scaled(mult);
+      // Survival at each slot offset (shared across start slots).
+      std::vector<double> surv(slots);
+      for (int d = 0; d < slots; ++d) {
+        surv[d] = dist.Survival(d * delta);
+      }
+      // A gang occupies its nodes with certainty at the instant it starts,
+      // even if the distribution carries (clamped) zero-runtime atoms.
+      surv[0] = 1.0;
+      for (int s = 0; s < slots; ++s) {
+        const Time start = now + s * delta;
+        const double eu = dist.ExpectedValue([&](double t) {
+          return info.effective_utility.ValueAtCompletion(start + t);
+        });
+        if (eu <= kMinOptionUtility) {
+          continue;
+        }
+        Option opt;
+        opt.job = id;
+        opt.group = g;
+        opt.slot = s;
+        opt.eu = eu;
+        opt.consumption.resize(static_cast<size_t>(slots - s));
+        for (int i = s; i < slots; ++i) {
+          opt.consumption[static_cast<size_t>(i - s)] = k * surv[i - s];
+        }
+        job_options[id].push_back(options.size());
+        options.push_back(std::move(opt));
+      }
+    }
+  }
+
+  // Remaining expected capacity per (group, slot).
+  std::vector<std::vector<double>> cap(num_groups, std::vector<double>(slots));
+  for (int g = 0; g < num_groups; ++g) {
+    for (int i = 0; i < slots; ++i) {
+      cap[g][i] = cluster_.group(g).node_count - consumed[g][i];
+    }
+  }
+
+  if (config_.backend == SolverBackend::kGreedy) {
+    // Utility-greedy packing: jobs in priority order each take their highest
+    // expected-utility option that still fits; no joint optimization and no
+    // preemption. `considered` is already SLO-deadline-then-BE-submit order.
+    const auto solve_start = std::chrono::steady_clock::now();
+    for (JobId id : considered) {
+      JobInfo& info = jobs_.at(id);
+      info.planned_group = -1;
+      info.planned_start = kNever;
+      const auto it = job_options.find(id);
+      if (it == job_options.end()) {
+        continue;
+      }
+      const Option* best = nullptr;
+      for (size_t idx : it->second) {
+        const Option& opt = options[idx];
+        bool fits = true;
+        for (size_t d = 0; d < opt.consumption.size(); ++d) {
+          if (opt.consumption[d] > cap[opt.group][opt.slot + static_cast<int>(d)] + 1e-9) {
+            fits = false;
+            break;
+          }
+        }
+        if (fits && (best == nullptr || opt.eu > best->eu)) {
+          best = &opt;
+        }
+      }
+      if (best == nullptr) {
+        continue;
+      }
+      for (size_t d = 0; d < best->consumption.size(); ++d) {
+        cap[best->group][best->slot + static_cast<int>(d)] -= best->consumption[d];
+      }
+      if (best->slot == 0) {
+        result.start.push_back(Placement{id, best->group});
+      } else {
+        info.planned_group = best->group;
+        info.planned_start = now + best->slot * delta;
+        result.deferred.push_back(PlannedPlacement{id, best->group, info.planned_start});
+      }
+    }
+    result.solver_seconds = SecondsSince(solve_start);
+    result.cycle_seconds = SecondsSince(cycle_start);
+    return result;
+  }
+
+  // --- 4. MILP compilation (§4.3.3). ---------------------------------------
+  LpModel model;
+  // capacity_terms[g][i]: accumulating LHS of the capacity row.
+  std::vector<std::vector<std::vector<LpTerm>>> capacity_terms(
+      num_groups, std::vector<std::vector<LpTerm>>(slots));
+  std::map<JobId, std::vector<int>> job_vars;
+  for (Option& opt : options) {
+    opt.var = model.AddVariable(0.0, 1.0, opt.eu);
+    job_vars[opt.job].push_back(opt.var);
+    for (size_t d = 0; d < opt.consumption.size(); ++d) {
+      if (opt.consumption[d] > 1e-9) {
+        capacity_terms[opt.group][opt.slot + static_cast<int>(d)].push_back(
+            LpTerm{opt.var, opt.consumption[d]});
+      }
+    }
+  }
+
+  // Preemption variables: credit the victim's expected consumption back to
+  // capacity, pay its cost in the objective (§4.3.5).
+  std::vector<int> preempt_vars(preemptables.size(), -1);
+  for (size_t p = 0; p < preemptables.size(); ++p) {
+    const PreemptCandidate& cand = preemptables[p];
+    const int var = model.AddVariable(0.0, 1.0, -cand.cost);
+    preempt_vars[p] = var;
+    for (int i = 0; i < slots; ++i) {
+      const double credit = cand.k * cand.survival[i];
+      if (credit > 1e-9) {
+        capacity_terms[cand.group][i].push_back(LpTerm{var, -credit});
+      }
+    }
+  }
+
+  // Demand rows: at most one option per job.
+  for (const auto& [id, vars] : job_vars) {
+    std::vector<LpTerm> terms;
+    terms.reserve(vars.size());
+    for (int v : vars) {
+      terms.push_back(LpTerm{v, 1.0});
+    }
+    model.AddRow(RowSense::kLessEqual, 1.0, std::move(terms));
+  }
+  // Capacity rows (Eq. 3).
+  for (int g = 0; g < num_groups; ++g) {
+    for (int i = 0; i < slots; ++i) {
+      if (capacity_terms[g][i].empty()) {
+        continue;
+      }
+      model.AddRow(RowSense::kLessEqual, cap[g][i], std::move(capacity_terms[g][i]));
+    }
+  }
+
+  result.milp_variables = model.num_variables();
+  result.milp_rows = model.num_rows();
+
+  if (options.empty()) {
+    result.cycle_seconds = SecondsSince(cycle_start);
+    return result;
+  }
+
+  // Warm start: re-propose last cycle's plan (§4.3.6's seeding).
+  std::vector<double> warm(model.num_variables(), 0.0);
+  bool any_warm = false;
+  for (const Option& opt : options) {
+    const JobInfo& info = jobs_.at(opt.job);
+    if (info.planned_group != opt.group || info.planned_start == kNever) {
+      continue;
+    }
+    // Pick the slot whose start time is nearest the previously planned start.
+    const Time start = now + opt.slot * delta;
+    if (std::fabs(start - info.planned_start) <= delta * 0.5 + 1e-9) {
+      warm[opt.var] = 1.0;
+      any_warm = true;
+    }
+  }
+
+  std::vector<int> int_vars;
+  int_vars.reserve(options.size() + preempt_vars.size());
+  for (const Option& o : options) {
+    int_vars.push_back(o.var);
+  }
+  for (int v : preempt_vars) {
+    int_vars.push_back(v);
+  }
+
+  MilpOptions milp_options;
+  milp_options.time_limit_seconds = config_.solver_time_limit_seconds;
+  milp_options.max_nodes = config_.solver_max_nodes;
+  if (any_warm) {
+    milp_options.warm_start = warm;
+  }
+  const auto solve_start = std::chrono::steady_clock::now();
+  MilpSolver solver(model, int_vars);
+  const MilpSolution solution = solver.Solve(milp_options);
+  result.solver_seconds = SecondsSince(solve_start);
+  result.milp_nodes = solution.nodes_explored;
+
+  if (solution.status != MilpStatus::kInfeasible) {
+    // Clear previous plans; they are re-established from this solution.
+    for (JobId id : considered) {
+      JobInfo& info = jobs_.at(id);
+      info.planned_group = -1;
+      info.planned_start = kNever;
+    }
+    for (const Option& opt : options) {
+      if (solution.values[opt.var] < 0.5) {
+        continue;
+      }
+      JobInfo& info = jobs_.at(opt.job);
+      if (opt.slot == 0) {
+        result.start.push_back(Placement{opt.job, opt.group});
+      } else {
+        info.planned_group = opt.group;
+        info.planned_start = now + opt.slot * delta;
+        result.deferred.push_back(PlannedPlacement{opt.job, opt.group, info.planned_start});
+      }
+    }
+    for (size_t p = 0; p < preemptables.size(); ++p) {
+      if (solution.values[preempt_vars[p]] >= 0.5) {
+        result.preempt.push_back(preemptables[p].id);
+      }
+    }
+  }
+
+  result.cycle_seconds = SecondsSince(cycle_start);
+  return result;
+}
+
+}  // namespace threesigma

@@ -1,0 +1,150 @@
+// 3σSched — distribution-based MILP scheduling (§3, §4.2, §4.3).
+//
+// One configurable class covers six of the paper's seven systems (Table 1 +
+// the Fig. 8 ablations); only Prio lives elsewhere:
+//
+//   system         use_distribution  overestimate_handling  adaptive_oe  predictor
+//   3Sigma         yes               yes                    yes          3σPredict
+//   3SigmaNoDist   no (points)       yes                    yes          3σPredict
+//   3SigmaNoOE     yes               no                     —            3σPredict
+//   3SigmaNoAdapt  yes               yes                    no (always)  3σPredict
+//   PointPerfEst   no (points)       no                     —            oracle
+//   PointRealEst   no (points)       no                     —            3σPredict
+//
+// Each cycle the scheduler:
+//   1. conditions every running job's distribution on its elapsed time
+//      (Eq. 2) and applies exponential under-estimate extension once a job
+//      outruns its entire history (§4.2.1),
+//   2. computes expected free capacity per (group, time slot) as capacity
+//      minus Σ k·(1 − CDF) over running jobs (Eq. 3),
+//   3. enumerates placement options (group × start slot) per pending job and
+//      values each by expected utility (Eq. 1), with the §4.2.2/§4.2.3
+//      over-estimate utility extension where enabled,
+//   4. compiles options into a 0/1 MILP with at-most-one demand rows,
+//      expected-capacity rows, and preemption credit terms (§4.3.5),
+//   5. solves with warm start + time/node budget and executes slot-0 starts.
+
+#ifndef SRC_SCHED_DISTRIBUTION_SCHEDULER_H_
+#define SRC_SCHED_DISTRIBUTION_SCHEDULER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/job.h"
+#include "src/histogram/empirical_distribution.h"
+#include "src/predict/predictor.h"
+#include "src/sched/scheduler.h"
+
+namespace threesigma {
+
+// How the aggregate placement problem is solved each cycle.
+enum class SolverBackend {
+  kMilp,    // §4.3: compile to a 0/1 MILP, branch-and-bound (the paper).
+  kGreedy,  // Ablation: utility-greedy packing over the same valued options
+            // (no joint optimization, no preemption).
+};
+
+struct DistSchedulerConfig {
+  std::string name = "3Sigma";
+  SolverBackend backend = SolverBackend::kMilp;
+
+  // Core policy toggles (see table above).
+  bool use_distribution = true;
+  bool overestimate_handling = true;
+  bool adaptive_oe = true;
+  // §4.2.3: enable OE handling when P(T <= deadline window) is below this.
+  double oe_probability_threshold = 0.05;
+  // The decay window of the extended utility (Fig. 3d) as a multiple of the
+  // job's deadline window.
+  double oe_decay_factor = 1.0;
+
+  // §4.3.5 preemption of running best-effort jobs.
+  bool enable_preemption = true;
+  // Preemption cost as a fraction of the victim's peak utility.
+  double preemption_cost_factor = 0.5;
+
+  // Plan-ahead window (§4.3.3) and its start-slot discretization.
+  Duration planahead = 1200.0;
+  int num_start_slots = 6;
+  // Scheduling period; also the unit of the exponential under-estimate
+  // increments (§4.2.1).
+  Duration cycle_period = 10.0;
+
+  // Solver budgets (§4.3.6: "best solution found within a configurable
+  // fraction of its scheduling interval").
+  double solver_time_limit_seconds = 0.1;
+  int solver_max_nodes = 6;
+
+  // At most this many pending jobs enter one MILP (SLO-deadline order first);
+  // the remainder waits for a later cycle.
+  int max_pending_considered = 48;
+
+  // Cycles re-solve only when state changed (arrival/completion/preemption),
+  // a planned deferred start comes due, or this much time passed since the
+  // last solve (expected capacity drifts as conditional distributions age).
+  Duration max_solve_skip = 30.0;
+};
+
+class DistributionScheduler : public Scheduler {
+ public:
+  // `predictor` must outlive the scheduler.
+  DistributionScheduler(const ClusterConfig& cluster, RuntimePredictor* predictor,
+                        DistSchedulerConfig config);
+
+  void OnJobArrival(const JobSpec& spec, Time now) override;
+  void OnJobStarted(JobId id, int group, Time now) override;
+  void OnJobFinished(JobId id, Time now, Duration observed_runtime) override;
+  void OnJobPreempted(JobId id, Time now) override;
+  CycleResult RunCycle(Time now, const ClusterStateView& state) override;
+  std::string name() const override { return config_.name; }
+
+  // Diagnostics.
+  int pending_count() const { return static_cast<int>(pending_.size()); }
+  const DistSchedulerConfig& config() const { return config_; }
+
+ private:
+  struct JobInfo {
+    JobSpec spec;
+    // Distribution actually used for scheduling: the predictor's histogram
+    // distribution, or a point mass in NoDist/point modes.
+    EmpiricalDistribution sched_dist;
+    double point_estimate = 0.0;
+    bool oe_enabled = false;
+    UtilityFunction effective_utility = UtilityFunction::BestEffortLinear(1.0, 0.0, 1.0);
+
+    bool running = false;
+    int group = -1;
+    Time start_time = kNever;
+
+    // §4.2.1 exponential under-estimate extension state.
+    int underest_level = -1;     // -1: not yet past the max observed runtime.
+    Time underest_finish = kNever;
+
+    // Warm-start memory: last cycle's planned option.
+    int planned_group = -1;
+    Time planned_start = kNever;
+  };
+
+  // Survival probability of a *running* job at future absolute time `tau`
+  // (>= now). Folds in Eq. 2 conditioning and under-estimate extension.
+  double RunningSurvival(JobInfo& info, Time now, Time tau) const;
+  // Refreshes the under-estimate extension state of a running job (§4.2.1).
+  void UpdateUnderestimate(JobInfo& info, Time now) const;
+
+  const ClusterConfig& cluster_;
+  RuntimePredictor* predictor_;
+  DistSchedulerConfig config_;
+
+  std::map<JobId, JobInfo> jobs_;
+  std::vector<JobId> pending_;  // Arrival order.
+
+  // Solve-skip state (see DistSchedulerConfig::max_solve_skip).
+  bool dirty_ = true;
+  Time last_solve_ = -1e18;
+};
+
+}  // namespace threesigma
+
+#endif  // SRC_SCHED_DISTRIBUTION_SCHEDULER_H_

@@ -1,0 +1,89 @@
+// Scheduler interface between the cluster simulator and the scheduling
+// policies (3σSched, the point-estimate schedulers, and Prio).
+//
+// The simulator is the source of truth for cluster state; each scheduling
+// cycle it hands the scheduler a view of free capacity and running jobs and
+// executes the returned decisions (job starts, preemptions, abandonments).
+
+#ifndef SRC_SCHED_SCHEDULER_H_
+#define SRC_SCHED_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/job.h"
+#include "src/common/units.h"
+
+namespace threesigma {
+
+struct RunningJobView {
+  JobId id = 0;
+  int group = 0;
+  Time start_time = 0.0;
+  int num_tasks = 0;
+  JobType type = JobType::kBestEffort;
+};
+
+struct ClusterStateView {
+  const ClusterConfig* cluster = nullptr;
+  // Free nodes per group id.
+  std::vector<int> free_nodes;
+  std::vector<RunningJobView> running;
+};
+
+struct Placement {
+  JobId job = 0;
+  int group = 0;
+};
+
+// A reservation the scheduler made for a later start (not executed now; the
+// plan is re-evaluated every cycle, per §4.3.1).
+struct PlannedPlacement {
+  JobId job = 0;
+  int group = 0;
+  Time start = 0.0;
+};
+
+struct CycleResult {
+  // Jobs to start now, on the given group.
+  std::vector<Placement> start;
+  // Running jobs to preempt (kill-and-requeue).
+  std::vector<JobId> preempt;
+  // Pending jobs the scheduler gives up on (zero achievable utility); the
+  // simulator retires them as unscheduled.
+  std::vector<JobId> abandon;
+  // Deferred reservations (observability only; nothing to execute).
+  std::vector<PlannedPlacement> deferred;
+
+  // Diagnostics for the Fig. 12 scalability study.
+  double solver_seconds = 0.0;  // MILP solve time.
+  double cycle_seconds = 0.0;   // Full cycle: valuation + formulation + solve.
+  int milp_variables = 0;
+  int milp_rows = 0;
+  int milp_nodes = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // A new job request arrived (step 1 of Fig. 4); the scheduler queues it and
+  // consults its predictor.
+  virtual void OnJobArrival(const JobSpec& spec, Time now) = 0;
+  // The simulator started a placement this scheduler requested.
+  virtual void OnJobStarted(JobId id, int group, Time now) = 0;
+  // A running job finished; `observed_runtime` feeds the history (step 4).
+  virtual void OnJobFinished(JobId id, Time now, Duration observed_runtime) = 0;
+  // A preemption was executed; the job is pending again.
+  virtual void OnJobPreempted(JobId id, Time now) = 0;
+
+  // One scheduling cycle (§4.3.1's periodic re-evaluation).
+  virtual CycleResult RunCycle(Time now, const ClusterStateView& state) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace threesigma
+
+#endif  // SRC_SCHED_SCHEDULER_H_

@@ -1,0 +1,286 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "src/common/check.h"
+
+namespace threesigma {
+namespace {
+
+enum class EventKind {
+  kArrival,
+  kCompletion,
+  kCycle,
+};
+
+struct Event {
+  Time time;
+  uint64_t seq;  // FIFO tiebreak for simultaneous events.
+  EventKind kind;
+  size_t job_index = 0;
+  int run_epoch = 0;  // Completion validity: stale after preemption.
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) {
+      return time > other.time;
+    }
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+bool JobRecord::MissedDeadline() const {
+  if (!spec.is_slo()) {
+    return false;
+  }
+  if (status != JobStatus::kCompleted) {
+    return true;
+  }
+  return finish_time > spec.deadline;
+}
+
+Simulator::Simulator(const ClusterConfig& cluster, Scheduler* scheduler,
+                     std::vector<JobSpec> workload, SimOptions options)
+    : cluster_(cluster), scheduler_(scheduler), workload_(std::move(workload)),
+      options_(options) {
+  TS_CHECK(scheduler_ != nullptr);
+}
+
+SimResult Simulator::Run() {
+  SimResult result;
+  Rng rng(options_.seed);
+
+  std::sort(workload_.begin(), workload_.end(),
+            [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+
+  struct LiveJob {
+    JobRecord record;
+    int run_epoch = 0;
+    Duration actual_duration = 0.0;  // Of the current run.
+    double progress = 0.0;           // Completed fraction (resume mode only).
+    double executed_seconds = 0.0;   // Useful seconds from preempted runs.
+  };
+  std::vector<LiveJob> jobs(workload_.size());
+  std::map<JobId, size_t> index_by_id;
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    jobs[i].record.spec = workload_[i];
+    TS_CHECK_MSG(index_by_id.emplace(workload_[i].id, i).second,
+                 "duplicate job id " << workload_[i].id);
+    TS_CHECK_MSG(workload_[i].num_tasks <= cluster_.max_group_size(),
+                 "job " << workload_[i].id << " larger than any group");
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  uint64_t seq = 0;
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    queue.push(Event{workload_[i].submit_time, seq++, EventKind::kArrival, i, 0});
+  }
+
+  std::vector<int> free_nodes;
+  free_nodes.reserve(static_cast<size_t>(cluster_.num_groups()));
+  for (const NodeGroup& g : cluster_.groups()) {
+    free_nodes.push_back(g.node_count);
+  }
+
+  int live_jobs = static_cast<int>(workload_.size());
+  const Time last_arrival = workload_.empty() ? 0.0 : workload_.back().submit_time;
+  const Time hard_stop = last_arrival + options_.drain_limit;
+  Time now = 0.0;
+  Time next_cycle_at = -1.0;  // < 0: none scheduled.
+  Time last_cycle_at = -1e18;
+
+  const auto schedule_cycle = [&](Time at) {
+    if (live_jobs == 0 || at > hard_stop) {
+      return;
+    }
+    if (next_cycle_at >= 0.0 && next_cycle_at <= at + 1e-9) {
+      return;  // An earlier (or equal) cycle is already queued.
+    }
+    queue.push(Event{at, seq++, EventKind::kCycle, 0, 0});
+    next_cycle_at = at;
+  };
+  // Arrivals/completions request a prompt reaction, rate-limited to the
+  // reactive gap so event storms do not degenerate into per-event solves.
+  // With reactive cycles disabled the gap is the full cycle period — events
+  // still bootstrap the periodic chain, they just cannot accelerate it.
+  const auto schedule_reactive_cycle = [&]() {
+    const Duration gap =
+        options_.reactive_min_gap > 0.0 ? options_.reactive_min_gap : options_.cycle_period;
+    schedule_cycle(std::max(now, last_cycle_at + gap));
+  };
+
+  const auto finish_job = [&](size_t idx, Time at) {
+    LiveJob& job = jobs[idx];
+    JobRecord& rec = job.record;
+    TS_CHECK(rec.status == JobStatus::kRunning);
+    rec.status = JobStatus::kCompleted;
+    rec.finish_time = at;
+    rec.completed_work = rec.spec.num_tasks * (job.executed_seconds + (at - rec.start_time));
+    rec.runs.push_back(JobRun{rec.group, rec.start_time, at, true});
+    free_nodes[rec.group] += rec.spec.num_tasks;
+    --live_jobs;
+    scheduler_->OnJobFinished(rec.spec.id, at, at - rec.start_time);
+  };
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (ev.time > hard_stop) {
+      now = hard_stop;
+      break;
+    }
+    TS_CHECK_GE(ev.time, now);  // The event clock is monotone.
+    now = ev.time;
+
+    switch (ev.kind) {
+      case EventKind::kArrival: {
+        LiveJob& job = jobs[ev.job_index];
+        scheduler_->OnJobArrival(job.record.spec, now);
+        schedule_reactive_cycle();
+        break;
+      }
+      case EventKind::kCompletion: {
+        LiveJob& job = jobs[ev.job_index];
+        if (ev.run_epoch != job.run_epoch || job.record.status != JobStatus::kRunning) {
+          break;  // Stale completion from a preempted run.
+        }
+        finish_job(ev.job_index, now);
+        schedule_reactive_cycle();
+        break;
+      }
+      case EventKind::kCycle: {
+        if (std::fabs(ev.time - next_cycle_at) > 1e-9) {
+          break;  // Superseded by an earlier reactive cycle.
+        }
+        next_cycle_at = -1.0;
+        last_cycle_at = now;
+        if (live_jobs == 0) {
+          break;
+        }
+        // Build the scheduler's view.
+        ClusterStateView view;
+        view.cluster = &cluster_;
+        view.free_nodes = free_nodes;
+        int pending_count = 0;
+        for (const LiveJob& job : jobs) {
+          if (job.record.status == JobStatus::kRunning) {
+            view.running.push_back(RunningJobView{job.record.spec.id, job.record.group,
+                                                  job.record.start_time,
+                                                  job.record.spec.num_tasks,
+                                                  job.record.spec.type});
+          } else if (job.record.status == JobStatus::kPending) {
+            ++pending_count;
+          }
+        }
+        const int running_count = static_cast<int>(view.running.size());
+
+        const CycleResult decision = scheduler_->RunCycle(now, view);
+        result.cycles.push_back(CycleStats{now, decision.cycle_seconds,
+                                           decision.solver_seconds, decision.milp_variables,
+                                           decision.milp_rows, decision.milp_nodes,
+                                           pending_count, running_count});
+
+        // 1. Preemptions free capacity first (slot-0 placements may rely on
+        //    the freed nodes).
+        for (JobId id : decision.preempt) {
+          const size_t idx = index_by_id.at(id);
+          LiveJob& job = jobs[idx];
+          if (job.record.status != JobStatus::kRunning) {
+            continue;  // Already finished in this same timestamp batch.
+          }
+          job.record.status = JobStatus::kPending;
+          free_nodes[job.record.group] += job.record.spec.num_tasks;
+          job.record.runs.push_back(
+              JobRun{job.record.group, job.record.start_time, now, false});
+          if (options_.preemption_resumes && job.actual_duration > 0.0) {
+            // Migration-style preemption banks the completed fraction.
+            const double run_fraction =
+                std::min((now - job.record.start_time) / job.actual_duration, 1.0);
+            job.progress += run_fraction * (1.0 - job.progress);
+            job.executed_seconds += now - job.record.start_time;
+          }
+          job.record.group = -1;
+          job.record.start_time = kNever;
+          ++job.record.preemptions;
+          ++job.run_epoch;
+          ++result.total_preemptions;
+          scheduler_->OnJobPreempted(id, now);
+        }
+        // 2. Abandonments retire jobs the scheduler will never run.
+        for (JobId id : decision.abandon) {
+          const size_t idx = index_by_id.at(id);
+          LiveJob& job = jobs[idx];
+          if (job.record.status != JobStatus::kPending) {
+            continue;
+          }
+          job.record.status = JobStatus::kAbandoned;
+          --live_jobs;
+        }
+        // 3. Starts.
+        for (const Placement& p : decision.start) {
+          const size_t idx = index_by_id.at(p.job);
+          LiveJob& job = jobs[idx];
+          JobRecord& rec = job.record;
+          if (rec.status != JobStatus::kPending || p.group < 0 ||
+              p.group >= cluster_.num_groups() ||
+              free_nodes[p.group] < rec.spec.num_tasks) {
+            ++result.rejected_placements;
+            continue;
+          }
+          rec.status = JobStatus::kRunning;
+          rec.group = p.group;
+          rec.start_time = now;
+          free_nodes[p.group] -= rec.spec.num_tasks;
+          ++job.run_epoch;
+
+          Duration duration = rec.spec.TrueRuntimeOn(p.group);
+          if (options_.preemption_resumes) {
+            duration *= 1.0 - job.progress;
+          }
+          if (options_.fidelity == SimFidelity::kHighFidelity) {
+            const double jitter =
+                std::max(0.5, rng.Normal(1.0, options_.runtime_jitter_stddev));
+            duration = duration * jitter + rng.Uniform(1.0, options_.launch_overhead_max);
+            // Completions surface at the next heartbeat.
+            const Time raw_finish = now + duration;
+            const Time beat = options_.heartbeat;
+            duration = std::ceil(raw_finish / beat) * beat - now;
+          }
+          duration = std::max(duration, 1e-3);
+          job.actual_duration = duration;
+          scheduler_->OnJobStarted(rec.spec.id, p.group, now);
+          queue.push(Event{now + duration, seq++, EventKind::kCompletion, idx, job.run_epoch});
+        }
+
+        // Keep cycling while any job is pending or running.
+        if (live_jobs > 0) {
+          schedule_cycle(now + options_.cycle_period);
+        }
+        break;
+      }
+    }
+    if (live_jobs == 0 && queue.empty()) {
+      break;
+    }
+  }
+
+  result.end_time = now;
+  result.jobs.reserve(jobs.size());
+  for (LiveJob& job : jobs) {
+    if (job.record.status == JobStatus::kRunning) {
+      // Close the open run at the stop for occupancy provenance.
+      job.record.runs.push_back(JobRun{job.record.group, job.record.start_time, now, false});
+    }
+    if (job.record.status == JobStatus::kPending || job.record.status == JobStatus::kRunning) {
+      job.record.status = JobStatus::kUnfinished;
+    }
+    result.jobs.push_back(std::move(job.record));
+  }
+  return result;
+}
+
+}  // namespace threesigma

@@ -1,0 +1,129 @@
+// Discrete-event cluster simulator.
+//
+// Replaces the paper's YARN + physical cluster substrate. The simulator owns
+// ground truth: job arrivals, node occupancy, completions, and preemption
+// execution. Schedulers only see the ClusterStateView handed to them each
+// cycle and the arrival/completion callbacks.
+//
+// Two fidelity modes reproduce the paper's RC256-vs-SC256 split (Table 2):
+//   kIdeal         — SC256: exact runtimes, instantaneous task launch.
+//   kHighFidelity  — RC256 stand-in: per-job runtime jitter, task launch
+//                    overhead, and heartbeat-quantized completion detection,
+//                    the dominant noise sources on the real cluster.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/job.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/sched/scheduler.h"
+
+namespace threesigma {
+
+enum class SimFidelity {
+  kIdeal,
+  kHighFidelity,
+};
+
+struct SimOptions {
+  Duration cycle_period = 10.0;
+  // Reactive scheduling: arrivals and completions trigger an extra cycle at
+  // most this soon after the previous one (approximates the paper's 1-2 s
+  // cycle granularity without solving the MILP every second). 0 disables.
+  Duration reactive_min_gap = 2.0;
+  SimFidelity fidelity = SimFidelity::kIdeal;
+  // Simulation hard stop this long after the last arrival. The paper's
+  // experiments are fixed 5-hour windows at load > 1, so the cluster is
+  // saturated throughout; a short drain keeps the metrics window comparable
+  // (work not completed by the stop does not count toward goodput, and
+  // unfinished SLO jobs count as misses).
+  Duration drain_limit = 900.0;
+  uint64_t seed = 1;
+
+  // High-fidelity noise knobs.
+  double runtime_jitter_stddev = 0.05;   // Multiplicative ~N(1, sigma).
+  Duration launch_overhead_max = 3.0;    // Task launch ~U(1, max) seconds.
+  Duration heartbeat = 3.0;              // Completion detection quantum.
+
+  // Preemption semantics. false = kill-and-requeue (container clusters,
+  // §2.2 "killing"); true = migration-style resume that preserves progress
+  // (VM clusters, §2.2 "migrating") — an extension ablated in
+  // bench/abl03_preemption.
+  bool preemption_resumes = false;
+};
+
+enum class JobStatus {
+  kPending,
+  kRunning,
+  kCompleted,
+  kAbandoned,  // Scheduler gave up (zero achievable utility).
+  kUnfinished, // Still pending/running when the simulation stopped.
+};
+
+// One contiguous execution of a job's gang on a node group. Preempted jobs
+// have several runs; only the last can be `completed`.
+struct JobRun {
+  int group = -1;
+  Time start = kNever;
+  Time end = kNever;  // Completion, preemption, or the simulation stop.
+  bool completed = false;
+};
+
+struct JobRecord {
+  JobSpec spec;
+  JobStatus status = JobStatus::kPending;
+  Time start_time = kNever;       // Of the final (completing) run.
+  Time finish_time = kNever;
+  int group = -1;
+  int preemptions = 0;
+  // Machine-seconds of the run that completed (goodput contribution).
+  double completed_work = 0.0;
+  // Full occupancy history, including preempted runs (cluster space-time
+  // provenance; see metrics/timeline.h).
+  std::vector<JobRun> runs;
+
+  bool MissedDeadline() const;
+};
+
+struct CycleStats {
+  Time time = 0.0;
+  double cycle_seconds = 0.0;
+  double solver_seconds = 0.0;
+  int milp_variables = 0;
+  int milp_rows = 0;
+  int milp_nodes = 0;
+  int pending = 0;
+  int running_jobs = 0;
+};
+
+struct SimResult {
+  std::vector<JobRecord> jobs;
+  std::vector<CycleStats> cycles;
+  int rejected_placements = 0;  // Scheduler decisions that did not fit.
+  int total_preemptions = 0;
+  Time end_time = 0.0;
+};
+
+class Simulator {
+ public:
+  // `scheduler` must outlive Run(). `workload` need not be sorted.
+  Simulator(const ClusterConfig& cluster, Scheduler* scheduler, std::vector<JobSpec> workload,
+            SimOptions options);
+
+  SimResult Run();
+
+ private:
+  const ClusterConfig& cluster_;
+  Scheduler* scheduler_;
+  std::vector<JobSpec> workload_;
+  SimOptions options_;
+};
+
+}  // namespace threesigma
+
+#endif  // SRC_SIM_SIMULATOR_H_

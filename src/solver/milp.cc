@@ -1,0 +1,247 @@
+#include "src/solver/milp.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace threesigma {
+namespace {
+
+// A branching decision along the current tree path.
+struct BoundFix {
+  int var;
+  double lower;
+  double upper;
+};
+
+struct Node {
+  std::vector<BoundFix> fixes;  // Full path from the root.
+  double parent_bound;          // LP bound of the parent (pruning hint).
+};
+
+bool IsIntegral(double v, double tol) { return std::fabs(v - std::round(v)) <= tol; }
+
+}  // namespace
+
+MilpSolver::MilpSolver(const LpModel& model, std::vector<int> integer_vars)
+    : model_(model), integer_vars_(std::move(integer_vars)) {
+  for (int v : integer_vars_) {
+    TS_CHECK_GE(v, 0);
+    TS_CHECK_LT(v, model_.num_variables());
+  }
+}
+
+bool MilpSolver::GreedyRound(const std::vector<double>& relaxed, std::vector<double>* out) const {
+  // Greedy only supports the scheduler's row shapes (all <=); bail otherwise
+  // and let branch-and-bound find incumbents on its own.
+  for (const LpRow& row : model_.rows()) {
+    if (row.sense != RowSense::kLessEqual) {
+      return false;
+    }
+  }
+  std::vector<double> x = relaxed;
+  // Pull every integer variable down to its floor first (feasible for pure
+  // <=-rows with non-negative coefficients, and a safe starting point
+  // otherwise — final feasibility is re-checked at the end).
+  for (int v : integer_vars_) {
+    x[v] = std::floor(relaxed[v] + 1e-9);
+  }
+  // Row activities for the floored point.
+  std::vector<double> activity(model_.num_rows(), 0.0);
+  std::vector<std::vector<LpTerm>> columns(model_.num_variables());
+  for (int r = 0; r < model_.num_rows(); ++r) {
+    const LpRow& row = model_.row(r);
+    for (const LpTerm& t : row.terms) {
+      activity[r] += t.coeff * x[t.var];
+      columns[t.var].push_back(LpTerm{r, t.coeff});
+    }
+  }
+  // Try raising integer variables toward their relaxed value, most-fractional
+  // and highest-objective first.
+  std::vector<int> order = integer_vars_;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double fa = relaxed[a] - std::floor(relaxed[a] + 1e-9);
+    const double fb = relaxed[b] - std::floor(relaxed[b] + 1e-9);
+    if (fa != fb) {
+      return fa > fb;
+    }
+    return model_.objective(a) > model_.objective(b);
+  });
+  for (int v : order) {
+    const double target = std::min(std::ceil(relaxed[v] - 1e-9), model_.upper(v));
+    const double delta = target - x[v];
+    if (delta <= 0.0 || model_.objective(v) < 0.0) {
+      continue;
+    }
+    bool fits = true;
+    for (const LpTerm& t : columns[v]) {
+      if (activity[t.var] + t.coeff * delta > model_.row(t.var).rhs + 1e-9) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) {
+      continue;
+    }
+    x[v] = target;
+    for (const LpTerm& t : columns[v]) {
+      activity[t.var] += t.coeff * delta;
+    }
+  }
+  if (!model_.IsFeasible(x)) {
+    return false;
+  }
+  *out = std::move(x);
+  return true;
+}
+
+MilpSolution MilpSolver::Solve(const MilpOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const auto start_time = Clock::now();
+  const auto out_of_time = [&]() {
+    if (options.time_limit_seconds <= 0.0) {
+      return false;
+    }
+    const std::chrono::duration<double> elapsed = Clock::now() - start_time;
+    return elapsed.count() >= options.time_limit_seconds;
+  };
+
+  MilpSolution result;
+
+  // Working copy whose bounds are mutated along the tree path.
+  LpModel work = model_;
+  std::vector<int> touched;  // Vars whose bounds differ from the baseline.
+  const auto reset_bounds = [&]() {
+    for (int v : touched) {
+      work.SetVariableBounds(v, model_.lower(v), model_.upper(v));
+    }
+    touched.clear();
+  };
+
+  // Install the warm start as the initial incumbent if it is valid.
+  bool have_incumbent = false;
+  std::vector<double> best;
+  double best_obj = 0.0;
+  if (!options.warm_start.empty() &&
+      static_cast<int>(options.warm_start.size()) == model_.num_variables()) {
+    bool integral = true;
+    for (int v : integer_vars_) {
+      if (!IsIntegral(options.warm_start[v], options.integrality_tol)) {
+        integral = false;
+        break;
+      }
+    }
+    if (integral && model_.IsFeasible(options.warm_start)) {
+      best = options.warm_start;
+      best_obj = model_.ObjectiveValue(best);
+      have_incumbent = true;
+      result.warm_start_returned = true;
+    }
+  }
+
+  std::vector<Node> stack;
+  stack.push_back(Node{{}, kLpInfinity});
+
+  while (!stack.empty()) {
+    if ((options.max_nodes > 0 && result.nodes_explored >= options.max_nodes) || out_of_time()) {
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    if (have_incumbent && node.parent_bound <= best_obj + 1e-9) {
+      continue;  // The parent already proved this subtree cannot improve.
+    }
+    ++result.nodes_explored;
+
+    reset_bounds();
+    for (const BoundFix& fix : node.fixes) {
+      work.SetVariableBounds(fix.var, fix.lower, fix.upper);
+      touched.push_back(fix.var);
+    }
+
+    const LpSolution relax = SolveLp(work);
+    result.lp_iterations += relax.iterations;
+    if (relax.status == LpStatus::kInfeasible) {
+      continue;
+    }
+    if (relax.status == LpStatus::kUnbounded) {
+      // Integral restriction of an unbounded relaxation: give up on bounding
+      // and rely on incumbents only (does not occur for scheduler models).
+      continue;
+    }
+    if (have_incumbent && relax.objective <= best_obj + 1e-9) {
+      continue;
+    }
+
+    // Find the most fractional integer variable.
+    int branch_var = -1;
+    double branch_frac = 0.0;
+    for (int v : integer_vars_) {
+      const double value = relax.values[v];
+      if (!IsIntegral(value, options.integrality_tol)) {
+        const double frac = std::fabs(value - std::round(value));
+        if (frac > branch_frac) {
+          branch_frac = frac;
+          branch_var = v;
+        }
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral solution: snap and accept.
+      std::vector<double> snapped = relax.values;
+      for (int v : integer_vars_) {
+        snapped[v] = std::round(snapped[v]);
+      }
+      if (model_.IsFeasible(snapped) &&
+          (!have_incumbent || model_.ObjectiveValue(snapped) > best_obj)) {
+        best = std::move(snapped);
+        best_obj = model_.ObjectiveValue(best);
+        have_incumbent = true;
+        result.warm_start_returned = false;
+      }
+      continue;
+    }
+
+    // Use a rounding pass for an early incumbent before descending.
+    std::vector<double> rounded;
+    if (GreedyRound(relax.values, &rounded)) {
+      const double obj = model_.ObjectiveValue(rounded);
+      if (!have_incumbent || obj > best_obj) {
+        best = std::move(rounded);
+        best_obj = obj;
+        have_incumbent = true;
+        result.warm_start_returned = false;
+      }
+    }
+
+    // Branch: explore the nearest integer side first (pushed last).
+    const double value = relax.values[branch_var];
+    const double floor_v = std::floor(value);
+    const double ceil_v = std::ceil(value);
+    Node down{node.fixes, relax.objective};
+    down.fixes.push_back(BoundFix{branch_var, model_.lower(branch_var), floor_v});
+    Node up{node.fixes, relax.objective};
+    up.fixes.push_back(BoundFix{branch_var, ceil_v, model_.upper(branch_var)});
+    if (value - floor_v >= 0.5) {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    } else {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    }
+  }
+
+  if (!have_incumbent) {
+    result.status = MilpStatus::kInfeasible;
+    return result;
+  }
+  result.status = stack.empty() ? MilpStatus::kOptimal : MilpStatus::kFeasible;
+  result.objective = best_obj;
+  result.values = std::move(best);
+  return result;
+}
+
+}  // namespace threesigma

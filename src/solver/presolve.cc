@@ -1,0 +1,155 @@
+#include "src/solver/presolve.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace threesigma {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+}  // namespace
+
+std::vector<double> PresolveResult::ExpandSolution(
+    const std::vector<double>& reduced_values) const {
+  TS_CHECK_EQ(reduced_values.size(), var_map.size());
+  std::vector<double> full = eliminated_values;
+  for (size_t r = 0; r < var_map.size(); ++r) {
+    full[static_cast<size_t>(var_map[r])] = reduced_values[r];
+  }
+  return full;
+}
+
+PresolveResult Presolve(const LpModel& model) {
+  PresolveResult result;
+  const int n = model.num_variables();
+  result.eliminated_values.assign(static_cast<size_t>(n), 0.0);
+  result.eliminated.assign(static_cast<size_t>(n), false);
+
+  // Pass 1: find which variables appear in any row.
+  std::vector<bool> in_rows(static_cast<size_t>(n), false);
+  for (const LpRow& row : model.rows()) {
+    for (const LpTerm& t : row.terms) {
+      in_rows[static_cast<size_t>(t.var)] = true;
+    }
+  }
+
+  // Eliminate fixed variables and row-free variables.
+  for (int v = 0; v < n; ++v) {
+    const double lo = model.lower(v);
+    const double up = model.upper(v);
+    if (up - lo <= kTol) {
+      result.eliminated[static_cast<size_t>(v)] = true;
+      result.eliminated_values[static_cast<size_t>(v)] = lo;
+      continue;
+    }
+    if (!in_rows[static_cast<size_t>(v)]) {
+      // Move to the objective-preferred bound.
+      const double c = model.objective(v);
+      double pick;
+      if (c > 0.0) {
+        pick = up;
+      } else if (c < 0.0) {
+        pick = lo;
+      } else {
+        pick = lo > -kLpInfinity ? lo : up;
+      }
+      if (pick >= kLpInfinity || pick <= -kLpInfinity) {
+        result.proven_unbounded = true;
+        return result;
+      }
+      result.eliminated[static_cast<size_t>(v)] = true;
+      result.eliminated_values[static_cast<size_t>(v)] = pick;
+    }
+  }
+
+  // Build the reduced variable set.
+  std::vector<int> new_index(static_cast<size_t>(n), -1);
+  for (int v = 0; v < n; ++v) {
+    if (result.eliminated[static_cast<size_t>(v)]) {
+      ++result.vars_removed;
+      continue;
+    }
+    new_index[static_cast<size_t>(v)] = result.reduced.AddVariable(
+        model.lower(v), model.upper(v), model.objective(v), model.var_name(v));
+    result.var_map.push_back(v);
+  }
+
+  // Rebuild rows: substitute eliminated variables, drop non-binding rows.
+  for (const LpRow& row : model.rows()) {
+    double rhs = row.rhs;
+    std::vector<LpTerm> terms;
+    terms.reserve(row.terms.size());
+    // Activity bounds of the remaining terms (for redundancy detection).
+    double min_activity = 0.0;
+    double max_activity = 0.0;
+    bool min_unbounded = false;
+    bool max_unbounded = false;
+    for (const LpTerm& t : row.terms) {
+      if (result.eliminated[static_cast<size_t>(t.var)]) {
+        rhs -= t.coeff * result.eliminated_values[static_cast<size_t>(t.var)];
+        continue;
+      }
+      terms.push_back(LpTerm{new_index[static_cast<size_t>(t.var)], t.coeff});
+      const double lo = model.lower(t.var);
+      const double up = model.upper(t.var);
+      const double a = t.coeff * (t.coeff >= 0.0 ? lo : up);
+      const double b = t.coeff * (t.coeff >= 0.0 ? up : lo);
+      if (a <= -kLpInfinity || a >= kLpInfinity) {
+        min_unbounded = true;
+      } else {
+        min_activity += a;
+      }
+      if (b <= -kLpInfinity || b >= kLpInfinity) {
+        max_unbounded = true;
+      } else {
+        max_activity += b;
+      }
+    }
+
+    if (terms.empty()) {
+      // Fully substituted: the row is a pure consistency check.
+      const bool ok = (row.sense == RowSense::kLessEqual && 0.0 <= rhs + kTol) ||
+                      (row.sense == RowSense::kGreaterEqual && 0.0 >= rhs - kTol) ||
+                      (row.sense == RowSense::kEqual && std::fabs(rhs) <= kTol);
+      if (!ok) {
+        result.proven_infeasible = true;
+        return result;
+      }
+      ++result.rows_removed;
+      continue;
+    }
+
+    // Redundancy: the row can never bind given variable bounds.
+    if (row.sense == RowSense::kLessEqual && !max_unbounded && max_activity <= rhs + kTol) {
+      ++result.rows_removed;
+      continue;
+    }
+    if (row.sense == RowSense::kGreaterEqual && !min_unbounded &&
+        min_activity >= rhs - kTol) {
+      ++result.rows_removed;
+      continue;
+    }
+    // Infeasibility: the row can never be satisfied.
+    if (row.sense == RowSense::kLessEqual && !min_unbounded && min_activity > rhs + kTol) {
+      result.proven_infeasible = true;
+      return result;
+    }
+    if (row.sense == RowSense::kGreaterEqual && !max_unbounded &&
+        max_activity < rhs - kTol) {
+      result.proven_infeasible = true;
+      return result;
+    }
+    if (row.sense == RowSense::kEqual && !min_unbounded && !max_unbounded &&
+        (min_activity > rhs + kTol || max_activity < rhs - kTol)) {
+      result.proven_infeasible = true;
+      return result;
+    }
+
+    result.reduced.AddRow(row.sense, rhs, std::move(terms), row.name);
+  }
+  return result;
+}
+
+}  // namespace threesigma

@@ -1,0 +1,45 @@
+// LP presolve: cheap reductions applied before the simplex runs.
+//
+// Branch-and-bound fixes indicator variables by collapsing their bounds, so
+// deep nodes carry many fixed variables and rows made redundant by those
+// fixings. Presolve removes them:
+//   1. fixed variables (lower == upper) are substituted into row activities,
+//   2. variables appearing in no row move to their objective-best bound,
+//   3. rows that cannot bind under the remaining bounds are dropped, and
+//      rows proven unsatisfiable flag infeasibility outright.
+// The reduced model is solved and the solution expanded back. SolveLp runs
+// presolve by default (SimplexOptions::presolve).
+
+#ifndef SRC_SOLVER_PRESOLVE_H_
+#define SRC_SOLVER_PRESOLVE_H_
+
+#include <vector>
+
+#include "src/solver/lp_model.h"
+
+namespace threesigma {
+
+struct PresolveResult {
+  // Immediate verdicts (when set, `reduced` is meaningless).
+  bool proven_infeasible = false;
+  bool proven_unbounded = false;
+
+  LpModel reduced;
+  // reduced variable index -> original variable index.
+  std::vector<int> var_map;
+  // Values assigned to eliminated original variables.
+  std::vector<double> eliminated_values;  // Indexed by original var; valid
+  std::vector<bool> eliminated;           // where `eliminated[v]` is true.
+
+  int rows_removed = 0;
+  int vars_removed = 0;
+
+  // Expands a reduced-space solution to the original variable space.
+  std::vector<double> ExpandSolution(const std::vector<double>& reduced_values) const;
+};
+
+PresolveResult Presolve(const LpModel& model);
+
+}  // namespace threesigma
+
+#endif  // SRC_SOLVER_PRESOLVE_H_

@@ -1,0 +1,541 @@
+#include "src/solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/solver/presolve.h"
+
+namespace threesigma {
+namespace {
+
+constexpr double kPivotTol = 1e-9;
+
+enum class VarStatus : uint8_t { kBasic, kAtLower, kAtUpper };
+
+// Internal solver state over the extended variable set:
+//   [0, n)            structural variables
+//   [n, n+m)          slack variables (one per row)
+//   [n+m, n+m+k)      Phase-1 artificials
+class SimplexSolver {
+ public:
+  SimplexSolver(const LpModel& model, const SimplexOptions& options)
+      : model_(model), options_(options), m_(model.num_rows()), n_(model.num_variables()) {}
+
+  LpSolution Solve();
+
+ private:
+  void BuildStandardForm();
+  void RecomputeBasicValues();
+  void Refactorize();
+  // Runs pivots until the current objective `obj_` is optimal, or a limit is
+  // hit. Returns the terminating status for the phase.
+  LpStatus RunPhase();
+  // Column of extended variable j in the equality system (dense, length m_).
+  void ExtendedColumn(int j, std::vector<double>* out) const;
+  double ReducedCost(int j, const std::vector<double>& y) const;
+
+  const LpModel& model_;
+  SimplexOptions options_;
+  int m_;                  // rows
+  int n_;                  // structural vars
+  int total_ = 0;          // structural + slack + artificial
+  int num_artificials_ = 0;
+
+  std::vector<double> lower_, upper_, obj_;        // extended, length total_
+  std::vector<std::vector<LpTerm>> columns_;       // structural columns (row, coeff)
+  std::vector<double> rhs_;                        // row right-hand sides
+  std::vector<int> slack_row_;                     // slack var -> its row
+  std::vector<int> artificial_row_;                // artificial var -> its row
+  std::vector<double> artificial_sign_;            // +-1 coefficient of artificial
+
+  std::vector<int> basis_;                         // row -> basic var
+  std::vector<VarStatus> status_;                  // extended var statuses
+  std::vector<double> value_;                      // extended var values
+  std::vector<std::vector<double>> binv_;          // dense basis inverse (m_ x m_)
+
+  int iterations_ = 0;
+  int max_iterations_ = 0;
+  int degenerate_streak_ = 0;
+  double last_objective_ = -std::numeric_limits<double>::infinity();
+};
+
+void SimplexSolver::ExtendedColumn(int j, std::vector<double>* out) const {
+  std::fill(out->begin(), out->end(), 0.0);
+  if (j < n_) {
+    for (const LpTerm& t : columns_[j]) {
+      (*out)[t.var] = t.coeff;  // t.var reused as the row index here.
+    }
+  } else if (j < n_ + m_) {
+    (*out)[slack_row_[j - n_]] = 1.0;
+  } else {
+    (*out)[artificial_row_[j - n_ - m_]] = artificial_sign_[j - n_ - m_];
+  }
+}
+
+double SimplexSolver::ReducedCost(int j, const std::vector<double>& y) const {
+  double d = obj_[j];
+  if (j < n_) {
+    for (const LpTerm& t : columns_[j]) {
+      d -= y[t.var] * t.coeff;
+    }
+  } else if (j < n_ + m_) {
+    d -= y[slack_row_[j - n_]];
+  } else {
+    d -= y[artificial_row_[j - n_ - m_]] * artificial_sign_[j - n_ - m_];
+  }
+  return d;
+}
+
+void SimplexSolver::BuildStandardForm() {
+  // Structural columns indexed by variable; LpTerm.var holds the row index.
+  columns_.assign(n_, {});
+  rhs_.resize(m_);
+  for (int r = 0; r < m_; ++r) {
+    const LpRow& row = model_.row(r);
+    rhs_[r] = row.rhs;
+    for (const LpTerm& t : row.terms) {
+      columns_[t.var].push_back(LpTerm{r, t.coeff});
+    }
+  }
+
+  lower_.assign(n_, 0.0);
+  upper_.assign(n_, 0.0);
+  obj_.assign(n_, 0.0);
+  for (int j = 0; j < n_; ++j) {
+    lower_[j] = model_.lower(j);
+    upper_[j] = model_.upper(j);
+    obj_[j] = model_.objective(j);
+    TS_CHECK_MSG(lower_[j] > -kLpInfinity || upper_[j] < kLpInfinity,
+                 "variable " << j << " must have a finite bound");
+  }
+
+  // Slack variables: row sense becomes a bound on the slack.
+  slack_row_.resize(m_);
+  for (int r = 0; r < m_; ++r) {
+    slack_row_[r] = r;
+    const RowSense sense = model_.row(r).sense;
+    double lo = 0.0;
+    double up = 0.0;
+    if (sense == RowSense::kLessEqual) {
+      lo = 0.0;
+      up = kLpInfinity;
+    } else if (sense == RowSense::kGreaterEqual) {
+      lo = -kLpInfinity;
+      up = 0.0;
+    }
+    lower_.push_back(lo);
+    upper_.push_back(up);
+    obj_.push_back(0.0);
+  }
+
+  // Initial nonbasic placement for structural vars: the finite bound nearest
+  // zero (scheduler variables have lower bound 0, so this is their lower).
+  total_ = n_ + m_;
+  status_.assign(total_, VarStatus::kAtLower);
+  value_.assign(total_, 0.0);
+  for (int j = 0; j < n_; ++j) {
+    if (lower_[j] > -kLpInfinity) {
+      status_[j] = VarStatus::kAtLower;
+      value_[j] = lower_[j];
+    } else {
+      status_[j] = VarStatus::kAtUpper;
+      value_[j] = upper_[j];
+    }
+  }
+
+  // Residual of each row with all structural vars at their initial bound.
+  std::vector<double> residual = rhs_;
+  for (int j = 0; j < n_; ++j) {
+    if (value_[j] != 0.0) {
+      for (const LpTerm& t : columns_[j]) {
+        residual[t.var] -= t.coeff * value_[j];
+      }
+    }
+  }
+
+  // Slack starts basic when the residual fits its bounds; otherwise the slack
+  // is parked at the bound nearest the residual and an artificial carries the
+  // remaining infeasibility.
+  basis_.assign(m_, -1);
+  for (int r = 0; r < m_; ++r) {
+    const int sv = n_ + r;
+    if (residual[r] >= lower_[sv] - options_.feasibility_tol &&
+        residual[r] <= upper_[sv] + options_.feasibility_tol) {
+      basis_[r] = sv;
+      status_[sv] = VarStatus::kBasic;
+      value_[sv] = residual[r];
+      continue;
+    }
+    const double parked = residual[r] < lower_[sv] ? lower_[sv] : upper_[sv];
+    status_[sv] = residual[r] < lower_[sv] ? VarStatus::kAtLower : VarStatus::kAtUpper;
+    value_[sv] = parked;
+    const double gap = residual[r] - parked;
+    const int av = total_ + num_artificials_;
+    artificial_row_.push_back(r);
+    artificial_sign_.push_back(gap >= 0.0 ? 1.0 : -1.0);
+    lower_.push_back(0.0);
+    upper_.push_back(kLpInfinity);
+    obj_.push_back(0.0);
+    status_.push_back(VarStatus::kBasic);
+    value_.push_back(std::fabs(gap));
+    basis_[r] = av;
+    ++num_artificials_;
+  }
+  total_ += num_artificials_;
+
+  Refactorize();
+  RecomputeBasicValues();
+}
+
+void SimplexSolver::Refactorize() {
+  // Gauss-Jordan inversion of the basis matrix with partial pivoting.
+  std::vector<std::vector<double>> b(m_, std::vector<double>(m_, 0.0));
+  std::vector<double> col(m_);
+  for (int r = 0; r < m_; ++r) {
+    ExtendedColumn(basis_[r], &col);
+    for (int i = 0; i < m_; ++i) {
+      b[i][r] = col[i];
+    }
+  }
+  binv_.assign(m_, std::vector<double>(m_, 0.0));
+  for (int i = 0; i < m_; ++i) {
+    binv_[i][i] = 1.0;
+  }
+  for (int c = 0; c < m_; ++c) {
+    int pivot = c;
+    for (int r = c + 1; r < m_; ++r) {
+      if (std::fabs(b[r][c]) > std::fabs(b[pivot][c])) {
+        pivot = r;
+      }
+    }
+    TS_CHECK_MSG(std::fabs(b[pivot][c]) > 1e-12, "singular basis during refactorization");
+    std::swap(b[c], b[pivot]);
+    std::swap(binv_[c], binv_[pivot]);
+    const double inv = 1.0 / b[c][c];
+    for (int k = 0; k < m_; ++k) {
+      b[c][k] *= inv;
+      binv_[c][k] *= inv;
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (r == c) {
+        continue;
+      }
+      const double factor = b[r][c];
+      if (factor == 0.0) {
+        continue;
+      }
+      for (int k = 0; k < m_; ++k) {
+        b[r][k] -= factor * b[c][k];
+        binv_[r][k] -= factor * binv_[c][k];
+      }
+    }
+  }
+}
+
+void SimplexSolver::RecomputeBasicValues() {
+  // w = b - A_N x_N, then x_B = binv * w.
+  std::vector<double> w = rhs_;
+  std::vector<double> col(m_);
+  for (int j = 0; j < total_; ++j) {
+    if (status_[j] == VarStatus::kBasic || value_[j] == 0.0) {
+      continue;
+    }
+    ExtendedColumn(j, &col);
+    for (int r = 0; r < m_; ++r) {
+      if (col[r] != 0.0) {
+        w[r] -= col[r] * value_[j];
+      }
+    }
+  }
+  for (int r = 0; r < m_; ++r) {
+    double v = 0.0;
+    for (int k = 0; k < m_; ++k) {
+      v += binv_[r][k] * w[k];
+    }
+    value_[basis_[r]] = v;
+  }
+}
+
+LpStatus SimplexSolver::RunPhase() {
+  std::vector<double> y(m_);
+  std::vector<double> alpha(m_);
+  int pivots_since_refactor = 0;
+
+  while (true) {
+    if (iterations_ >= max_iterations_) {
+      return LpStatus::kIterationLimit;
+    }
+    ++iterations_;
+
+    // Pricing: y = c_B binv.
+    for (int r = 0; r < m_; ++r) {
+      y[r] = 0.0;
+    }
+    for (int r = 0; r < m_; ++r) {
+      const double cb = obj_[basis_[r]];
+      if (cb == 0.0) {
+        continue;
+      }
+      for (int k = 0; k < m_; ++k) {
+        y[k] += cb * binv_[r][k];
+      }
+    }
+
+    // Entering variable: Dantzig normally, Bland under a degeneracy streak.
+    const bool bland = degenerate_streak_ > 2 * (m_ + 8);
+    int entering = -1;
+    double best_score = options_.optimality_tol;
+    int direction = +1;  // +1: increase from lower; -1: decrease from upper.
+    for (int j = 0; j < total_; ++j) {
+      if (status_[j] == VarStatus::kBasic) {
+        continue;
+      }
+      if (lower_[j] == upper_[j]) {
+        continue;  // Fixed (e.g. retired artificials).
+      }
+      const double d = ReducedCost(j, y);
+      int dir = 0;
+      if (status_[j] == VarStatus::kAtLower && d > options_.optimality_tol) {
+        dir = +1;
+      } else if (status_[j] == VarStatus::kAtUpper && d < -options_.optimality_tol) {
+        dir = -1;
+      }
+      if (dir == 0) {
+        continue;
+      }
+      if (bland) {
+        entering = j;
+        direction = dir;
+        break;
+      }
+      if (std::fabs(d) > best_score) {
+        best_score = std::fabs(d);
+        entering = j;
+        direction = dir;
+      }
+    }
+    if (entering < 0) {
+      return LpStatus::kOptimal;
+    }
+
+    ExtendedColumn(entering, &alpha);
+    // alpha := binv * column(entering).
+    {
+      std::vector<double> tmp(m_, 0.0);
+      for (int r = 0; r < m_; ++r) {
+        double v = 0.0;
+        for (int k = 0; k < m_; ++k) {
+          v += binv_[r][k] * alpha[k];
+        }
+        tmp[r] = v;
+      }
+      alpha.swap(tmp);
+    }
+
+    // Ratio test. Moving the entering variable by delta in `direction`
+    // changes basic variable r by -direction * alpha[r] * delta.
+    double limit = upper_[entering] - lower_[entering];  // Bound-flip span.
+    int leaving_row = -1;
+    double leaving_target = 0.0;  // Bound the leaving variable lands on.
+    for (int r = 0; r < m_; ++r) {
+      const double rate = -static_cast<double>(direction) * alpha[r];
+      if (std::fabs(rate) < kPivotTol) {
+        continue;
+      }
+      const int bv = basis_[r];
+      double ratio;
+      double target;
+      if (rate < 0.0) {
+        // Basic value decreases toward its lower bound.
+        if (lower_[bv] <= -kLpInfinity) {
+          continue;
+        }
+        ratio = (value_[bv] - lower_[bv]) / (-rate);
+        target = lower_[bv];
+      } else {
+        if (upper_[bv] >= kLpInfinity) {
+          continue;
+        }
+        ratio = (upper_[bv] - value_[bv]) / rate;
+        target = upper_[bv];
+      }
+      ratio = std::max(ratio, 0.0);
+      const bool better =
+          ratio < limit - 1e-12 ||
+          (leaving_row >= 0 && ratio < limit + 1e-12 &&
+           std::fabs(alpha[r]) > std::fabs(alpha[leaving_row]));
+      if (better) {
+        limit = ratio;
+        leaving_row = r;
+        leaving_target = target;
+      }
+    }
+
+    if (limit >= kLpInfinity) {
+      return LpStatus::kUnbounded;
+    }
+
+    const double step = limit;
+    if (step < 1e-11) {
+      ++degenerate_streak_;
+    } else {
+      degenerate_streak_ = 0;
+    }
+
+    if (leaving_row < 0) {
+      // Bound flip: the entering variable runs to its other bound.
+      status_[entering] =
+          status_[entering] == VarStatus::kAtLower ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      value_[entering] =
+          status_[entering] == VarStatus::kAtLower ? lower_[entering] : upper_[entering];
+      RecomputeBasicValues();
+      continue;
+    }
+
+    // Pivot: entering becomes basic, leaving goes to the bound it hit.
+    const int leaving = basis_[leaving_row];
+    status_[leaving] =
+        leaving_target == lower_[leaving] ? VarStatus::kAtLower : VarStatus::kAtUpper;
+    value_[leaving] = leaving_target;
+    basis_[leaving_row] = entering;
+    status_[entering] = VarStatus::kBasic;
+
+    // Update binv: standard elementary row transformation.
+    const double pivot_val = alpha[leaving_row];
+    TS_CHECK_MSG(std::fabs(pivot_val) > kPivotTol, "numerically zero pivot");
+    for (int k = 0; k < m_; ++k) {
+      binv_[leaving_row][k] /= pivot_val;
+    }
+    for (int r = 0; r < m_; ++r) {
+      if (r == leaving_row) {
+        continue;
+      }
+      const double factor = alpha[r];
+      if (factor == 0.0) {
+        continue;
+      }
+      for (int k = 0; k < m_; ++k) {
+        binv_[r][k] -= factor * binv_[leaving_row][k];
+      }
+    }
+
+    if (++pivots_since_refactor >= 64) {
+      Refactorize();
+      pivots_since_refactor = 0;
+    }
+    RecomputeBasicValues();
+  }
+}
+
+LpSolution SimplexSolver::Solve() {
+  LpSolution result;
+  if (m_ == 0) {
+    // Pure bound problem: each variable sits at whichever bound its objective
+    // prefers.
+    result.status = LpStatus::kOptimal;
+    result.values.resize(n_);
+    for (int j = 0; j < n_; ++j) {
+      const double c = model_.objective(j);
+      double v;
+      if (c > 0.0) {
+        v = model_.upper(j);
+      } else if (c < 0.0) {
+        v = model_.lower(j);
+      } else {
+        v = model_.lower(j) > -kLpInfinity ? model_.lower(j) : model_.upper(j);
+      }
+      if (v >= kLpInfinity || v <= -kLpInfinity) {
+        result.status = LpStatus::kUnbounded;
+        result.values.clear();
+        return result;
+      }
+      result.values[j] = v;
+      result.objective += c * v;
+    }
+    return result;
+  }
+
+  BuildStandardForm();
+  max_iterations_ = options_.max_iterations > 0 ? options_.max_iterations
+                                                : 200 * (total_ + m_) + 2000;
+
+  if (num_artificials_ > 0) {
+    // Phase 1: drive artificial infeasibility to zero (max -sum(artificials)).
+    std::vector<double> real_obj = obj_;
+    for (int j = 0; j < total_; ++j) {
+      obj_[j] = j >= n_ + m_ ? -1.0 : 0.0;
+    }
+    const LpStatus phase1 = RunPhase();
+    double infeasibility = 0.0;
+    for (int j = n_ + m_; j < total_; ++j) {
+      infeasibility += value_[j];
+    }
+    if (phase1 == LpStatus::kIterationLimit) {
+      result.status = LpStatus::kIterationLimit;
+      result.iterations = iterations_;
+      return result;
+    }
+    if (infeasibility > 1e-6) {
+      result.status = LpStatus::kInfeasible;
+      result.iterations = iterations_;
+      return result;
+    }
+    // Retire artificials: pin them to zero so Phase 2 cannot resurrect them.
+    for (int j = n_ + m_; j < total_; ++j) {
+      lower_[j] = 0.0;
+      upper_[j] = 0.0;
+      if (status_[j] != VarStatus::kBasic) {
+        status_[j] = VarStatus::kAtLower;
+        value_[j] = 0.0;
+      }
+    }
+    obj_ = real_obj;
+    degenerate_streak_ = 0;
+  }
+
+  const LpStatus phase2 = RunPhase();
+  result.status = phase2;
+  result.iterations = iterations_;
+  if (phase2 == LpStatus::kOptimal || phase2 == LpStatus::kIterationLimit) {
+    result.values.resize(n_);
+    for (int j = 0; j < n_; ++j) {
+      // Clamp tiny numerical overshoot back into the box.
+      result.values[j] = std::clamp(value_[j], model_.lower(j), model_.upper(j));
+    }
+    result.objective = model_.ObjectiveValue(result.values);
+  }
+  return result;
+}
+
+}  // namespace
+
+LpSolution SolveLp(const LpModel& model, const SimplexOptions& options) {
+  if (options.presolve) {
+    PresolveResult pre = Presolve(model);
+    if (pre.proven_infeasible) {
+      LpSolution result;
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    if (!pre.proven_unbounded) {
+      SimplexOptions reduced_options = options;
+      reduced_options.presolve = false;
+      SimplexSolver solver(pre.reduced, reduced_options);
+      LpSolution reduced = solver.Solve();
+      if (reduced.status == LpStatus::kOptimal ||
+          reduced.status == LpStatus::kIterationLimit) {
+        reduced.values = pre.ExpandSolution(reduced.values);
+        reduced.objective = model.ObjectiveValue(reduced.values);
+      }
+      return reduced;
+    }
+    // A row-free variable with an unbounded preferred direction: the model is
+    // unbounded iff the rest is feasible — let the full simplex decide.
+  }
+  SimplexSolver solver(model, options);
+  return solver.Solve();
+}
+
+}  // namespace threesigma

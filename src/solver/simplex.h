@@ -1,0 +1,59 @@
+// Bounded-variable two-phase primal simplex.
+//
+// Solves   max cᵀx   s.t.  rows (≤ / ≥ / =),  l ≤ x ≤ u.
+//
+// This is the LP engine underneath the branch-and-bound MILP solver that
+// replaces the external solver of the paper (§4.3, "solved by an external
+// MILP solver"). Design notes:
+//   - every row gets a slack variable with bounds encoding its sense; rows
+//     whose initial slack violates those bounds get a Phase-1 artificial,
+//   - nonbasic variables rest at a finite bound (every model variable must
+//     have at least one finite bound — scheduler indicators live in [0, 1]),
+//   - the dense basis inverse is updated per pivot and refactorized
+//     periodically; basic values are recomputed from scratch each iteration
+//     so numerical drift self-corrects,
+//   - Dantzig pricing with a Bland's-rule fallback after a degeneracy streak
+//     guarantees termination.
+
+#ifndef SRC_SOLVER_SIMPLEX_H_
+#define SRC_SOLVER_SIMPLEX_H_
+
+#include <vector>
+
+#include "src/solver/lp_model.h"
+
+namespace threesigma {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  // Structural variable values (empty unless kOptimal / kIterationLimit).
+  std::vector<double> values;
+  int iterations = 0;
+};
+
+struct SimplexOptions {
+  // Hard cap on pivots across both phases; 0 means "derived from model size".
+  int max_iterations = 0;
+  // Reduced-cost optimality tolerance.
+  double optimality_tol = 1e-7;
+  // Bound/feasibility tolerance.
+  double feasibility_tol = 1e-7;
+  // Run presolve reductions first (solver/presolve.h); branch-and-bound
+  // nodes benefit most (their bound fixings eliminate variables outright).
+  bool presolve = true;
+};
+
+// Solves the LP relaxation of `model` (integrality is ignored).
+LpSolution SolveLp(const LpModel& model, const SimplexOptions& options = {});
+
+}  // namespace threesigma
+
+#endif  // SRC_SOLVER_SIMPLEX_H_

@@ -1,0 +1,261 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/workload/kmeans.h"
+
+namespace threesigma {
+namespace {
+
+// The per-class generation model derived from the clustered historical
+// sample: class mass + the PMF of populations within the class.
+struct JobClassModel {
+  double weight = 0.0;
+  std::vector<int> population_ids;     // Into EnvironmentModel populations.
+  std::vector<double> population_weights;
+};
+
+// Samples runtime/tasks from one population (same math as
+// EnvironmentModel::Sample but for a known population).
+TraceJob SampleFromPopulation(const JobPopulation& p, Rng& rng) {
+  TraceJob job;
+  job.user = p.user;
+  job.jobname = p.jobname;
+  if (p.tail_prob > 0.0 && rng.Bernoulli(p.tail_prob)) {
+    const double base = std::exp(p.log_mu);
+    job.runtime = rng.BoundedPareto(base, std::max(p.tail_max, base * 2.0), p.tail_alpha);
+  } else {
+    job.runtime = rng.LogNormal(p.log_mu, p.log_sigma);
+  }
+  job.runtime = std::clamp(job.runtime, 1.0, 250000.0);
+  const double lt = rng.Uniform(std::log(static_cast<double>(p.min_tasks)),
+                                std::log(static_cast<double>(p.max_tasks) + 1.0));
+  job.num_tasks = std::max(1, static_cast<int>(std::exp(lt)));
+  job.num_tasks = std::min(job.num_tasks, p.max_tasks);
+  return job;
+}
+
+}  // namespace
+
+JobFeatures MakeJobFeatures(const TraceJob& job) {
+  JobFeatures features;
+  features.push_back("user=" + job.user);
+  features.push_back("jobname=" + job.jobname);
+  features.push_back("user+jobname=" + job.user + "|" + job.jobname);
+  // Bucketed resource request, the paper's "resources requested" feature.
+  int bucket = 1;
+  while (bucket < job.num_tasks) {
+    bucket *= 2;
+  }
+  features.push_back("tasks=" + std::to_string(bucket));
+  return features;
+}
+
+std::vector<JobSpec> ShapeTraceJobs(const std::vector<TimedTraceJob>& records,
+                                    const ClusterConfig& cluster,
+                                    const WorkloadOptions& options) {
+  // Independent stream: shaping must not perturb trace generation and must
+  // be reproducible for loaded traces.
+  Rng rng(options.seed ^ 0x53484150454a4f42ULL);  // "SHAPEJOB"
+  const int num_groups = cluster.num_groups();
+  const int preferred_count = std::clamp(
+      static_cast<int>(std::round(num_groups * options.preferred_group_fraction)), 1,
+      num_groups);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const TraceJob& tj = records[i].job;
+    JobSpec spec;
+    spec.id = static_cast<JobId>(i + 1);
+    spec.user = tj.user;
+    spec.name = tj.jobname;
+    spec.submit_time = records[i].submit;
+    spec.true_runtime = tj.runtime;
+    spec.num_tasks = tj.num_tasks;
+    spec.features = MakeJobFeatures(tj);
+    spec.nonpreferred_slowdown = options.nonpreferred_slowdown;
+    if (rng.Bernoulli(options.slo_fraction)) {
+      spec.type = JobType::kSlo;
+      const double slack = options.deadline_slacks[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(options.deadline_slacks.size()) - 1))];
+      spec.deadline = spec.submit_time + spec.true_runtime * (1.0 + slack / 100.0);
+      spec.utility = UtilityFunction::SloStep(options.slo_utility_per_task * spec.num_tasks,
+                                              spec.deadline);
+      // Soft placement constraint: a random `preferred_count` of the groups.
+      std::vector<int> groups(static_cast<size_t>(num_groups));
+      for (int g = 0; g < num_groups; ++g) {
+        groups[static_cast<size_t>(g)] = g;
+      }
+      for (int g = num_groups - 1; g > 0; --g) {
+        std::swap(groups[static_cast<size_t>(g)],
+                  groups[static_cast<size_t>(rng.UniformInt(0, g))]);
+      }
+      groups.resize(static_cast<size_t>(preferred_count));
+      std::sort(groups.begin(), groups.end());
+      spec.preferred_groups = std::move(groups);
+    } else {
+      spec.type = JobType::kBestEffort;
+      spec.utility = UtilityFunction::BestEffortLinear(
+          options.be_utility_per_task * spec.num_tasks, spec.submit_time,
+          options.be_utility_horizon);
+    }
+    jobs.push_back(std::move(spec));
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+  return jobs;
+}
+
+GeneratedWorkload GenerateWorkload(const ClusterConfig& cluster,
+                                   const WorkloadOptions& options) {
+  TS_CHECK_GT(options.duration, 0.0);
+  TS_CHECK_GT(options.load, 0.0);
+  Rng rng(options.seed);
+  Rng env_rng = rng.Fork();
+  const EnvironmentModel model =
+      EnvironmentModel::Make(options.env, cluster.max_group_size(), env_rng.engine()());
+
+  // --- 1+2. Historical sample, clustered on log-runtime. -------------------
+  std::vector<TraceJob> history;
+  std::vector<double> log_runtimes;
+  history.reserve(static_cast<size_t>(options.model_sample_jobs));
+  Rng hist_rng = rng.Fork();
+  for (int i = 0; i < options.model_sample_jobs; ++i) {
+    history.push_back(model.Sample(hist_rng));
+    log_runtimes.push_back(std::log(history.back().runtime));
+  }
+  const KMeansResult clusters =
+      KMeans1D(log_runtimes, static_cast<size_t>(options.num_job_classes));
+
+  // --- 3. Per-class population PMFs. ---------------------------------------
+  std::map<std::pair<std::string, std::string>, int> population_index;
+  for (size_t i = 0; i < model.populations().size(); ++i) {
+    const JobPopulation& p = model.populations()[i];
+    population_index[{p.user, p.jobname}] = static_cast<int>(i);
+  }
+  std::vector<JobClassModel> classes(clusters.centroids.size());
+  for (size_t i = 0; i < history.size(); ++i) {
+    JobClassModel& jc = classes[clusters.assignment[i]];
+    jc.weight += 1.0;
+    const int pop = population_index.at({history[i].user, history[i].jobname});
+    auto it = std::find(jc.population_ids.begin(), jc.population_ids.end(), pop);
+    if (it == jc.population_ids.end()) {
+      jc.population_ids.push_back(pop);
+      jc.population_weights.push_back(1.0);
+    } else {
+      jc.population_weights[it - jc.population_ids.begin()] += 1.0;
+    }
+  }
+  std::vector<double> class_weights;
+  class_weights.reserve(classes.size());
+  for (const JobClassModel& jc : classes) {
+    class_weights.push_back(jc.weight);
+  }
+
+  // Jobs longer than most of the window cannot complete inside the
+  // experiment; filter them as the paper filters over-sized jobs.
+  const double runtime_cap = options.duration * 0.6;
+  Rng job_rng = rng.Fork();
+  const auto emit_trace_job = [&]() {
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      const JobClassModel& jc = classes[job_rng.WeightedIndex(class_weights)];
+      const int pop = jc.population_ids[job_rng.WeightedIndex(jc.population_weights)];
+      TraceJob job = SampleFromPopulation(model.populations()[pop], job_rng);
+      if (job.runtime <= runtime_cap) {
+        return job;
+      }
+    }
+    TraceJob job;  // Degenerate fallback; unreachable in practice.
+    job.user = "fallback";
+    job.jobname = "fallback";
+    job.runtime = runtime_cap * 0.5;
+    return job;
+  };
+
+  // --- 4. Emit jobs until the offered work hits the target. ----------------
+  const double capacity_work = cluster.total_nodes() * options.duration;
+  const double target_work = options.load * capacity_work;
+  std::vector<TraceJob> emitted;
+  double total_work = 0.0;
+  if (options.fixed_job_count > 0) {
+    for (int i = 0; i < options.fixed_job_count; ++i) {
+      emitted.push_back(emit_trace_job());
+      total_work += emitted.back().runtime * emitted.back().num_tasks;
+    }
+    // Scale runtimes so the fixed job count still offers the target load.
+    const double scale = target_work / std::max(total_work, 1.0);
+    total_work = 0.0;
+    for (TraceJob& job : emitted) {
+      job.runtime = std::clamp(job.runtime * scale, 1.0, runtime_cap);
+      total_work += job.runtime * job.num_tasks;
+    }
+  } else {
+    while (total_work < target_work) {
+      emitted.push_back(emit_trace_job());
+      total_work += emitted.back().runtime * emitted.back().num_tasks;
+    }
+  }
+
+  // --- 5. Arrival process: H2 with c_a² = 4, normalized to the window. -----
+  std::vector<double> arrivals;
+  arrivals.reserve(emitted.size());
+  const double mean_gap = options.duration / std::max<size_t>(emitted.size(), 1);
+  double t = 0.0;
+  for (size_t i = 0; i < emitted.size(); ++i) {
+    t += job_rng.HyperExponential(mean_gap, options.arrival_cv2);
+    arrivals.push_back(t);
+  }
+  const double stretch = options.duration / std::max(t, 1e-9);
+  for (double& a : arrivals) {
+    a *= stretch;
+  }
+
+  // --- 6. SLO/BE split, deadlines, preferences, utilities. -----------------
+  std::vector<TimedTraceJob> records;
+  records.reserve(emitted.size());
+  for (size_t i = 0; i < emitted.size(); ++i) {
+    records.push_back(TimedTraceJob{emitted[i], arrivals[i]});
+  }
+  GeneratedWorkload out;
+  out.offered_load = total_work / capacity_work;
+  out.jobs = ShapeTraceJobs(records, cluster, options);
+
+  // --- Pre-training stream (§5 "Estimates"). --------------------------------
+  Rng pre_rng = rng.Fork();
+  std::map<std::string, int> per_population_count;
+  out.pretrain.reserve(static_cast<size_t>(options.pretrain_jobs));
+  int attempts = 0;
+  while (static_cast<int>(out.pretrain.size()) < options.pretrain_jobs &&
+         attempts < options.pretrain_jobs * 20) {
+    ++attempts;
+    const JobClassModel& jc = classes[pre_rng.WeightedIndex(class_weights)];
+    const int pop = jc.population_ids[pre_rng.WeightedIndex(jc.population_weights)];
+    TraceJob tj = SampleFromPopulation(model.populations()[pop], pre_rng);
+    if (tj.runtime > runtime_cap) {
+      continue;
+    }
+    if (options.pretrain_sample_cap > 0) {
+      int& count = per_population_count[tj.user + "|" + tj.jobname];
+      if (count >= options.pretrain_sample_cap) {
+        continue;
+      }
+      ++count;
+    }
+    JobSpec spec;
+    spec.id = -static_cast<JobId>(out.pretrain.size() + 1);
+    spec.user = tj.user;
+    spec.name = tj.jobname;
+    spec.true_runtime = tj.runtime;
+    spec.num_tasks = tj.num_tasks;
+    spec.features = MakeJobFeatures(tj);
+    out.pretrain.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace threesigma

@@ -1,0 +1,94 @@
+// Synthetic workload generation (§5 "Workloads").
+//
+// The pipeline follows the paper's E2E recipe:
+//   1. sample a historical trace from the environment model,
+//   2. k-means-cluster job runtimes into job classes,
+//   3. derive per-class attribute/feature distributions,
+//   4. emit jobs by drawing a class (by empirical mass), then a population
+//      from the class's feature PMF, then runtime/tasks from that population,
+//   5. lay out arrivals as a hyper-exponential process with c_a² = 4,
+//      scaled so the offered load (machine-time / capacity) hits the target,
+//   6. split jobs evenly into SLO (deadline slack drawn from a configured
+//      set; preferred resources = a random 75% of groups; 1.5× slowdown
+//      elsewhere) and latency-sensitive best-effort jobs,
+// plus a pre-training stream for 3σPredict (§5 "Estimates"), optionally
+// capped at n samples per feature for the Fig. 11 sample-size study.
+
+#ifndef SRC_WORKLOAD_GENERATOR_H_
+#define SRC_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/job.h"
+#include "src/workload/trace_model.h"
+
+namespace threesigma {
+
+struct WorkloadOptions {
+  EnvironmentKind env = EnvironmentKind::kGoogle;
+  Duration duration = Hours(5.0);
+  // Offered load: submitted machine-time / cluster space-time (§5).
+  double load = 1.4;
+  // Fraction of jobs that are SLO (the paper uses an even mixture).
+  double slo_fraction = 0.5;
+  // Deadline slack options in percent; each SLO job draws one uniformly.
+  std::vector<double> deadline_slacks = {20.0, 40.0, 60.0, 80.0};
+  // Arrival process burstiness (squared coefficient of variation).
+  double arrival_cv2 = 4.0;
+
+  // Job-class derivation.
+  int num_job_classes = 8;
+  int model_sample_jobs = 4000;
+
+  // Pre-training stream (steady-state predictor state before the run).
+  int pretrain_jobs = 4000;
+  // Fig. 11: cap the number of pre-training samples per population (0 = off).
+  int pretrain_sample_cap = 0;
+
+  // Placement preferences.
+  double preferred_group_fraction = 0.75;
+  double nonpreferred_slowdown = 1.5;
+
+  // Utility magnitudes. SLO value must dominate BE value so the MILP ranks
+  // deadlines above best-effort latency the way production schedulers do.
+  double slo_utility_per_task = 50.0;
+  double be_utility_per_task = 1.0;
+  Duration be_utility_horizon = Hours(2.0);
+
+  // When > 0, emit exactly this many jobs and scale runtimes to hit `load`
+  // (the Fig. 12 SCALABILITY-n workloads fix jobs/hour instead of work).
+  int fixed_job_count = 0;
+
+  uint64_t seed = 42;
+};
+
+struct GeneratedWorkload {
+  std::vector<JobSpec> jobs;      // The experiment window, by submit time.
+  std::vector<JobSpec> pretrain;  // Completed history for predictor warm-up.
+  double offered_load = 0.0;      // Achieved machine-time / capacity.
+};
+
+GeneratedWorkload GenerateWorkload(const ClusterConfig& cluster, const WorkloadOptions& options);
+
+// A raw trace record with its absolute submission time.
+struct TimedTraceJob {
+  TraceJob job;
+  Time submit = 0.0;
+};
+
+// Turns raw trace records into scheduler-ready jobs using the §5 recipe:
+// SLO/BE split, deadline slack, preferred groups, slowdown, utilities,
+// features. Shared by the synthetic generator and the trace loaders
+// (workload/trace_io.h), so replayed real traces get the identical shaping.
+std::vector<JobSpec> ShapeTraceJobs(const std::vector<TimedTraceJob>& records,
+                                    const ClusterConfig& cluster,
+                                    const WorkloadOptions& options);
+
+// Feature extraction shared by the generator and the Fig. 2 analyses.
+JobFeatures MakeJobFeatures(const TraceJob& job);
+
+}  // namespace threesigma
+
+#endif  // SRC_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,85 @@
+#include "src/workload/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace threesigma {
+
+KMeansResult KMeans1D(const std::vector<double>& values, size_t k, int max_iterations) {
+  TS_CHECK(!values.empty());
+  TS_CHECK_GE(k, 1u);
+  KMeansResult result;
+
+  // Quantile initialization: spreads centroids across the data range and is
+  // deterministic.
+  std::vector<double> centroids;
+  for (size_t i = 0; i < k; ++i) {
+    const double q = (static_cast<double>(i) + 0.5) / static_cast<double>(k);
+    centroids.push_back(Quantile(values, q));
+  }
+  std::sort(centroids.begin(), centroids.end());
+  centroids.erase(std::unique(centroids.begin(), centroids.end()), centroids.end());
+
+  std::vector<int> assignment(values.size(), 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    ++result.iterations;
+    // Assign: nearest centroid (centroids sorted, but linear scan is fine for
+    // small k).
+    bool changed = false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < centroids.size(); ++c) {
+        const double dist = std::fabs(values[i] - centroids[c]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<int>(c);
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) {
+      break;
+    }
+    // Update: centroid = mean of members; empty clusters are dropped below.
+    std::vector<double> sums(centroids.size(), 0.0);
+    std::vector<size_t> counts(centroids.size(), 0);
+    for (size_t i = 0; i < values.size(); ++i) {
+      sums[assignment[i]] += values[i];
+      ++counts[assignment[i]];
+    }
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      if (counts[c] > 0) {
+        centroids[c] = sums[c] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  // Drop empty clusters and compact the assignment indices.
+  std::vector<size_t> counts(centroids.size(), 0);
+  for (int a : assignment) {
+    ++counts[a];
+  }
+  std::vector<int> remap(centroids.size(), -1);
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    if (counts[c] > 0) {
+      remap[c] = static_cast<int>(result.centroids.size());
+      result.centroids.push_back(centroids[c]);
+    }
+  }
+  result.assignment.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    result.assignment[i] = remap[assignment[i]];
+    TS_CHECK_GE(result.assignment[i], 0);
+  }
+  return result;
+}
+
+}  // namespace threesigma

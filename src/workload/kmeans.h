@@ -1,0 +1,27 @@
+// 1-D k-means (Lloyd's algorithm) used to derive job classes from runtimes,
+// mirroring §5: "The remaining jobs — clustered using k-means clustering on
+// their runtimes. We derive parameters for the distributions of the job
+// attributes ... in each job class."
+
+#ifndef SRC_WORKLOAD_KMEANS_H_
+#define SRC_WORKLOAD_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace threesigma {
+
+struct KMeansResult {
+  std::vector<double> centroids;   // Sorted ascending; size <= k.
+  std::vector<int> assignment;     // Per input point, index into centroids.
+  int iterations = 0;
+};
+
+// Clusters `values` into at most `k` clusters. Initialization is
+// deterministic (evenly spaced quantiles), so identical inputs give identical
+// clusters. Empty clusters are dropped.
+KMeansResult KMeans1D(const std::vector<double>& values, size_t k, int max_iterations = 100);
+
+}  // namespace threesigma
+
+#endif  // SRC_WORKLOAD_KMEANS_H_

@@ -1,0 +1,127 @@
+#include "src/workload/trace_io.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace threesigma {
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) {
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+double ParseDouble(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  TS_CHECK_MSG(end != s.c_str(), "unparseable " << what << ": '" << s << "'");
+  return v;
+}
+
+}  // namespace
+
+void WriteTraceCsv(std::ostream& os, const std::vector<TimedTraceJob>& records) {
+  os << "submit,user,jobname,runtime,tasks\n";
+  for (const TimedTraceJob& r : records) {
+    TS_CHECK_MSG(r.job.user.find(',') == std::string::npos &&
+                     r.job.jobname.find(',') == std::string::npos,
+                 "commas in identifiers are not supported");
+    os << r.submit << "," << r.job.user << "," << r.job.jobname << "," << r.job.runtime
+       << "," << r.job.num_tasks << "\n";
+  }
+}
+
+std::vector<TimedTraceJob> ReadTraceCsv(std::istream& is) {
+  std::vector<TimedTraceJob> records;
+  std::string line;
+  bool first = true;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    if (first) {
+      first = false;
+      if (line.rfind("submit,", 0) == 0) {
+        continue;  // Header.
+      }
+    }
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    TS_CHECK_MSG(cells.size() == 5, "line " << line_no << ": expected 5 cells, got "
+                                            << cells.size());
+    TimedTraceJob r;
+    r.submit = ParseDouble(cells[0], "submit");
+    r.job.user = cells[1];
+    r.job.jobname = cells[2];
+    r.job.runtime = ParseDouble(cells[3], "runtime");
+    r.job.num_tasks = static_cast<int>(ParseDouble(cells[4], "tasks"));
+    TS_CHECK_MSG(r.job.runtime > 0.0, "line " << line_no << ": non-positive runtime");
+    TS_CHECK_MSG(r.job.num_tasks > 0, "line " << line_no << ": non-positive tasks");
+    records.push_back(std::move(r));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const TimedTraceJob& a, const TimedTraceJob& b) { return a.submit < b.submit; });
+  return records;
+}
+
+std::vector<TimedTraceJob> ReadSwf(std::istream& is, const SwfReadOptions& options) {
+  // SWF fields (1-based): 1 job#, 2 submit, 3 wait, 4 runtime, 5 allocated
+  // procs, 6 avg cpu, 7 used mem, 8 requested procs, 9 requested time,
+  // 10 requested mem, 11 status, 12 user id, 13 group id, 14 executable id,
+  // 15 queue, 16 partition, 17 preceding job, 18 think time.
+  std::vector<TimedTraceJob> records;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == ';') {
+      continue;  // Comment / header directive.
+    }
+    std::istringstream ss(line);
+    double field[18];
+    int got = 0;
+    while (got < 18 && (ss >> field[got])) {
+      ++got;
+    }
+    if (got < 14) {
+      continue;  // Short or malformed row; SWF tooling conventionally skips.
+    }
+    const double submit = field[1];
+    const double runtime = field[3];
+    const double procs = field[4] > 0 ? field[4] : field[7];  // Fall back to requested.
+    const int user_id = static_cast<int>(field[11]);
+    const int exe_id = static_cast<int>(field[13]);
+    if (runtime <= 0.0 || procs <= 0.0) {
+      continue;
+    }
+    if (options.max_tasks > 0 && procs > options.max_tasks) {
+      continue;
+    }
+    TimedTraceJob r;
+    r.submit = submit;
+    r.job.runtime = runtime;
+    r.job.num_tasks = static_cast<int>(procs);
+    r.job.user = "user" + std::to_string(user_id);
+    r.job.jobname = "exe" + std::to_string(exe_id);
+    records.push_back(std::move(r));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const TimedTraceJob& a, const TimedTraceJob& b) { return a.submit < b.submit; });
+  if (options.rebase_submit_times && !records.empty()) {
+    const double base = records.front().submit;
+    for (TimedTraceJob& r : records) {
+      r.submit -= base;
+    }
+  }
+  return records;
+}
+
+}  // namespace threesigma

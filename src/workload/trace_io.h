@@ -1,0 +1,52 @@
+// Trace import/export.
+//
+// Two formats:
+//   - Native CSV: `submit,user,jobname,runtime,tasks` — the minimal record
+//     the workload pipeline needs. Round-trips through Write/ReadTraceCsv.
+//   - SWF (Standard Workload Format): the de-facto HPC archive format the
+//     Mustang-class traces are distributed in — `;`-prefixed comment header,
+//     then 18 whitespace-separated fields per job. We consume the fields the
+//     pipeline needs (submit time, run time, allocated processors, user id,
+//     executable id) and ignore the rest.
+//
+// Loaded records run through the same ShapeTraceJobs pipeline as synthetic
+// workloads (SLO/BE split, deadlines, preferences, utilities), so a real
+// trace replay exercises the identical scheduler path.
+
+#ifndef SRC_WORKLOAD_TRACE_IO_H_
+#define SRC_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/workload/generator.h"
+
+namespace threesigma {
+
+// --- Native CSV -------------------------------------------------------------
+
+// Writes `submit,user,jobname,runtime,tasks` rows (with header).
+void WriteTraceCsv(std::ostream& os, const std::vector<TimedTraceJob>& records);
+// Parses rows written by WriteTraceCsv. Throws via TS_CHECK on malformed
+// input; returns records sorted by submit time.
+std::vector<TimedTraceJob> ReadTraceCsv(std::istream& is);
+
+// --- SWF --------------------------------------------------------------------
+
+struct SwfReadOptions {
+  // Jobs wider than this many processors are dropped (the paper filters jobs
+  // larger than the evaluation cluster); <= 0 keeps everything.
+  int max_tasks = 0;
+  // Jobs with non-positive runtime or processors are always dropped.
+  // Relative submit times are rebased so the first kept job arrives at 0.
+  bool rebase_submit_times = true;
+};
+
+// Parses a Standard Workload Format stream into trace records. User and
+// executable ids become the "user<N>"/"exe<N>" feature strings.
+std::vector<TimedTraceJob> ReadSwf(std::istream& is, const SwfReadOptions& options = {});
+
+}  // namespace threesigma
+
+#endif  // SRC_WORKLOAD_TRACE_IO_H_

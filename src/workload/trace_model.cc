@@ -1,0 +1,153 @@
+#include "src/workload/trace_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace threesigma {
+
+const char* EnvironmentName(EnvironmentKind kind) {
+  switch (kind) {
+    case EnvironmentKind::kGoogle:
+      return "Google";
+    case EnvironmentKind::kHedgeFund:
+      return "HedgeFund";
+    case EnvironmentKind::kMustang:
+      return "Mustang";
+  }
+  return "unknown";
+}
+
+EnvironmentModel::EnvironmentModel(EnvironmentKind kind, std::vector<JobPopulation> populations)
+    : kind_(kind), populations_(std::move(populations)) {
+  TS_CHECK(!populations_.empty());
+  weights_.reserve(populations_.size());
+  for (const JobPopulation& p : populations_) {
+    weights_.push_back(p.weight);
+  }
+}
+
+EnvironmentModel EnvironmentModel::Make(EnvironmentKind kind, int max_tasks, uint64_t seed) {
+  TS_CHECK_GE(max_tasks, 1);
+  Rng rng(seed);
+  std::vector<JobPopulation> pops;
+
+  const auto log_uniform_tasks = [&](double lo_frac, double hi_frac) {
+    const int lo = std::max(1, static_cast<int>(max_tasks * lo_frac));
+    const int hi = std::max(lo, static_cast<int>(max_tasks * hi_frac));
+    return std::pair<int, int>(lo, hi);
+  };
+
+  switch (kind) {
+    case EnvironmentKind::kGoogle: {
+      // ~100 populations across ~50 users; runtimes span seconds to hours
+      // with a heavy tail; moderate per-population variability; production
+      // populations skew tight, exploratory ones wide.
+      const int num_users = 50;
+      for (int u = 0; u < num_users; ++u) {
+        const int names = static_cast<int>(rng.UniformInt(1, 3));
+        for (int n = 0; n < names; ++n) {
+          JobPopulation p;
+          p.user = "guser" + std::to_string(u);
+          p.jobname = "gjob" + std::to_string(u) + "_" + std::to_string(n);
+          p.weight = rng.BoundedPareto(1.0, 50.0, 1.2);  // A few hot users.
+          p.log_mu = rng.Uniform(std::log(30.0), std::log(8000.0));
+          p.log_sigma = rng.Bernoulli(0.75) ? rng.Uniform(0.05, 0.4) : rng.Uniform(0.4, 1.0);
+          if (rng.Bernoulli(0.08)) {
+            p.tail_prob = rng.Uniform(0.02, 0.06);
+            p.tail_alpha = 1.2;
+            p.tail_max = 100000.0;
+          }
+          const auto [lo, hi] = log_uniform_tasks(0.01, rng.Bernoulli(0.2) ? 1.0 : 0.3);
+          p.min_tasks = lo;
+          p.max_tasks = hi;
+          pops.push_back(std::move(p));
+        }
+      }
+      break;
+    }
+    case EnvironmentKind::kHedgeFund: {
+      // Exploratory financial analytics: widest variability, both tails fat,
+      // shorter runtimes, no long-running services.
+      const int num_users = 40;
+      for (int u = 0; u < num_users; ++u) {
+        const int names = static_cast<int>(rng.UniformInt(1, 4));
+        for (int n = 0; n < names; ++n) {
+          JobPopulation p;
+          p.user = "quant" + std::to_string(u);
+          p.jobname = "strat" + std::to_string(u) + "_" + std::to_string(n);
+          p.weight = rng.BoundedPareto(1.0, 30.0, 1.1);
+          p.log_mu = rng.Uniform(std::log(20.0), std::log(3000.0));
+          // High CoV mass (Fig. 2b), but a third of the populations are
+          // recurring production strategies with tamer variability.
+          p.log_sigma =
+              rng.Bernoulli(0.35) ? rng.Uniform(0.08, 0.3) : rng.Uniform(0.3, 1.1);
+          if (rng.Bernoulli(0.2)) {
+            p.tail_prob = rng.Uniform(0.04, 0.1);
+            p.tail_alpha = 1.1;
+            p.tail_max = 50000.0;
+          }
+          const auto [lo, hi] = log_uniform_tasks(0.01, 0.2);
+          p.min_tasks = lo;
+          p.max_tasks = hi;
+          pops.push_back(std::move(p));
+        }
+      }
+      break;
+    }
+    case EnvironmentKind::kMustang: {
+      // HPC capacity cluster: a big mass of extremely repetitive campaigns
+      // (near-perfect estimates) plus wide development/test populations;
+      // whole-machine allocations; long runtimes.
+      const int num_users = 45;
+      for (int u = 0; u < num_users; ++u) {
+        const int names = static_cast<int>(rng.UniformInt(1, 2));
+        for (int n = 0; n < names; ++n) {
+          JobPopulation p;
+          p.user = "sci" + std::to_string(u);
+          p.jobname = "campaign" + std::to_string(u) + "_" + std::to_string(n);
+          p.weight = rng.BoundedPareto(1.0, 40.0, 1.3);
+          p.log_mu = rng.Uniform(std::log(300.0), std::log(40000.0));
+          if (rng.Bernoulli(0.55)) {
+            p.log_sigma = rng.Uniform(0.01, 0.08);  // Repetitive campaigns.
+          } else {
+            p.log_sigma = rng.Uniform(0.8, 2.5);    // Dev/test churn.
+            p.tail_prob = rng.Uniform(0.05, 0.2);
+            p.tail_alpha = 0.9;
+            p.tail_max = 200000.0;
+          }
+          const auto [lo, hi] = log_uniform_tasks(0.05, 1.0);
+          p.min_tasks = lo;
+          p.max_tasks = hi;
+          pops.push_back(std::move(p));
+        }
+      }
+      break;
+    }
+  }
+  return EnvironmentModel(kind, std::move(pops));
+}
+
+TraceJob EnvironmentModel::Sample(Rng& rng) const {
+  const JobPopulation& p = populations_[rng.WeightedIndex(weights_)];
+  TraceJob job;
+  job.user = p.user;
+  job.jobname = p.jobname;
+  if (p.tail_prob > 0.0 && rng.Bernoulli(p.tail_prob)) {
+    // Straggler: a bounded-Pareto excursion above the population's median.
+    const double base = std::exp(p.log_mu);
+    job.runtime = rng.BoundedPareto(base, std::max(p.tail_max, base * 2.0), p.tail_alpha);
+  } else {
+    job.runtime = rng.LogNormal(p.log_mu, p.log_sigma);
+  }
+  job.runtime = std::clamp(job.runtime, 1.0, 250000.0);
+  // Log-uniform task count within the population's range.
+  const double lt = rng.Uniform(std::log(static_cast<double>(p.min_tasks)),
+                                std::log(static_cast<double>(p.max_tasks) + 1.0));
+  job.num_tasks = std::max(1, static_cast<int>(std::exp(lt)));
+  job.num_tasks = std::min(job.num_tasks, p.max_tasks);
+  return job;
+}
+
+}  // namespace threesigma

@@ -1,0 +1,85 @@
+// Statistical models of the paper's three trace environments (§2.1, §5).
+//
+// We do not have the proprietary traces, so each environment is a generative
+// model of *job populations* — recurring (user, job-name) activities with
+// their own runtime behavior — fit to the published characteristics:
+//
+//   Google     — heavy-tailed runtimes (seconds to hours), moderate per-user
+//                variability (Fig. 2b puts most user CoVs below ~1), small
+//                estimate-error tails (8% ≥ 2× error).
+//   HedgeFund  — exploratory financial analytics: widest per-population
+//                variability, fewest highly-accurate estimates, fat error
+//                tails on both sides.
+//   Mustang    — HPC capacity cluster: a large mass of extremely repetitive
+//                jobs (near-exact estimates) *plus* wide development/test
+//                populations (≥23% of errors beyond +95%), whole-machine
+//                allocations and long runtimes.
+//
+// The Fig. 2 analysis bench (bench/fig02_trace_analysis) regenerates the
+// paper's runtime CDF / CoV / estimate-error plots from these models, which
+// is how the substitution is validated.
+
+#ifndef SRC_WORKLOAD_TRACE_MODEL_H_
+#define SRC_WORKLOAD_TRACE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace threesigma {
+
+enum class EnvironmentKind {
+  kGoogle,
+  kHedgeFund,
+  kMustang,
+};
+
+const char* EnvironmentName(EnvironmentKind kind);
+
+// One sampled historical job.
+struct TraceJob {
+  std::string user;
+  std::string jobname;
+  double runtime = 0.0;  // Seconds.
+  int num_tasks = 1;
+};
+
+// A recurring activity: the latent unit of predictability.
+struct JobPopulation {
+  std::string user;
+  std::string jobname;
+  double weight = 1.0;       // Relative submission rate.
+  double log_mu = 0.0;       // Runtime ~ LogNormal(log_mu, log_sigma)...
+  double log_sigma = 0.5;    // ...population variability.
+  double tail_prob = 0.0;    // ...mixed with a bounded-Pareto straggler tail.
+  double tail_alpha = 1.0;
+  double tail_max = 0.0;
+  int min_tasks = 1;
+  int max_tasks = 1;         // Tasks ~ log-uniform in [min, max].
+};
+
+class EnvironmentModel {
+ public:
+  EnvironmentModel(EnvironmentKind kind, std::vector<JobPopulation> populations);
+
+  // Builds the environment's population set. `max_tasks` caps gang width at
+  // the placement-group capacity (the paper filters jobs larger than the
+  // cluster; we filter at group size — see DESIGN.md).
+  static EnvironmentModel Make(EnvironmentKind kind, int max_tasks, uint64_t seed);
+
+  // Samples one job.
+  TraceJob Sample(Rng& rng) const;
+
+  EnvironmentKind kind() const { return kind_; }
+  const std::vector<JobPopulation>& populations() const { return populations_; }
+
+ private:
+  EnvironmentKind kind_;
+  std::vector<JobPopulation> populations_;
+  std::vector<double> weights_;
+};
+
+}  // namespace threesigma
+
+#endif  // SRC_WORKLOAD_TRACE_MODEL_H_

@@ -1,0 +1,99 @@
+// Tests for the cluster/job/utility model.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/job.h"
+#include "src/cluster/utility.h"
+
+namespace threesigma {
+namespace {
+
+TEST(ClusterConfigTest, UniformConstruction) {
+  const ClusterConfig c = ClusterConfig::Uniform(4, 64);
+  EXPECT_EQ(c.num_groups(), 4);
+  EXPECT_EQ(c.total_nodes(), 256);
+  EXPECT_EQ(c.max_group_size(), 64);
+  EXPECT_EQ(c.group(2).id, 2);
+  EXPECT_EQ(c.group(2).node_count, 64);
+}
+
+TEST(ClusterConfigTest, HeterogeneousGroups) {
+  const ClusterConfig c({{0, "small", 16}, {1, "big", 100}});
+  EXPECT_EQ(c.total_nodes(), 116);
+  EXPECT_EQ(c.max_group_size(), 100);
+}
+
+TEST(JobSpecTest, PreferenceAndMultiplier) {
+  JobSpec spec;
+  spec.preferred_groups = {0, 2};
+  spec.nonpreferred_slowdown = 1.5;
+  spec.true_runtime = 100.0;
+  EXPECT_TRUE(spec.PrefersGroup(0));
+  EXPECT_FALSE(spec.PrefersGroup(1));
+  EXPECT_DOUBLE_EQ(spec.RuntimeMultiplier(0), 1.0);
+  EXPECT_DOUBLE_EQ(spec.RuntimeMultiplier(1), 1.5);
+  EXPECT_DOUBLE_EQ(spec.TrueRuntimeOn(1), 150.0);
+}
+
+TEST(JobSpecTest, EmptyPreferenceMeansIndifferent) {
+  JobSpec spec;
+  spec.true_runtime = 60.0;
+  EXPECT_TRUE(spec.PrefersGroup(3));
+  EXPECT_DOUBLE_EQ(spec.RuntimeMultiplier(3), 1.0);
+}
+
+TEST(JobSpecTest, DeadlineSlackDefinition) {
+  JobSpec spec;
+  spec.submit_time = 100.0;
+  spec.true_runtime = 200.0;
+  spec.deadline = 100.0 + 200.0 * 1.6;  // 60% slack.
+  EXPECT_NEAR(spec.DeadlineSlackPercent(), 60.0, 1e-9);
+}
+
+TEST(UtilityFunctionTest, SloStepCliff) {
+  const auto u = UtilityFunction::SloStep(10.0, 100.0);
+  EXPECT_DOUBLE_EQ(u.ValueAtCompletion(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(u.ValueAtCompletion(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(u.ValueAtCompletion(100.01), 0.0);
+  EXPECT_TRUE(u.is_step());
+  EXPECT_FALSE(u.has_decay_extension());
+}
+
+TEST(UtilityFunctionTest, DecayExtensionGracefullyDegrades) {
+  // Fig. 3d: full value at the deadline, linear decay to zero over the
+  // window, lower than an on-time completion but nonzero.
+  const auto u = UtilityFunction::SloStepWithDecay(10.0, 100.0, 50.0);
+  EXPECT_DOUBLE_EQ(u.ValueAtCompletion(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(u.ValueAtCompletion(125.0), 5.0);
+  EXPECT_DOUBLE_EQ(u.ValueAtCompletion(150.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.ValueAtCompletion(200.0), 0.0);
+  EXPECT_TRUE(u.has_decay_extension());
+}
+
+TEST(UtilityFunctionTest, WithOverestimateDecayTransformsStepOnly) {
+  const auto step = UtilityFunction::SloStep(10.0, 100.0);
+  const auto extended = step.WithOverestimateDecay(50.0);
+  EXPECT_TRUE(extended.has_decay_extension());
+  EXPECT_DOUBLE_EQ(extended.ValueAtCompletion(125.0), 5.0);
+  // Idempotent on already-extended and no-op on linear.
+  EXPECT_TRUE(extended.WithOverestimateDecay(10.0).has_decay_extension());
+  const auto be = UtilityFunction::BestEffortLinear(1.0, 0.0, 100.0);
+  EXPECT_FALSE(be.WithOverestimateDecay(10.0).is_step());
+}
+
+TEST(UtilityFunctionTest, BestEffortPrefersEarlyCompletion) {
+  const auto u = UtilityFunction::BestEffortLinear(8.0, 50.0, 100.0);
+  EXPECT_DOUBLE_EQ(u.ValueAtCompletion(50.0), 8.0);
+  EXPECT_GT(u.ValueAtCompletion(75.0), u.ValueAtCompletion(100.0));
+  // Floor keeps ancient BE jobs schedulable.
+  EXPECT_GT(u.ValueAtCompletion(1e6), 0.0);
+}
+
+TEST(UtilityFunctionTest, PeakValueExposed) {
+  EXPECT_DOUBLE_EQ(UtilityFunction::SloStep(7.0, 10.0).peak_value(), 7.0);
+  EXPECT_DOUBLE_EQ(UtilityFunction::BestEffortLinear(3.0, 0.0, 10.0).peak_value(), 3.0);
+}
+
+}  // namespace
+}  // namespace threesigma

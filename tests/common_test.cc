@@ -1,0 +1,289 @@
+// Unit and property tests for src/common.
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/common/env.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace threesigma {
+namespace {
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Seconds(90.0), 90.0);
+  EXPECT_DOUBLE_EQ(Minutes(2.0), 120.0);
+  EXPECT_DOUBLE_EQ(Hours(1.5), 5400.0);
+  EXPECT_DOUBLE_EQ(MachineHours(10.0, Hours(2.0)), 20.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchMoments) {
+  RunningStats rs;
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  for (double x : xs) {
+    rs.Add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) {
+    mean += x;
+  }
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) {
+    var += (x - mean) * (x - mean);
+  }
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(rs.mean(), mean, 1e-12);
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_EQ(rs.count(), xs.size());
+}
+
+TEST(RunningStatsTest, CovOfConstantIsZero) {
+  RunningStats rs;
+  for (int i = 0; i < 10; ++i) {
+    rs.Add(7.0);
+  }
+  EXPECT_DOUBLE_EQ(rs.cov(), 0.0);
+}
+
+TEST(RunningStatsTest, EmptyIsSafe) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.cov(), 0.0);
+}
+
+TEST(EwmaTest, FirstSampleSeeds) {
+  EwmaEstimator e(0.6);
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, DecaysTowardRecent) {
+  EwmaEstimator e(0.6);
+  e.Add(10.0);
+  e.Add(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.6 * 20.0 + 0.4 * 10.0);
+  // Feeding a constant long enough converges to it.
+  for (int i = 0; i < 50; ++i) {
+    e.Add(5.0);
+  }
+  EXPECT_NEAR(e.value(), 5.0, 1e-6);
+}
+
+TEST(RecentWindowTest, EvictsOldest) {
+  RecentWindow w(3);
+  w.Add(1.0);
+  w.Add(2.0);
+  w.Add(3.0);
+  EXPECT_DOUBLE_EQ(w.Mean(), 2.0);
+  w.Add(10.0);  // Evicts 1.0.
+  EXPECT_DOUBLE_EQ(w.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.Median(), 3.0);
+}
+
+TEST(RecentWindowTest, MedianEvenCount) {
+  RecentWindow w(4);
+  w.Add(1.0);
+  w.Add(2.0);
+  w.Add(3.0);
+  w.Add(4.0);
+  EXPECT_DOUBLE_EQ(w.Median(), 2.5);
+}
+
+TEST(QuantileTest, Interpolates) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 25.0);
+}
+
+TEST(NmaeTest, PerfectEstimatesScoreZero) {
+  EXPECT_DOUBLE_EQ(Nmae({5.0, 10.0}, {5.0, 10.0}), 0.0);
+}
+
+TEST(NmaeTest, MatchesDefinition) {
+  // |4-5| + |12-10| = 3; actual sum = 15.
+  EXPECT_NEAR(Nmae({4.0, 12.0}, {5.0, 10.0}), 3.0 / 15.0, 1e-12);
+}
+
+TEST(EstimateErrorHistogramTest, BucketsAndTail) {
+  // errors: 0%, +100% (tail), -50%.
+  const std::vector<double> actual = {10.0, 10.0, 10.0};
+  const std::vector<double> est = {10.0, 20.0, 5.0};
+  const EstimateErrorHistogram h = BuildEstimateErrorHistogram(est, actual);
+  ASSERT_EQ(h.centers.size(), 21u);
+  double total = 0.0;
+  for (double f : h.fractions) {
+    total += f;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // 0% error goes to the center bucket (index of decile 0 = 10).
+  EXPECT_NEAR(h.fractions[10], 1.0 / 3.0, 1e-12);
+  // +100% goes to the tail bucket.
+  EXPECT_NEAR(h.fractions.back(), 1.0 / 3.0, 1e-12);
+  // -50% goes to the -50 bucket (index 5).
+  EXPECT_NEAR(h.fractions[5], 1.0 / 3.0, 1e-12);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0.0, 1.0), b.Uniform(0.0, 1.0));
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(11);
+  RunningStats rs;
+  for (int i = 0; i < 200000; ++i) {
+    rs.Add(rng.Exponential(4.0));
+  }
+  EXPECT_NEAR(rs.mean(), 4.0, 0.1);
+}
+
+TEST(RngTest, HyperExponentialMatchesMeanAndCv2) {
+  Rng rng(13);
+  RunningStats rs;
+  const double mean = 10.0;
+  const double cv2 = 4.0;  // The paper's arrival process uses c_a^2 = 4.
+  for (int i = 0; i < 400000; ++i) {
+    rs.Add(rng.HyperExponential(mean, cv2));
+  }
+  EXPECT_NEAR(rs.mean(), mean, 0.25);
+  const double measured_cv2 = rs.variance() / (rs.mean() * rs.mean());
+  EXPECT_NEAR(measured_cv2, cv2, 0.4);
+}
+
+TEST(RngTest, HyperExponentialCv2OneIsExponential) {
+  Rng rng(17);
+  RunningStats rs;
+  for (int i = 0; i < 200000; ++i) {
+    rs.Add(rng.HyperExponential(5.0, 1.0));
+  }
+  const double measured_cv2 = rs.variance() / (rs.mean() * rs.mean());
+  EXPECT_NEAR(measured_cv2, 1.0, 0.15);
+}
+
+TEST(RngTest, BoundedParetoStaysInRange) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.BoundedPareto(1.0, 1000.0, 1.1);
+    EXPECT_GE(x, 1.0 - 1e-9);
+    EXPECT_LE(x, 1000.0 + 1e-9);
+  }
+}
+
+TEST(RngTest, BoundedParetoIsHeavyTailed) {
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    xs.push_back(rng.BoundedPareto(1.0, 10000.0, 0.9));
+  }
+  // Heavy tail: mean far above median.
+  const double median = Quantile(xs, 0.5);
+  EXPECT_GT(Mean(xs), 3.0 * median);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(29);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.WeightedIndex({1.0, 2.0, 7.0})];
+  }
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.7, 0.02);
+}
+
+TEST(RngTest, WeightedIndexSkipsZeroWeight) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.WeightedIndex({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(RngTest, ForkProducesDecorrelatedStreams) {
+  Rng parent(1);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  // Different forks disagree almost surely on the first draw.
+  EXPECT_NE(child1.Uniform(0.0, 1.0), child2.Uniform(0.0, 1.0));
+}
+
+TEST(EnvTest, ReadsAndFallsBack) {
+  ::setenv("TS_TEST_STRING", "hello", 1);
+  ::setenv("TS_TEST_INT", "123", 1);
+  ::setenv("TS_TEST_DOUBLE", "2.5", 1);
+  EXPECT_EQ(GetEnvString("TS_TEST_STRING", "x"), "hello");
+  EXPECT_EQ(GetEnvInt("TS_TEST_INT", 0), 123);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("TS_TEST_DOUBLE", 0.0), 2.5);
+  EXPECT_EQ(GetEnvString("TS_TEST_UNSET_12345", "fallback"), "fallback");
+  EXPECT_EQ(GetEnvInt("TS_TEST_UNSET_12345", -7), -7);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("TS_TEST_UNSET_12345", 1.5), 1.5);
+  // Unparseable values fall back too.
+  ::setenv("TS_TEST_INT", "zzz", 1);
+  EXPECT_EQ(GetEnvInt("TS_TEST_INT", 9), 9);
+  ::unsetenv("TS_TEST_STRING");
+  ::unsetenv("TS_TEST_INT");
+  ::unsetenv("TS_TEST_DOUBLE");
+}
+
+TEST(EnvTest, BenchScaleModes) {
+  ::setenv("THREESIGMA_BENCH_SCALE", "quick", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 0.25);
+  ::setenv("THREESIGMA_BENCH_SCALE", "full", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 4.0);
+  ::setenv("THREESIGMA_BENCH_SCALE", "default", 1);
+  EXPECT_DOUBLE_EQ(BenchScale(), 1.0);
+  ::unsetenv("THREESIGMA_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScale(), 1.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, CsvRoundtrip) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace threesigma

@@ -1,0 +1,122 @@
+// FlagParser tests.
+
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+
+namespace threesigma {
+namespace {
+
+struct TestFlags {
+  std::string name = "default";
+  int64_t count = 7;
+  double ratio = 0.5;
+  bool verbose = false;
+  bool feature = true;
+};
+
+FlagParser MakeParser(TestFlags* f) {
+  FlagParser parser("test program");
+  parser.AddString("name", &f->name, "a name")
+      .AddInt("count", &f->count, "a count")
+      .AddDouble("ratio", &f->ratio, "a ratio")
+      .AddBool("verbose", &f->verbose, "verbosity")
+      .AddBool("feature", &f->feature, "a feature");
+  return parser;
+}
+
+bool ParseArgs(FlagParser& parser, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return parser.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  ASSERT_TRUE(ParseArgs(p, {"--name=alice", "--count=42", "--ratio=1.25"}));
+  EXPECT_EQ(f.name, "alice");
+  EXPECT_EQ(f.count, 42);
+  EXPECT_DOUBLE_EQ(f.ratio, 1.25);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  ASSERT_TRUE(ParseArgs(p, {"--name", "bob", "--count", "-3"}));
+  EXPECT_EQ(f.name, "bob");
+  EXPECT_EQ(f.count, -3);
+}
+
+TEST(FlagParserTest, BoolForms) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  ASSERT_TRUE(ParseArgs(p, {"--verbose", "--no-feature"}));
+  EXPECT_TRUE(f.verbose);
+  EXPECT_FALSE(f.feature);
+}
+
+TEST(FlagParserTest, BoolExplicitValue) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  ASSERT_TRUE(ParseArgs(p, {"--verbose=true", "--feature=false"}));
+  EXPECT_TRUE(f.verbose);
+  EXPECT_FALSE(f.feature);
+}
+
+TEST(FlagParserTest, UnknownFlagFails) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  EXPECT_FALSE(ParseArgs(p, {"--nonsense=1"}));
+  EXPECT_EQ(p.exit_code(), 1);
+}
+
+TEST(FlagParserTest, BadIntFails) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  EXPECT_FALSE(ParseArgs(p, {"--count=abc"}));
+  EXPECT_EQ(p.exit_code(), 1);
+}
+
+TEST(FlagParserTest, MissingValueFails) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  EXPECT_FALSE(ParseArgs(p, {"--name"}));
+  EXPECT_EQ(p.exit_code(), 1);
+}
+
+TEST(FlagParserTest, HelpReturnsFalseWithZeroExit) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  EXPECT_FALSE(ParseArgs(p, {"--help"}));
+  EXPECT_EQ(p.exit_code(), 0);
+}
+
+TEST(FlagParserTest, PositionalArgumentsCollected) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  ASSERT_TRUE(ParseArgs(p, {"input.txt", "--count=1", "other"}));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.txt");
+  EXPECT_EQ(p.positional()[1], "other");
+}
+
+TEST(FlagParserTest, HelpTextMentionsFlagsAndDefaults) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  const std::string help = p.HelpText();
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("default \"default\""), std::string::npos);
+  EXPECT_NE(help.find("--no-verbose"), std::string::npos);
+}
+
+TEST(FlagParserTest, DefaultsUntouchedWithoutFlags) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  ASSERT_TRUE(ParseArgs(p, {}));
+  EXPECT_EQ(f.name, "default");
+  EXPECT_EQ(f.count, 7);
+  EXPECT_TRUE(f.feature);
+}
+
+}  // namespace
+}  // namespace threesigma

@@ -1,0 +1,285 @@
+// Tests for 3σPredict: expert estimators, NMAE scoring, expert selection,
+// distribution generation, and the oracle/synthetic stand-ins.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/predict/feature_history.h"
+#include "src/predict/predictor.h"
+
+namespace threesigma {
+namespace {
+
+TEST(FeatureHistoryTest, ExpertsTrackTheirDefinitions) {
+  FeatureHistory h;
+  for (double v : {10.0, 20.0, 30.0}) {
+    h.Record(v);
+  }
+  EXPECT_DOUBLE_EQ(h.Estimate(ExpertKind::kAverage), 20.0);
+  EXPECT_DOUBLE_EQ(h.Estimate(ExpertKind::kMedian), 20.0);
+  EXPECT_DOUBLE_EQ(h.Estimate(ExpertKind::kRecentAverage), 20.0);
+  // Rolling with alpha 0.6: ((10)*0.4 + 20*0.6)*0.4 + 30*0.6 = 23.2... compute:
+  // after 10: 10; after 20: 0.6*20+0.4*10 = 16; after 30: 0.6*30+0.4*16 = 24.4.
+  EXPECT_NEAR(h.Estimate(ExpertKind::kRolling), 24.4, 1e-12);
+}
+
+TEST(FeatureHistoryTest, NmaeScoredBeforeAbsorbing) {
+  FeatureHistory h;
+  h.Record(10.0);  // No expert seeded yet -> no NMAE update.
+  for (size_t k = 0; k < kNumExperts; ++k) {
+    EXPECT_EQ(h.NmaeSamples(static_cast<ExpertKind>(k)), 0u);
+  }
+  h.Record(10.0);  // All experts predicted 10, actual 10: zero error.
+  EXPECT_EQ(h.NmaeSamples(ExpertKind::kAverage), 1u);
+  EXPECT_DOUBLE_EQ(h.NmaeScore(ExpertKind::kAverage), 0.0);
+}
+
+TEST(FeatureHistoryTest, StreamingNmaeMatchesBatch) {
+  FeatureHistory h;
+  Rng rng(3);
+  std::vector<double> averages;
+  std::vector<double> actuals;
+  RunningStats mean_so_far;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.LogNormal(3.0, 0.8);
+    if (mean_so_far.count() > 0) {
+      averages.push_back(mean_so_far.mean());
+      actuals.push_back(v);
+    }
+    h.Record(v);
+    mean_so_far.Add(v);
+  }
+  EXPECT_NEAR(h.NmaeScore(ExpertKind::kAverage), Nmae(averages, actuals), 1e-9);
+}
+
+TEST(FeatureHistoryTest, BestExpertPicksLowestNmae) {
+  // A trending series: the rolling estimator tracks it far better than the
+  // long-run average.
+  FeatureHistory h;
+  for (int i = 0; i < 60; ++i) {
+    h.Record(10.0 + i * 10.0);
+  }
+  EXPECT_LT(h.NmaeScore(ExpertKind::kRolling), h.NmaeScore(ExpertKind::kAverage));
+  const ExpertKind best = h.BestExpert();
+  EXPECT_TRUE(best == ExpertKind::kRolling || best == ExpertKind::kRecentAverage);
+}
+
+TEST(FeatureHistoryTest, UnscoredExpertLosesSelection) {
+  FeatureHistory h;
+  h.Record(5.0);
+  // Only one sample: all NMAE scores are infinite; BestExpert falls back.
+  EXPECT_EQ(h.BestExpert(), ExpertKind::kAverage);
+  EXPECT_TRUE(std::isinf(h.NmaeScore(ExpertKind::kMedian)));
+}
+
+TEST(FeatureHistoryTest, ConstantMemoryHistogramBound) {
+  FeatureHistoryOptions opts;
+  opts.max_histogram_bins = 16;
+  FeatureHistory h(opts);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    h.Record(rng.LogNormal(4.0, 1.5));
+  }
+  EXPECT_LE(h.histogram().bin_count(), 16u);
+  EXPECT_EQ(h.count(), 5000u);
+}
+
+TEST(ExpertKindNameTest, AllNamed) {
+  EXPECT_STREQ(ExpertKindName(ExpertKind::kAverage), "average");
+  EXPECT_STREQ(ExpertKindName(ExpertKind::kMedian), "median");
+  EXPECT_STREQ(ExpertKindName(ExpertKind::kRolling), "rolling");
+  EXPECT_STREQ(ExpertKindName(ExpertKind::kRecentAverage), "recent-average");
+}
+
+// ---------------------------------------------------------------------------
+// ThreeSigmaPredictor
+// ---------------------------------------------------------------------------
+
+TEST(ThreeSigmaPredictorTest, ColdStartUsesDefault) {
+  ThreeSigmaPredictorOptions opts;
+  opts.default_runtime = 123.0;
+  ThreeSigmaPredictor p(opts);
+  const RuntimePrediction pred = p.Predict({"user=new"}, /*true_runtime=*/999.0);
+  EXPECT_FALSE(pred.from_history);
+  EXPECT_DOUBLE_EQ(pred.point_estimate, 123.0);
+  EXPECT_DOUBLE_EQ(pred.distribution.Mean(), 123.0);
+  EXPECT_EQ(pred.source, "cold-start");
+}
+
+TEST(ThreeSigmaPredictorTest, LearnsPerFeatureHistory) {
+  ThreeSigmaPredictor p;
+  for (int i = 0; i < 30; ++i) {
+    p.RecordCompletion({"user=alice", "jobname=etl"}, 100.0);
+  }
+  const RuntimePrediction pred = p.Predict({"user=alice", "jobname=etl"}, 0.0);
+  EXPECT_TRUE(pred.from_history);
+  EXPECT_NEAR(pred.point_estimate, 100.0, 1e-9);
+  EXPECT_NEAR(pred.distribution.Mean(), 100.0, 1e-9);
+}
+
+TEST(ThreeSigmaPredictorTest, PicksMorePredictiveFeature) {
+  ThreeSigmaPredictor p;
+  Rng rng(11);
+  // "user=mixed" sees wildly varying runtimes; "jobname=stable" is constant.
+  // Jobs carrying both features should be predicted from the stable feature.
+  for (int i = 0; i < 200; ++i) {
+    p.RecordCompletion({"user=mixed"}, rng.Uniform(10.0, 10000.0));
+    p.RecordCompletion({"user=mixed", "jobname=stable"}, 500.0);
+  }
+  const RuntimePrediction pred = p.Predict({"user=mixed", "jobname=stable"}, 0.0);
+  EXPECT_NEAR(pred.point_estimate, 500.0, 1.0);
+  EXPECT_NE(pred.source.find("jobname=stable"), std::string::npos) << pred.source;
+}
+
+TEST(ThreeSigmaPredictorTest, DistributionReflectsHistoryShape) {
+  ThreeSigmaPredictor p;
+  // Bimodal history: half the jobs run 10s, half 1000s.
+  for (int i = 0; i < 100; ++i) {
+    p.RecordCompletion({"jobname=bimodal"}, i % 2 == 0 ? 10.0 : 1000.0);
+  }
+  const RuntimePrediction pred = p.Predict({"jobname=bimodal"}, 0.0);
+  EXPECT_NEAR(pred.distribution.CdfAtMost(100.0), 0.5, 0.05);
+  EXPECT_NEAR(pred.distribution.CdfAtMost(2000.0), 1.0, 1e-9);
+}
+
+TEST(ThreeSigmaPredictorTest, HistoryCountTracksFeatures) {
+  ThreeSigmaPredictor p;
+  p.RecordCompletion({"a=1", "b=2"}, 10.0);
+  p.RecordCompletion({"a=1", "b=3"}, 10.0);
+  EXPECT_EQ(p.history_count(), 3u);
+  ASSERT_NE(p.history("a=1"), nullptr);
+  EXPECT_EQ(p.history("a=1")->count(), 2u);
+  EXPECT_EQ(p.history("missing"), nullptr);
+}
+
+TEST(ThreeSigmaPredictorTest, MinHistoryRespected) {
+  ThreeSigmaPredictorOptions opts;
+  opts.min_history = 5;
+  opts.default_runtime = 77.0;
+  ThreeSigmaPredictor p(opts);
+  for (int i = 0; i < 4; ++i) {
+    p.RecordCompletion({"user=x"}, 100.0);
+  }
+  EXPECT_FALSE(p.Predict({"user=x"}, 0.0).from_history);
+  p.RecordCompletion({"user=x"}, 100.0);
+  EXPECT_TRUE(p.Predict({"user=x"}, 0.0).from_history);
+}
+
+TEST(PerfectPredictorTest, ReturnsTrueRuntime) {
+  PerfectPredictor p;
+  const RuntimePrediction pred = p.Predict({"user=any"}, 42.5);
+  EXPECT_DOUBLE_EQ(pred.point_estimate, 42.5);
+  EXPECT_EQ(pred.distribution.size(), 1u);
+  EXPECT_DOUBLE_EQ(pred.distribution.Mean(), 42.5);
+}
+
+TEST(SyntheticPredictorTest, ShiftAndCovShapeTheDistribution) {
+  SyntheticPredictor p(/*shift=*/0.5, /*cov=*/0.2, /*seed=*/9);
+  RunningStats means;
+  for (int i = 0; i < 300; ++i) {
+    const RuntimePrediction pred = p.Predict({}, 100.0);
+    means.Add(pred.distribution.Mean());
+  }
+  // Mean of means ~ 100 * 1.5 (the drawn shift is ~N(0.5, 0.1)).
+  EXPECT_NEAR(means.mean(), 150.0, 5.0);
+}
+
+TEST(SyntheticPredictorTest, ZeroCovIsPointEstimate) {
+  SyntheticPredictor p(/*shift=*/0.0, /*cov=*/0.0, /*seed=*/10);
+  const RuntimePrediction pred = p.Predict({}, 200.0);
+  EXPECT_EQ(pred.distribution.size(), 1u);
+}
+
+TEST(SampleCapPredictorTest, FreezesHistoryAtCap) {
+  ThreeSigmaPredictor inner;
+  SampleCapPredictor capped(&inner, 5);
+  const JobFeatures features = {"user=a", "jobname=b", "user+jobname=a|b"};
+  for (int i = 0; i < 50; ++i) {
+    capped.RecordCompletion(features, 100.0 + i);
+  }
+  ASSERT_NE(inner.history("user=a"), nullptr);
+  EXPECT_EQ(inner.history("user=a")->count(), 5u);
+  EXPECT_EQ(inner.history("user+jobname=a|b")->count(), 5u);
+}
+
+TEST(SampleCapPredictorTest, CapIsPerPopulation) {
+  ThreeSigmaPredictor inner;
+  SampleCapPredictor capped(&inner, 2);
+  for (int i = 0; i < 10; ++i) {
+    capped.RecordCompletion({"user=a", "user+jobname=a|x"}, 1.0);
+    capped.RecordCompletion({"user=a", "user+jobname=a|y"}, 2.0);
+  }
+  // Two populations under one user: the user feature sees 2 + 2 samples.
+  EXPECT_EQ(inner.history("user=a")->count(), 4u);
+}
+
+TEST(SampleCapPredictorTest, PredictsThroughInner) {
+  ThreeSigmaPredictor inner;
+  SampleCapPredictor capped(&inner, 3);
+  capped.RecordCompletion({"user=z", "user+jobname=z|z"}, 77.0);
+  const RuntimePrediction pred = capped.Predict({"user=z"}, 0.0);
+  EXPECT_TRUE(pred.from_history);
+  EXPECT_DOUBLE_EQ(pred.point_estimate, 77.0);
+}
+
+TEST(PaddedPointPredictorTest, PadsByStdDevs) {
+  ThreeSigmaPredictor inner;
+  // History: {90, 110} repeated -> mean 100, stddev 10 (population form).
+  for (int i = 0; i < 50; ++i) {
+    inner.RecordCompletion({"user=p"}, 90.0);
+    inner.RecordCompletion({"user=p"}, 110.0);
+  }
+  PaddedPointPredictor padded(&inner, 2.0);
+  const RuntimePrediction base = inner.Predict({"user=p"}, 0.0);
+  const RuntimePrediction pred = padded.Predict({"user=p"}, 0.0);
+  EXPECT_NEAR(pred.point_estimate,
+              base.point_estimate + 2.0 * base.distribution.StdDev(), 1e-9);
+  EXPECT_EQ(pred.distribution.size(), 1u);  // Point mass at the padded value.
+}
+
+TEST(PaddedPointPredictorTest, ZeroPaddingIsIdentityPoint) {
+  ThreeSigmaPredictor inner;
+  inner.RecordCompletion({"user=q"}, 100.0);
+  inner.RecordCompletion({"user=q"}, 100.0);
+  PaddedPointPredictor padded(&inner, 0.0);
+  EXPECT_NEAR(padded.Predict({"user=q"}, 0.0).point_estimate, 100.0, 1e-9);
+}
+
+TEST(PaddedPointPredictorTest, ForwardsCompletions) {
+  ThreeSigmaPredictor inner;
+  PaddedPointPredictor padded(&inner, 1.0);
+  padded.RecordCompletion({"user=r"}, 42.0);
+  ASSERT_NE(inner.history("user=r"), nullptr);
+  EXPECT_EQ(inner.history("user=r")->count(), 1u);
+}
+
+// Property: with a stationary lognormal population, prediction error of the
+// real predictor concentrates (most estimates within 2x) — the §2.1 analysis
+// premise.
+TEST(ThreeSigmaPredictorTest, StationaryPopulationMostlyWithin2x) {
+  ThreeSigmaPredictor p;
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    p.RecordCompletion({"user=steady"}, rng.LogNormal(5.0, 0.4));
+  }
+  int within = 0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    const double actual = rng.LogNormal(5.0, 0.4);
+    const RuntimePrediction pred = p.Predict({"user=steady"}, actual);
+    const double ratio = pred.point_estimate / actual;
+    if (ratio > 0.5 && ratio < 2.0) {
+      ++within;
+    }
+    p.RecordCompletion({"user=steady"}, actual);
+  }
+  EXPECT_GT(within, trials * 0.75);
+}
+
+}  // namespace
+}  // namespace threesigma

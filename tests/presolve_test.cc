@@ -1,0 +1,155 @@
+// Presolve reduction tests: correctness of eliminations, verdicts, and
+// equivalence of solve-with-presolve vs solve-without on random models.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/milp.h"
+#include "src/solver/presolve.h"
+#include "src/solver/simplex.h"
+
+namespace threesigma {
+namespace {
+
+TEST(PresolveTest, FixedVariableSubstituted) {
+  LpModel m;
+  const int x = m.AddVariable(0.0, 1.0, 3.0);
+  const int y = m.AddVariable(0.5, 0.5, 2.0);  // Fixed at 0.5.
+  m.AddRow(RowSense::kLessEqual, 1.0, {{x, 1.0}, {y, 1.0}});
+  const PresolveResult pre = Presolve(m);
+  ASSERT_FALSE(pre.proven_infeasible);
+  EXPECT_EQ(pre.vars_removed, 1);
+  EXPECT_EQ(pre.reduced.num_variables(), 1);
+  // Row becomes x <= 0.5.
+  ASSERT_EQ(pre.reduced.num_rows(), 1);
+  EXPECT_NEAR(pre.reduced.row(0).rhs, 0.5, 1e-12);
+  // Expansion restores y.
+  const std::vector<double> full = pre.ExpandSolution({0.25});
+  EXPECT_DOUBLE_EQ(full[static_cast<size_t>(x)], 0.25);
+  EXPECT_DOUBLE_EQ(full[static_cast<size_t>(y)], 0.5);
+}
+
+TEST(PresolveTest, RowFreeVariableMovesToBestBound) {
+  LpModel m;
+  m.AddVariable(0.0, 2.0, 5.0);   // Maximize: picks 2.
+  m.AddVariable(0.0, 2.0, -1.0);  // Minimize: picks 0.
+  const PresolveResult pre = Presolve(m);
+  EXPECT_EQ(pre.vars_removed, 2);
+  const std::vector<double> full = pre.ExpandSolution({});
+  EXPECT_DOUBLE_EQ(full[0], 2.0);
+  EXPECT_DOUBLE_EQ(full[1], 0.0);
+}
+
+TEST(PresolveTest, RedundantRowDropped) {
+  LpModel m;
+  const int x = m.AddVariable(0.0, 1.0, 1.0);
+  m.AddRow(RowSense::kLessEqual, 5.0, {{x, 1.0}});  // x <= 5 can never bind.
+  const PresolveResult pre = Presolve(m);
+  EXPECT_EQ(pre.rows_removed, 1);
+  EXPECT_EQ(pre.reduced.num_rows(), 0);
+}
+
+TEST(PresolveTest, InfeasibleRowDetected) {
+  LpModel m;
+  const int x = m.AddVariable(0.0, 1.0, 1.0);
+  m.AddRow(RowSense::kGreaterEqual, 5.0, {{x, 1.0}});  // x >= 5 impossible.
+  const PresolveResult pre = Presolve(m);
+  EXPECT_TRUE(pre.proven_infeasible);
+}
+
+TEST(PresolveTest, FixedVariablesProveInfeasibility) {
+  LpModel m;
+  const int x = m.AddVariable(1.0, 1.0, 1.0);
+  const int y = m.AddVariable(1.0, 1.0, 1.0);
+  m.AddRow(RowSense::kLessEqual, 1.5, {{x, 1.0}, {y, 1.0}});  // 2 <= 1.5.
+  const PresolveResult pre = Presolve(m);
+  EXPECT_TRUE(pre.proven_infeasible);
+}
+
+TEST(PresolveTest, ConsistentFullySubstitutedRowDropped) {
+  LpModel m;
+  const int x = m.AddVariable(0.3, 0.3, 1.0);
+  m.AddRow(RowSense::kEqual, 0.3, {{x, 1.0}});
+  const PresolveResult pre = Presolve(m);
+  EXPECT_FALSE(pre.proven_infeasible);
+  EXPECT_EQ(pre.reduced.num_rows(), 0);
+  EXPECT_EQ(pre.reduced.num_variables(), 0);
+}
+
+TEST(PresolveTest, SolveLpWithAndWithoutPresolveAgree) {
+  Rng rng(404);
+  for (int trial = 0; trial < 40; ++trial) {
+    LpModel m;
+    const int n = static_cast<int>(rng.UniformInt(3, 10));
+    for (int i = 0; i < n; ++i) {
+      // A mix of fixed, free-ish, and normal variables.
+      const double lo = rng.Uniform(0.0, 1.0);
+      const double up = rng.Bernoulli(0.2) ? lo : lo + rng.Uniform(0.0, 2.0);
+      m.AddVariable(lo, up, rng.Uniform(-3.0, 3.0));
+    }
+    const int rows = static_cast<int>(rng.UniformInt(1, 5));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<LpTerm> terms;
+      for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.5)) {
+          terms.push_back({i, rng.Uniform(-1.0, 2.0)});
+        }
+      }
+      if (terms.empty()) {
+        terms.push_back({0, 1.0});
+      }
+      m.AddRow(rng.Bernoulli(0.8) ? RowSense::kLessEqual : RowSense::kGreaterEqual,
+               rng.Uniform(0.0, 6.0), std::move(terms));
+    }
+    SimplexOptions with;
+    with.presolve = true;
+    SimplexOptions without;
+    without.presolve = false;
+    const LpSolution a = SolveLp(m, with);
+    const LpSolution b = SolveLp(m, without);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-5) << "trial " << trial;
+      EXPECT_TRUE(m.IsFeasible(a.values, 1e-5)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(PresolveTest, MilpWithPresolvedNodesMatchesBruteForce) {
+  // End-to-end: branch-and-bound (whose node LPs now run presolve) still
+  // matches exhaustive enumeration.
+  Rng rng(505);
+  for (int trial = 0; trial < 15; ++trial) {
+    LpModel m;
+    const int n = static_cast<int>(rng.UniformInt(4, 10));
+    std::vector<int> ints;
+    for (int i = 0; i < n; ++i) {
+      ints.push_back(m.AddVariable(0.0, 1.0, rng.Uniform(-1.0, 6.0)));
+    }
+    for (int r = 0; r < 3; ++r) {
+      std::vector<LpTerm> terms;
+      for (int i = 0; i < n; ++i) {
+        terms.push_back({i, rng.Uniform(0.1, 2.0)});
+      }
+      m.AddRow(RowSense::kLessEqual, rng.Uniform(1.0, 4.0), std::move(terms));
+    }
+    MilpSolver solver(m, ints);
+    const MilpSolution sol = solver.Solve();
+    ASSERT_EQ(sol.status, MilpStatus::kOptimal);
+    // Exhaustive check.
+    double best = 0.0;  // All-zeros is feasible.
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      std::vector<double> x(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        x[static_cast<size_t>(i)] = (mask >> i) & 1u ? 1.0 : 0.0;
+      }
+      if (m.IsFeasible(x)) {
+        best = std::max(best, m.ObjectiveValue(x));
+      }
+    }
+    EXPECT_NEAR(sol.objective, best, 1e-5) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace threesigma

@@ -1,0 +1,355 @@
+// Simulator tests: event ordering, capacity accounting, preemption
+// semantics, fidelity modes, and end-to-end invariants with a trivial
+// scripted scheduler.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/job.h"
+#include "src/metrics/metrics.h"
+#include "src/sched/prio_scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace threesigma {
+namespace {
+
+JobSpec SimpleBeJob(JobId id, Time submit, Duration runtime, int tasks) {
+  JobSpec spec;
+  spec.id = id;
+  spec.name = "job" + std::to_string(id);
+  spec.type = JobType::kBestEffort;
+  spec.submit_time = submit;
+  spec.true_runtime = runtime;
+  spec.num_tasks = tasks;
+  spec.utility = UtilityFunction::BestEffortLinear(1.0 * tasks, submit, Hours(2.0));
+  spec.features = {"job=" + spec.name};
+  return spec;
+}
+
+JobSpec SimpleSloJob(JobId id, Time submit, Duration runtime, int tasks, double slack_pct) {
+  JobSpec spec = SimpleBeJob(id, submit, runtime, tasks);
+  spec.type = JobType::kSlo;
+  spec.deadline = submit + runtime * (1.0 + slack_pct / 100.0);
+  spec.utility = UtilityFunction::SloStep(50.0 * tasks, spec.deadline);
+  return spec;
+}
+
+// A scheduler that starts every pending job greedily on the first group with
+// space (FIFO), never preempts. Used to test the simulator in isolation.
+class GreedyFifoScheduler : public Scheduler {
+ public:
+  explicit GreedyFifoScheduler(const ClusterConfig& cluster) : cluster_(cluster) {}
+
+  void OnJobArrival(const JobSpec& spec, Time) override { pending_.push_back(spec); }
+  void OnJobStarted(JobId id, int, Time) override {
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [&](const JobSpec& s) { return s.id == id; }),
+                   pending_.end());
+  }
+  void OnJobFinished(JobId, Time, Duration) override { ++finished_; }
+  void OnJobPreempted(JobId, Time) override {}
+  CycleResult RunCycle(Time, const ClusterStateView& state) override {
+    CycleResult result;
+    std::vector<int> free = state.free_nodes;
+    for (const JobSpec& spec : pending_) {
+      for (int g = 0; g < cluster_.num_groups(); ++g) {
+        if (free[g] >= spec.num_tasks) {
+          result.start.push_back(Placement{spec.id, g});
+          free[g] -= spec.num_tasks;
+          break;
+        }
+      }
+    }
+    return result;
+  }
+  std::string name() const override { return "greedy-fifo"; }
+
+  int finished() const { return finished_; }
+
+ private:
+  const ClusterConfig& cluster_;
+  std::vector<JobSpec> pending_;
+  int finished_ = 0;
+};
+
+TEST(SimulatorTest, SingleJobLifecycle) {
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 4);
+  GreedyFifoScheduler sched(cluster);
+  SimOptions options;
+  options.cycle_period = 1.0;
+  Simulator sim(cluster, &sched, {SimpleBeJob(1, 10.0, 100.0, 2)}, options);
+  const SimResult result = sim.Run();
+  ASSERT_EQ(result.jobs.size(), 1u);
+  const JobRecord& job = result.jobs[0];
+  EXPECT_EQ(job.status, JobStatus::kCompleted);
+  EXPECT_GE(job.start_time, 10.0);
+  EXPECT_NEAR(job.finish_time, job.start_time + 100.0, 1e-9);
+  EXPECT_NEAR(job.completed_work, 2 * 100.0, 1e-6);
+  EXPECT_EQ(result.rejected_placements, 0);
+  EXPECT_EQ(sched.finished(), 1);
+}
+
+TEST(SimulatorTest, ReactiveCycleStartsJobPromptly) {
+  // With a 60s cycle but 2s reactive gap, a job arriving at t=10 must start
+  // within a couple of seconds, not at the next minute boundary.
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 4);
+  GreedyFifoScheduler sched(cluster);
+  SimOptions options;
+  options.cycle_period = 60.0;
+  options.reactive_min_gap = 2.0;
+  Simulator sim(cluster, &sched, {SimpleBeJob(1, 10.0, 50.0, 1)}, options);
+  const SimResult result = sim.Run();
+  EXPECT_LE(result.jobs[0].start_time, 13.0);
+}
+
+TEST(SimulatorTest, ReactiveCyclesDisabledFallBackToPeriodic) {
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 4);
+  GreedyFifoScheduler sched(cluster);
+  SimOptions options;
+  options.cycle_period = 60.0;
+  options.reactive_min_gap = 0.0;
+  Simulator sim(cluster, &sched, {SimpleBeJob(1, 10.0, 50.0, 1)}, options);
+  const SimResult result = sim.Run();
+  // First cycle fires at the arrival... no: with reactive off, the first
+  // cycle is scheduled only by arrival handling, which is reactive. The
+  // fallback is that cycles start with the first arrival's periodic chain.
+  EXPECT_EQ(result.jobs[0].status, JobStatus::kCompleted);
+}
+
+TEST(SimulatorTest, CapacityNeverOversubscribed) {
+  // Many overlapping jobs on a small cluster: the simulator must reject any
+  // placement that does not fit, and a correct greedy scheduler never issues
+  // one.
+  ClusterConfig cluster = ClusterConfig::Uniform(2, 3);
+  GreedyFifoScheduler sched(cluster);
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 40; ++i) {
+    jobs.push_back(SimpleBeJob(i + 1, i * 3.0, 50.0 + (i % 7) * 10.0, 1 + i % 3));
+  }
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = Hours(10.0);
+  Simulator sim(cluster, &sched, jobs, options);
+  const SimResult result = sim.Run();
+  EXPECT_EQ(result.rejected_placements, 0);
+  for (const JobRecord& job : result.jobs) {
+    EXPECT_EQ(job.status, JobStatus::kCompleted);
+  }
+}
+
+TEST(SimulatorTest, GoodputBoundedByClusterSpaceTime) {
+  ClusterConfig cluster = ClusterConfig::Uniform(2, 3);
+  GreedyFifoScheduler sched(cluster);
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 30; ++i) {
+    jobs.push_back(SimpleBeJob(i + 1, i * 1.0, 100.0, 2));
+  }
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = Hours(10.0);
+  Simulator sim(cluster, &sched, jobs, options);
+  const SimResult result = sim.Run();
+  const RunMetrics m = ComputeMetrics(result, "greedy");
+  EXPECT_LE(m.goodput_machine_hours,
+            MachineHours(cluster.total_nodes(), result.end_time) + 1e-6);
+  EXPECT_NEAR(m.goodput_machine_hours, MachineHours(1.0, 30 * 2 * 100.0), 1e-6);
+}
+
+TEST(SimulatorTest, PreemptionRequeuesAndRestarts) {
+  // Prio preempts a BE hog for an SLO job; the hog must requeue, restart
+  // later, and complete with a preemption count of >= 1.
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 4);
+  PrioScheduler sched(cluster);
+  std::vector<JobSpec> jobs;
+  JobSpec hog = SimpleBeJob(1, 0.0, 300.0, 4);
+  jobs.push_back(hog);
+  jobs.push_back(SimpleSloJob(2, 50.0, 100.0, 4, 50.0));
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = Hours(10.0);
+  Simulator sim(cluster, &sched, jobs, options);
+  const SimResult result = sim.Run();
+  const JobRecord* hog_rec = nullptr;
+  const JobRecord* slo_rec = nullptr;
+  for (const JobRecord& j : result.jobs) {
+    (j.spec.id == 1 ? hog_rec : slo_rec) = &j;
+  }
+  ASSERT_NE(hog_rec, nullptr);
+  ASSERT_NE(slo_rec, nullptr);
+  EXPECT_GE(hog_rec->preemptions, 1);
+  EXPECT_EQ(hog_rec->status, JobStatus::kCompleted);
+  EXPECT_EQ(slo_rec->status, JobStatus::kCompleted);
+  EXPECT_FALSE(slo_rec->MissedDeadline());
+  // The hog's completing run started after the SLO job finished.
+  EXPECT_GE(hog_rec->start_time, slo_rec->finish_time - 1e-9);
+  EXPECT_GE(result.total_preemptions, 1);
+}
+
+TEST(SimulatorTest, MigrationPreemptionPreservesProgress) {
+  // Same scenario as PreemptionRequeuesAndRestarts, but with resume
+  // semantics: the hog's second run only covers the remaining work, so it
+  // finishes earlier than a full restart would, and its completed work counts
+  // both runs.
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 4);
+  std::vector<JobSpec> jobs = {SimpleBeJob(1, 0.0, 300.0, 4),
+                               SimpleSloJob(2, 50.0, 100.0, 4, 50.0)};
+  SimOptions kill;
+  kill.cycle_period = 5.0;
+  kill.drain_limit = Hours(10.0);
+  SimOptions resume = kill;
+  resume.preemption_resumes = true;
+
+  PrioScheduler s1(cluster);
+  const SimResult killed = Simulator(cluster, &s1, jobs, kill).Run();
+  PrioScheduler s2(cluster);
+  const SimResult resumed = Simulator(cluster, &s2, jobs, resume).Run();
+
+  const auto hog_of = [](const SimResult& r) {
+    for (const JobRecord& j : r.jobs) {
+      if (j.spec.id == 1) {
+        return j;
+      }
+    }
+    return JobRecord{};
+  };
+  const JobRecord hog_killed = hog_of(killed);
+  const JobRecord hog_resumed = hog_of(resumed);
+  ASSERT_GE(hog_killed.preemptions, 1);
+  ASSERT_GE(hog_resumed.preemptions, 1);
+  EXPECT_LT(hog_resumed.finish_time, hog_killed.finish_time);
+  // Work accounting: resumed run credits both segments (~300 node-seconds x4
+  // plus nothing double-counted; killed restart also totals 4x300 of *useful*
+  // work but burned extra cluster time).
+  EXPECT_NEAR(hog_resumed.completed_work, 4 * 300.0, 4 * 60.0);
+}
+
+TEST(SimulatorTest, HighFidelityAddsOverheadAndJitter) {
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 4);
+  SimOptions ideal;
+  ideal.cycle_period = 2.0;
+  SimOptions hf = ideal;
+  hf.fidelity = SimFidelity::kHighFidelity;
+  hf.seed = 99;
+
+  std::vector<JobSpec> jobs = {SimpleBeJob(1, 0.0, 100.0, 1)};
+  GreedyFifoScheduler s1(cluster);
+  const SimResult ideal_result = Simulator(cluster, &s1, jobs, ideal).Run();
+  GreedyFifoScheduler s2(cluster);
+  const SimResult hf_result = Simulator(cluster, &s2, jobs, hf).Run();
+
+  const double ideal_runtime =
+      ideal_result.jobs[0].finish_time - ideal_result.jobs[0].start_time;
+  const double hf_runtime = hf_result.jobs[0].finish_time - hf_result.jobs[0].start_time;
+  EXPECT_NEAR(ideal_runtime, 100.0, 1e-9);
+  EXPECT_NE(hf_runtime, 100.0);        // Jitter + overhead + heartbeat.
+  EXPECT_GT(hf_runtime, 80.0);         // ...but in a sane band.
+  EXPECT_LT(hf_runtime, 130.0);
+  // Heartbeat quantization: finish lands on a 3s grid.
+  const double phase = std::fmod(hf_result.jobs[0].finish_time, 3.0);
+  EXPECT_LT(std::min(phase, 3.0 - phase), 1e-6);
+}
+
+// A scripted scheduler that abandons every SLO job at its first cycle.
+class AbandoningScheduler : public Scheduler {
+ public:
+  void OnJobArrival(const JobSpec& spec, Time) override { pending_.push_back(spec); }
+  void OnJobStarted(JobId, int, Time) override {}
+  void OnJobFinished(JobId, Time, Duration) override {}
+  void OnJobPreempted(JobId, Time) override {}
+  CycleResult RunCycle(Time, const ClusterStateView&) override {
+    CycleResult result;
+    for (const JobSpec& spec : pending_) {
+      if (spec.is_slo()) {
+        result.abandon.push_back(spec.id);
+      }
+    }
+    pending_.clear();
+    return result;
+  }
+  std::string name() const override { return "abandoner"; }
+
+ private:
+  std::vector<JobSpec> pending_;
+};
+
+TEST(SimulatorTest, AbandonedJobsRetiredAndCountedAsMisses) {
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 4);
+  AbandoningScheduler sched;
+  std::vector<JobSpec> jobs = {SimpleSloJob(1, 0.0, 60.0, 1, 20.0),
+                               SimpleSloJob(2, 5.0, 60.0, 1, 20.0)};
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = 1000.0;
+  Simulator sim(cluster, &sched, jobs, options);
+  const SimResult result = sim.Run();
+  for (const JobRecord& job : result.jobs) {
+    EXPECT_EQ(job.status, JobStatus::kAbandoned);
+    EXPECT_TRUE(job.MissedDeadline());
+    EXPECT_DOUBLE_EQ(job.completed_work, 0.0);
+  }
+  const RunMetrics m = ComputeMetrics(result, "abandoner");
+  EXPECT_EQ(m.abandoned, 2);
+  EXPECT_EQ(m.slo_missed, 2);
+  // The simulation ends promptly once everything is retired (no infinite
+  // cycling on dead jobs).
+  EXPECT_LT(result.end_time, 100.0);
+}
+
+TEST(SimulatorTest, UnfinishedJobsMarkedAtHardStop) {
+  // Drain limit 0: anything not completed by the last arrival is unfinished.
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 1);
+  GreedyFifoScheduler sched(cluster);
+  std::vector<JobSpec> jobs = {SimpleBeJob(1, 0.0, 10000.0, 1),
+                               SimpleBeJob(2, 1.0, 10000.0, 1)};
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = 100.0;
+  Simulator sim(cluster, &sched, jobs, options);
+  const SimResult result = sim.Run();
+  int unfinished = 0;
+  for (const JobRecord& j : result.jobs) {
+    if (j.status == JobStatus::kUnfinished) {
+      ++unfinished;
+    }
+  }
+  EXPECT_EQ(unfinished, 2);
+}
+
+TEST(SimulatorTest, DeterministicGivenSeed) {
+  ClusterConfig cluster = ClusterConfig::Uniform(2, 4);
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back(SimpleBeJob(i + 1, i * 5.0, 60.0, 2));
+  }
+  SimOptions options;
+  options.fidelity = SimFidelity::kHighFidelity;
+  options.seed = 1234;
+  GreedyFifoScheduler s1(cluster);
+  GreedyFifoScheduler s2(cluster);
+  const SimResult a = Simulator(cluster, &s1, jobs, options).Run();
+  const SimResult b = Simulator(cluster, &s2, jobs, options).Run();
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish_time, b.jobs[i].finish_time);
+  }
+}
+
+TEST(JobRecordTest, MissedDeadlineSemantics) {
+  JobRecord rec;
+  rec.spec = SimpleSloJob(1, 0.0, 100.0, 1, 20.0);
+  rec.status = JobStatus::kCompleted;
+  rec.finish_time = 115.0;
+  EXPECT_FALSE(rec.MissedDeadline());  // Deadline is 120.
+  rec.finish_time = 125.0;
+  EXPECT_TRUE(rec.MissedDeadline());
+  rec.status = JobStatus::kAbandoned;
+  EXPECT_TRUE(rec.MissedDeadline());
+  rec.spec.type = JobType::kBestEffort;
+  EXPECT_FALSE(rec.MissedDeadline());  // BE jobs have no deadline.
+}
+
+}  // namespace
+}  // namespace threesigma

@@ -1,0 +1,523 @@
+// Solver substrate tests: LP model, bounded simplex, branch-and-bound MILP.
+//
+// The load-bearing properties are verified against brute force:
+//   - random small LPs against dense vertex/grid enumeration bounds,
+//   - random binary programs against exhaustive 2^n enumeration,
+// plus hand-checked textbook instances.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/lp_model.h"
+#include "src/solver/milp.h"
+#include "src/solver/simplex.h"
+
+namespace threesigma {
+namespace {
+
+// Exhaustive optimum of a pure-binary program; -inf objective if infeasible.
+struct BruteForceResult {
+  bool feasible = false;
+  double objective = 0.0;
+  std::vector<double> values;
+};
+
+BruteForceResult BruteForceBinary(const LpModel& model) {
+  const int n = model.num_variables();
+  BruteForceResult best;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<double> x(n);
+    for (int i = 0; i < n; ++i) {
+      x[i] = (mask >> i) & 1u ? 1.0 : 0.0;
+    }
+    bool in_bounds = true;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] < model.lower(i) - 1e-9 || x[i] > model.upper(i) + 1e-9) {
+        in_bounds = false;
+        break;
+      }
+    }
+    if (!in_bounds || !model.IsFeasible(x)) {
+      continue;
+    }
+    const double obj = model.ObjectiveValue(x);
+    if (!best.feasible || obj > best.objective) {
+      best.feasible = true;
+      best.objective = obj;
+      best.values = x;
+    }
+  }
+  return best;
+}
+
+TEST(LpModelTest, BuildAndEvaluate) {
+  LpModel m;
+  const int x = m.AddVariable(0.0, 1.0, 3.0, "x");
+  const int y = m.AddVariable(0.0, 2.0, 1.0, "y");
+  m.AddRow(RowSense::kLessEqual, 2.0, {{x, 1.0}, {y, 1.0}}, "cap");
+  EXPECT_EQ(m.num_variables(), 2);
+  EXPECT_EQ(m.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(m.ObjectiveValue({1.0, 1.0}), 4.0);
+  EXPECT_TRUE(m.IsFeasible({1.0, 1.0}));
+  EXPECT_FALSE(m.IsFeasible({1.0, 1.5}));
+}
+
+TEST(LpModelTest, ZeroCoefficientsPruned) {
+  LpModel m;
+  const int x = m.AddVariable(0.0, 1.0, 1.0);
+  const int r = m.AddRow(RowSense::kLessEqual, 1.0, {{x, 0.0}});
+  EXPECT_TRUE(m.row(r).terms.empty());
+}
+
+TEST(LpModelTest, BoundsViolationDetected) {
+  LpModel m;
+  m.AddVariable(0.5, 1.0, 1.0);
+  EXPECT_FALSE(m.IsFeasible({0.0}));
+  EXPECT_TRUE(m.IsFeasible({0.75}));
+}
+
+TEST(LpModelTest, EqualAndGreaterRows) {
+  LpModel m;
+  const int x = m.AddVariable(0.0, 10.0, 1.0);
+  m.AddRow(RowSense::kEqual, 4.0, {{x, 1.0}});
+  EXPECT_TRUE(m.IsFeasible({4.0}));
+  EXPECT_FALSE(m.IsFeasible({3.0}));
+  LpModel g;
+  const int y = g.AddVariable(0.0, 10.0, 1.0);
+  g.AddRow(RowSense::kGreaterEqual, 2.0, {{y, 1.0}});
+  EXPECT_FALSE(g.IsFeasible({1.0}));
+  EXPECT_TRUE(g.IsFeasible({2.0}));
+}
+
+// ---------------------------------------------------------------------------
+// Simplex
+// ---------------------------------------------------------------------------
+
+TEST(SimplexTest, TextbookTwoVariable) {
+  // max 3x + 5y  s.t.  x <= 4;  2y <= 12;  3x + 2y <= 18;  x,y >= 0.
+  // Optimum: x=2, y=6, obj=36 (classic Dantzig example).
+  LpModel m;
+  const int x = m.AddVariable(0.0, kLpInfinity, 3.0);
+  const int y = m.AddVariable(0.0, kLpInfinity, 5.0);
+  m.AddRow(RowSense::kLessEqual, 4.0, {{x, 1.0}});
+  m.AddRow(RowSense::kLessEqual, 12.0, {{y, 2.0}});
+  m.AddRow(RowSense::kLessEqual, 18.0, {{x, 3.0}, {y, 2.0}});
+  const LpSolution sol = SolveLp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-6);
+  EXPECT_NEAR(sol.values[x], 2.0, 1e-6);
+  EXPECT_NEAR(sol.values[y], 6.0, 1e-6);
+}
+
+TEST(SimplexTest, PureBoundsProblem) {
+  LpModel m;
+  m.AddVariable(0.0, 1.0, 2.0);
+  m.AddVariable(0.0, 3.0, -1.0);
+  const LpSolution sol = SolveLp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+  EXPECT_NEAR(sol.values[0], 1.0, 1e-9);
+  EXPECT_NEAR(sol.values[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, UpperBoundsRespected) {
+  // max x + y  s.t.  x + y <= 10, x <= 1 (bound), y <= 2 (bound).
+  LpModel m;
+  const int x = m.AddVariable(0.0, 1.0, 1.0);
+  const int y = m.AddVariable(0.0, 2.0, 1.0);
+  m.AddRow(RowSense::kLessEqual, 10.0, {{x, 1.0}, {y, 1.0}});
+  const LpSolution sol = SolveLp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-6);
+}
+
+TEST(SimplexTest, EqualityConstraintNeedsPhase1) {
+  // max x  s.t.  x + y = 5, x <= 3, y <= 4.
+  LpModel m;
+  const int x = m.AddVariable(0.0, 3.0, 1.0);
+  const int y = m.AddVariable(0.0, 4.0, 0.0);
+  m.AddRow(RowSense::kEqual, 5.0, {{x, 1.0}, {y, 1.0}});
+  const LpSolution sol = SolveLp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-6);
+  EXPECT_NEAR(sol.values[x] + sol.values[y], 5.0, 1e-6);
+}
+
+TEST(SimplexTest, GreaterEqualConstraint) {
+  // min x + y (== max -x - y)  s.t.  x + 2y >= 4, 3x + y >= 6.
+  // Optimum at intersection: x = 1.6, y = 1.2, obj = 2.8.
+  LpModel m;
+  const int x = m.AddVariable(0.0, kLpInfinity, -1.0);
+  const int y = m.AddVariable(0.0, kLpInfinity, -1.0);
+  m.AddRow(RowSense::kGreaterEqual, 4.0, {{x, 1.0}, {y, 2.0}});
+  m.AddRow(RowSense::kGreaterEqual, 6.0, {{x, 3.0}, {y, 1.0}});
+  const LpSolution sol = SolveLp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -2.8, 1e-6);
+  EXPECT_NEAR(sol.values[x], 1.6, 1e-6);
+  EXPECT_NEAR(sol.values[y], 1.2, 1e-6);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  LpModel m;
+  const int x = m.AddVariable(0.0, 1.0, 1.0);
+  m.AddRow(RowSense::kGreaterEqual, 5.0, {{x, 1.0}});
+  const LpSolution sol = SolveLp(m);
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  LpModel m;
+  m.AddVariable(0.0, kLpInfinity, 1.0);  // Unconstrained upward.
+  const int y = m.AddVariable(0.0, kLpInfinity, 0.0);
+  m.AddRow(RowSense::kLessEqual, 5.0, {{y, 1.0}});
+  const LpSolution sol = SolveLp(m);
+  EXPECT_EQ(sol.status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Classic cycling-prone structure; Bland fallback must terminate it.
+  LpModel m;
+  const int x1 = m.AddVariable(0.0, kLpInfinity, 10.0);
+  const int x2 = m.AddVariable(0.0, kLpInfinity, -57.0);
+  const int x3 = m.AddVariable(0.0, kLpInfinity, -9.0);
+  const int x4 = m.AddVariable(0.0, kLpInfinity, -24.0);
+  m.AddRow(RowSense::kLessEqual, 0.0, {{x1, 0.5}, {x2, -5.5}, {x3, -2.5}, {x4, 9.0}});
+  m.AddRow(RowSense::kLessEqual, 0.0, {{x1, 0.5}, {x2, -1.5}, {x3, -0.5}, {x4, 1.0}});
+  m.AddRow(RowSense::kLessEqual, 1.0, {{x1, 1.0}});
+  const LpSolution sol = SolveLp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-5);
+}
+
+TEST(SimplexTest, NegativeRhsNeedsPhase1) {
+  // max -x  s.t.  -x <= -2  (i.e. x >= 2), x <= 5.
+  LpModel m;
+  const int x = m.AddVariable(0.0, 5.0, -1.0);
+  m.AddRow(RowSense::kLessEqual, -2.0, {{x, -1.0}});
+  const LpSolution sol = SolveLp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x], 2.0, 1e-6);
+}
+
+TEST(SimplexTest, SolutionAlwaysFeasible) {
+  Rng rng(101);
+  for (int trial = 0; trial < 60; ++trial) {
+    LpModel m;
+    const int n = static_cast<int>(rng.UniformInt(2, 8));
+    const int rows = static_cast<int>(rng.UniformInt(1, 6));
+    for (int i = 0; i < n; ++i) {
+      m.AddVariable(0.0, rng.Uniform(0.5, 3.0), rng.Uniform(-5.0, 5.0));
+    }
+    for (int r = 0; r < rows; ++r) {
+      std::vector<LpTerm> terms;
+      for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.7)) {
+          terms.push_back({i, rng.Uniform(0.0, 4.0)});
+        }
+      }
+      m.AddRow(RowSense::kLessEqual, rng.Uniform(0.5, 6.0), std::move(terms));
+    }
+    const LpSolution sol = SolveLp(m);
+    ASSERT_EQ(sol.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_TRUE(m.IsFeasible(sol.values, 1e-5)) << "trial " << trial;
+    // Objective must at least match the origin (feasible here: rhs > 0).
+    EXPECT_GE(sol.objective, -1e-9);
+  }
+}
+
+// Randomized LPs with 2 variables are verified against a fine grid search.
+class SimplexGridPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexGridPropertyTest, MatchesGridOptimum) {
+  Rng rng(static_cast<uint64_t>(1000 + GetParam()));
+  LpModel m;
+  const int x = m.AddVariable(0.0, rng.Uniform(1.0, 4.0), rng.Uniform(-3.0, 3.0));
+  const int y = m.AddVariable(0.0, rng.Uniform(1.0, 4.0), rng.Uniform(-3.0, 3.0));
+  const int rows = static_cast<int>(rng.UniformInt(1, 4));
+  for (int r = 0; r < rows; ++r) {
+    m.AddRow(RowSense::kLessEqual, rng.Uniform(1.0, 5.0),
+             {{x, rng.Uniform(0.0, 2.0)}, {y, rng.Uniform(0.0, 2.0)}});
+  }
+  const LpSolution sol = SolveLp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  // Grid search.
+  double best = -1e100;
+  const int steps = 400;
+  for (int i = 0; i <= steps; ++i) {
+    for (int j = 0; j <= steps; ++j) {
+      const double xv = m.upper(x) * i / steps;
+      const double yv = m.upper(y) * j / steps;
+      if (m.IsFeasible({xv, yv})) {
+        best = std::max(best, m.ObjectiveValue({xv, yv}));
+      }
+    }
+  }
+  // The grid is a lower bound on the true optimum; simplex must match or
+  // exceed it up to grid resolution, and never exceed by more than epsilon
+  // beyond what feasibility allows.
+  EXPECT_GE(sol.objective, best - 0.05);
+  EXPECT_TRUE(m.IsFeasible(sol.values, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexGridPropertyTest, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// MILP
+// ---------------------------------------------------------------------------
+
+TEST(MilpTest, SimpleKnapsack) {
+  // max 10a + 6b + 4c  s.t.  a + b + c <= 2 (binary).
+  LpModel m;
+  const int a = m.AddVariable(0.0, 1.0, 10.0);
+  const int b = m.AddVariable(0.0, 1.0, 6.0);
+  const int c = m.AddVariable(0.0, 1.0, 4.0);
+  m.AddRow(RowSense::kLessEqual, 2.0, {{a, 1.0}, {b, 1.0}, {c, 1.0}});
+  MilpSolver solver(m, {a, b, c});
+  const MilpSolution sol = solver.Solve();
+  ASSERT_EQ(sol.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 16.0, 1e-6);
+  EXPECT_NEAR(sol.values[a], 1.0, 1e-6);
+  EXPECT_NEAR(sol.values[b], 1.0, 1e-6);
+  EXPECT_NEAR(sol.values[c], 0.0, 1e-6);
+}
+
+TEST(MilpTest, FractionalLpForcedIntegral) {
+  // LP relaxation picks x = 2.5/3; MILP must branch to integrality.
+  LpModel m;
+  const int x = m.AddVariable(0.0, 1.0, 5.0);
+  const int y = m.AddVariable(0.0, 1.0, 4.0);
+  m.AddRow(RowSense::kLessEqual, 1.4, {{x, 1.0}, {y, 1.0}});
+  MilpSolver solver(m, {x, y});
+  const MilpSolution sol = solver.Solve();
+  ASSERT_EQ(sol.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-6);
+}
+
+TEST(MilpTest, InfeasibleModel) {
+  LpModel m;
+  const int x = m.AddVariable(0.0, 1.0, 1.0);
+  m.AddRow(RowSense::kGreaterEqual, 2.0, {{x, 1.0}});
+  MilpSolver solver(m, {x});
+  const MilpSolution sol = solver.Solve();
+  EXPECT_EQ(sol.status, MilpStatus::kInfeasible);
+}
+
+TEST(MilpTest, WarmStartAccepted) {
+  LpModel m;
+  const int a = m.AddVariable(0.0, 1.0, 3.0);
+  const int b = m.AddVariable(0.0, 1.0, 2.0);
+  m.AddRow(RowSense::kLessEqual, 1.0, {{a, 1.0}, {b, 1.0}});
+  MilpSolver solver(m, {a, b});
+  MilpOptions opts;
+  opts.warm_start = {0.0, 1.0};  // Feasible but suboptimal.
+  opts.max_nodes = 1000;
+  const MilpSolution sol = solver.Solve(opts);
+  ASSERT_EQ(sol.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-6);  // Improved past the warm start.
+  EXPECT_FALSE(sol.warm_start_returned);
+}
+
+TEST(MilpTest, WarmStartReturnedUnderZeroNodeBudget) {
+  LpModel m;
+  const int a = m.AddVariable(0.0, 1.0, 3.0);
+  const int b = m.AddVariable(0.0, 1.0, 2.0);
+  m.AddRow(RowSense::kLessEqual, 1.0, {{a, 1.0}, {b, 1.0}});
+  MilpSolver solver(m, {a, b});
+  MilpOptions opts;
+  opts.warm_start = {0.0, 1.0};
+  opts.max_nodes = -1;  // No search at all... (<=0 disables the limit)
+  opts.time_limit_seconds = 1e-9;  // ...so use an expired clock instead.
+  const MilpSolution sol = solver.Solve(opts);
+  EXPECT_EQ(sol.status, MilpStatus::kFeasible);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+  EXPECT_TRUE(sol.warm_start_returned);
+}
+
+TEST(MilpTest, InfeasibleWarmStartIgnored) {
+  LpModel m;
+  const int a = m.AddVariable(0.0, 1.0, 3.0);
+  m.AddRow(RowSense::kLessEqual, 0.0, {{a, 1.0}});
+  MilpSolver solver(m, {a});
+  MilpOptions opts;
+  opts.warm_start = {1.0};  // Violates the row.
+  const MilpSolution sol = solver.Solve(opts);
+  ASSERT_EQ(sol.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+}
+
+TEST(MilpTest, AtMostOneRowsLikeScheduler) {
+  // Two jobs, two options each, shared capacity of one slot per time.
+  // Mirrors the §4.3.4 structure in miniature.
+  LpModel m;
+  const int j1o1 = m.AddVariable(0.0, 1.0, 1.0);   // SLO now.
+  const int j1o2 = m.AddVariable(0.0, 1.0, 0.5);   // SLO deferred.
+  const int j2o1 = m.AddVariable(0.0, 1.0, 0.3);   // BE now.
+  const int j2o2 = m.AddVariable(0.0, 1.0, 0.2);   // BE deferred.
+  m.AddRow(RowSense::kLessEqual, 1.0, {{j1o1, 1.0}, {j1o2, 1.0}});
+  m.AddRow(RowSense::kLessEqual, 1.0, {{j2o1, 1.0}, {j2o2, 1.0}});
+  // Slot 0 capacity: "now" options collide.
+  m.AddRow(RowSense::kLessEqual, 1.0, {{j1o1, 1.0}, {j2o1, 1.0}});
+  // Slot 1 capacity: deferred options collide.
+  m.AddRow(RowSense::kLessEqual, 1.0, {{j1o2, 1.0}, {j2o2, 1.0}});
+  MilpSolver solver(m, {j1o1, j1o2, j2o1, j2o2});
+  const MilpSolution sol = solver.Solve();
+  ASSERT_EQ(sol.status, MilpStatus::kOptimal);
+  // Best: SLO now (1.0) + BE deferred (0.2).
+  EXPECT_NEAR(sol.objective, 1.2, 1e-6);
+}
+
+// Exhaustive verification on random binary programs.
+class MilpBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpBruteForceTest, MatchesExhaustiveEnumeration) {
+  Rng rng(static_cast<uint64_t>(5000 + GetParam()));
+  LpModel m;
+  const int n = static_cast<int>(rng.UniformInt(3, 12));
+  std::vector<int> ints;
+  for (int i = 0; i < n; ++i) {
+    ints.push_back(m.AddVariable(0.0, 1.0, rng.Uniform(-2.0, 8.0)));
+  }
+  const int rows = static_cast<int>(rng.UniformInt(1, 6));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<LpTerm> terms;
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.6)) {
+        terms.push_back({i, rng.Uniform(0.1, 3.0)});
+      }
+    }
+    if (terms.empty()) {
+      terms.push_back({0, 1.0});
+    }
+    m.AddRow(RowSense::kLessEqual, rng.Uniform(0.5, 5.0), std::move(terms));
+  }
+  MilpSolver solver(m, ints);
+  const MilpSolution sol = solver.Solve();
+  const BruteForceResult brute = BruteForceBinary(m);
+  ASSERT_TRUE(brute.feasible);  // All-zeros is always feasible here.
+  ASSERT_EQ(sol.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, brute.objective, 1e-5);
+  EXPECT_TRUE(m.IsFeasible(sol.values, 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBinaryPrograms, MilpBruteForceTest, ::testing::Range(0, 40));
+
+// Mixed-sense binary programs (with >= rows) against brute force; exercises
+// Phase-1 inside branch-and-bound and disables the greedy rounding path.
+class MilpMixedSenseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpMixedSenseTest, MatchesExhaustiveEnumeration) {
+  Rng rng(static_cast<uint64_t>(9000 + GetParam()));
+  LpModel m;
+  const int n = static_cast<int>(rng.UniformInt(3, 10));
+  std::vector<int> ints;
+  for (int i = 0; i < n; ++i) {
+    ints.push_back(m.AddVariable(0.0, 1.0, rng.Uniform(-3.0, 6.0)));
+  }
+  const int rows = static_cast<int>(rng.UniformInt(1, 5));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<LpTerm> terms;
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.6)) {
+        terms.push_back({i, rng.Uniform(-2.0, 3.0)});
+      }
+    }
+    if (terms.empty()) {
+      terms.push_back({0, 1.0});
+    }
+    const RowSense sense = rng.Bernoulli(0.5) ? RowSense::kLessEqual : RowSense::kGreaterEqual;
+    m.AddRow(sense, rng.Uniform(-1.0, 3.0), std::move(terms));
+  }
+  MilpSolver solver(m, ints);
+  const MilpSolution sol = solver.Solve();
+  const BruteForceResult brute = BruteForceBinary(m);
+  if (!brute.feasible) {
+    EXPECT_EQ(sol.status, MilpStatus::kInfeasible);
+    return;
+  }
+  ASSERT_EQ(sol.status, MilpStatus::kOptimal) << "nodes=" << sol.nodes_explored;
+  EXPECT_NEAR(sol.objective, brute.objective, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMixedPrograms, MilpMixedSenseTest, ::testing::Range(0, 40));
+
+TEST(SimplexTest, IterationLimitReturnsFeasiblePoint) {
+  // Starve the solver: it must stop with kIterationLimit and a feasible
+  // (if suboptimal) point rather than spin or crash.
+  Rng rng(808);
+  LpModel m;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    m.AddVariable(0.0, 1.0, rng.Uniform(0.1, 5.0));
+  }
+  for (int r = 0; r < 10; ++r) {
+    std::vector<LpTerm> terms;
+    for (int i = 0; i < n; ++i) {
+      terms.push_back({i, rng.Uniform(0.1, 2.0)});
+    }
+    m.AddRow(RowSense::kLessEqual, rng.Uniform(1.0, 5.0), std::move(terms));
+  }
+  SimplexOptions options;
+  options.max_iterations = 3;
+  options.presolve = false;
+  const LpSolution sol = SolveLp(m, options);
+  ASSERT_EQ(sol.status, LpStatus::kIterationLimit);
+  EXPECT_TRUE(m.IsFeasible(sol.values, 1e-5));
+}
+
+TEST(SimplexTest, LargerLpStaysFeasibleAndOptimal) {
+  // A beefier scheduler-shaped LP: sanity at the sizes real cycles produce.
+  Rng rng(909);
+  LpModel m;
+  std::vector<std::vector<LpTerm>> capacity(30);
+  for (int j = 0; j < 80; ++j) {
+    std::vector<LpTerm> demand;
+    for (int o = 0; o < 10; ++o) {
+      const int var = m.AddVariable(0.0, 1.0, rng.Uniform(0.1, 10.0));
+      demand.push_back({var, 1.0});
+      for (int c = 0; c < 30; ++c) {
+        if (rng.Bernoulli(0.3)) {
+          capacity[static_cast<size_t>(c)].push_back({var, rng.Uniform(0.5, 4.0)});
+        }
+      }
+    }
+    m.AddRow(RowSense::kLessEqual, 1.0, std::move(demand));
+  }
+  for (auto& terms : capacity) {
+    m.AddRow(RowSense::kLessEqual, rng.Uniform(8.0, 20.0), std::move(terms));
+  }
+  const LpSolution sol = SolveLp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_TRUE(m.IsFeasible(sol.values, 1e-5));
+  EXPECT_GT(sol.objective, 0.0);
+}
+
+TEST(MilpTest, NodeBudgetReturnsIncumbent) {
+  Rng rng(777);
+  LpModel m;
+  std::vector<int> ints;
+  for (int i = 0; i < 30; ++i) {
+    ints.push_back(m.AddVariable(0.0, 1.0, rng.Uniform(1.0, 10.0)));
+  }
+  for (int r = 0; r < 10; ++r) {
+    std::vector<LpTerm> terms;
+    for (int i = 0; i < 30; ++i) {
+      terms.push_back({i, rng.Uniform(0.1, 2.0)});
+    }
+    m.AddRow(RowSense::kLessEqual, 8.0, std::move(terms));
+  }
+  MilpSolver solver(m, ints);
+  MilpOptions opts;
+  opts.max_nodes = 5;
+  const MilpSolution sol = solver.Solve(opts);
+  // Must return *some* feasible solution within budget.
+  ASSERT_NE(sol.status, MilpStatus::kInfeasible);
+  EXPECT_TRUE(m.IsFeasible(sol.values, 1e-6));
+  EXPECT_GT(sol.objective, 0.0);
+}
+
+}  // namespace
+}  // namespace threesigma

@@ -1,0 +1,184 @@
+// t-digest sketch tests: accuracy, invariants, merging, and the
+// EmpiricalDistribution bridge.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/histogram/empirical_distribution.h"
+#include "src/histogram/tdigest.h"
+
+namespace threesigma {
+namespace {
+
+TEST(TDigestTest, SmallExactValues) {
+  TDigest d(100.0);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    d.Update(v);
+  }
+  EXPECT_DOUBLE_EQ(d.total_weight(), 5.0);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 5.0);
+  EXPECT_NEAR(d.Quantile(0.5), 3.0, 0.6);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 5.0);
+}
+
+TEST(TDigestTest, QuantileAccuracyUniform) {
+  TDigest d(100.0);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    d.Update(rng.Uniform(0.0, 1000.0));
+  }
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(d.Quantile(q), q * 1000.0, 15.0) << "q=" << q;
+  }
+}
+
+TEST(TDigestTest, TailAccuracyHeavyTailed) {
+  // The t-digest's selling point: tight tails. Compare p99/p999 against the
+  // exact sample quantiles of a lognormal stream.
+  TDigest d(200.0);
+  Rng rng(5);
+  std::vector<double> all;
+  for (int i = 0; i < 200000; ++i) {
+    const double v = rng.LogNormal(4.0, 1.5);
+    d.Update(v);
+    all.push_back(v);
+  }
+  for (double q : {0.99, 0.999}) {
+    const double exact = Quantile(all, q);
+    EXPECT_NEAR(d.Quantile(q), exact, exact * 0.08) << "q=" << q;
+  }
+}
+
+TEST(TDigestTest, CentroidCountBounded) {
+  TDigest d(100.0);
+  Rng rng(7);
+  for (int i = 0; i < 50000; ++i) {
+    d.Update(rng.LogNormal(3.0, 1.0));
+  }
+  EXPECT_LE(d.centroid_count(), 220u);  // ~2 * compression.
+  EXPECT_GE(d.centroid_count(), 50u);
+}
+
+TEST(TDigestTest, WeightConserved) {
+  TDigest d(50.0);
+  Rng rng(9);
+  for (int i = 0; i < 12345; ++i) {
+    d.Update(rng.Uniform(0.0, 10.0));
+  }
+  double sum = 0.0;
+  for (const auto& c : d.centroids()) {
+    sum += c.weight;
+  }
+  EXPECT_NEAR(sum, 12345.0, 1e-6);
+}
+
+TEST(TDigestTest, CdfMonotoneAndInverseOfQuantile) {
+  TDigest d(100.0);
+  Rng rng(11);
+  for (int i = 0; i < 30000; ++i) {
+    d.Update(rng.Normal(50.0, 10.0));
+  }
+  double prev = -1.0;
+  for (double v = 0.0; v <= 100.0; v += 2.0) {
+    const double c = d.CdfAtMost(v);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(d.CdfAtMost(d.Quantile(q)), q, 0.05);
+  }
+}
+
+TEST(TDigestTest, MergeMatchesCombinedStream) {
+  TDigest a(100.0);
+  TDigest b(100.0);
+  TDigest combined(100.0);
+  Rng rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    const double lo = rng.Uniform(0.0, 10.0);
+    const double hi = rng.Uniform(100.0, 110.0);
+    a.Update(lo);
+    combined.Update(lo);
+    b.Update(hi);
+    combined.Update(hi);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.total_weight(), combined.total_weight());
+  for (double q : {0.25, 0.5, 0.75}) {
+    EXPECT_NEAR(a.Quantile(q), combined.Quantile(q), 6.0) << "q=" << q;
+  }
+}
+
+TEST(TDigestTest, MergeEmptyIsNoop) {
+  TDigest a(50.0);
+  a.Update(5.0);
+  TDigest b(50.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 1.0);
+  b.Merge(a);
+  EXPECT_DOUBLE_EQ(b.total_weight(), 1.0);
+}
+
+TEST(TDigestTest, BridgesToEmpiricalDistribution) {
+  TDigest d(100.0);
+  Rng rng(15);
+  RunningStats exact;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.LogNormal(4.0, 1.0);
+    d.Update(v);
+    exact.Add(v);
+  }
+  const auto dist = EmpiricalDistribution::FromTDigest(d);
+  EXPECT_EQ(dist.size(), d.centroid_count());
+  EXPECT_NEAR(dist.Mean(), exact.mean(), exact.mean() * 0.03);
+  // Survival queries behave.
+  EXPECT_GT(dist.Survival(dist.Quantile(0.5)), 0.2);
+}
+
+// Property sweep over distribution shapes: median error within a few percent
+// of the true scale.
+class TDigestShapeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TDigestShapeTest, MedianAccurate) {
+  Rng rng(static_cast<uint64_t>(100 + GetParam()));
+  TDigest d(100.0);
+  std::vector<double> all;
+  const int shape = GetParam() % 3;
+  for (int i = 0; i < 40000; ++i) {
+    double v;
+    if (shape == 0) {
+      v = rng.Exponential(100.0);
+    } else if (shape == 1) {
+      v = rng.LogNormal(3.0, 2.0);
+    } else {
+      v = rng.Bernoulli(0.5) ? rng.Normal(10.0, 1.0) : rng.Normal(1000.0, 50.0);
+    }
+    v = std::max(v, 0.0);
+    d.Update(v);
+    all.push_back(v);
+  }
+  if (shape == 2) {
+    // Bimodal: the median sits on the knife edge between modes, where the
+    // digest's interpolation across the inter-mode gap is legitimately
+    // coarse. Check the quartiles, which land inside the modes.
+    EXPECT_NEAR(d.Quantile(0.25), Quantile(all, 0.25), 10.0);
+    EXPECT_NEAR(d.Quantile(0.75), Quantile(all, 0.75), 60.0);
+    return;
+  }
+  const double exact = Quantile(all, 0.5);
+  const double scale = Quantile(all, 0.9) - Quantile(all, 0.1);
+  EXPECT_NEAR(d.Quantile(0.5), exact, std::max(scale * 0.05, 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TDigestShapeTest, ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace threesigma

@@ -1,0 +1,178 @@
+// ClusterTimeline and report-export tests.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/report.h"
+#include "src/metrics/timeline.h"
+#include "src/sched/prio_scheduler.h"
+
+namespace threesigma {
+namespace {
+
+JobRecord MakeJob(JobId id, int tasks, std::vector<JobRun> runs, JobStatus status) {
+  JobRecord rec;
+  rec.spec.id = id;
+  rec.spec.num_tasks = tasks;
+  rec.spec.user = "u";
+  rec.spec.name = "j";
+  rec.status = status;
+  if (!runs.empty()) {
+    rec.group = runs.back().group;
+    rec.start_time = runs.back().start;
+    if (status == JobStatus::kCompleted) {
+      rec.finish_time = runs.back().end;
+      rec.completed_work = tasks * (runs.back().end - runs.back().start);
+    }
+  }
+  rec.runs = std::move(runs);
+  return rec;
+}
+
+TEST(ClusterTimelineTest, SingleJobOccupancy) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(2, 4);
+  SimResult result;
+  result.end_time = 100.0;
+  result.jobs.push_back(
+      MakeJob(1, 2, {JobRun{0, 25.0, 75.0, true}}, JobStatus::kCompleted));
+  ClusterTimeline timeline(cluster, result, /*samples=*/101);
+  // Occupied half the run on group 0 with 2 of 8 nodes.
+  EXPECT_EQ(timeline.occupancy(0, 50), 2);   // t=50.
+  EXPECT_EQ(timeline.occupancy(0, 10), 0);   // t=10.
+  EXPECT_EQ(timeline.occupancy(1, 50), 0);   // Other group idle.
+  EXPECT_NEAR(timeline.MeanGroupUtilization(0), 0.5 * 0.5, 0.02);
+  EXPECT_NEAR(timeline.MeanUtilization(), 0.25 * 0.5, 0.02);
+}
+
+TEST(ClusterTimelineTest, PreemptedRunsCounted) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(1, 4);
+  SimResult result;
+  result.end_time = 100.0;
+  // First run 0-40 preempted on group 0, resumed 60-100.
+  result.jobs.push_back(MakeJob(
+      1, 4, {JobRun{0, 0.0, 40.0, false}, JobRun{0, 60.0, 100.0, true}},
+      JobStatus::kCompleted));
+  ClusterTimeline timeline(cluster, result, 101);
+  EXPECT_EQ(timeline.occupancy(0, 20), 4);
+  EXPECT_EQ(timeline.occupancy(0, 50), 0);  // Gap between runs.
+  EXPECT_EQ(timeline.occupancy(0, 80), 4);
+}
+
+TEST(ClusterTimelineTest, HalfOpenIntervals) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(1, 2);
+  SimResult result;
+  result.end_time = 10.0;
+  // Back-to-back runs of two jobs on the same nodes must not double-count at
+  // the shared boundary.
+  result.jobs.push_back(MakeJob(1, 2, {JobRun{0, 0.0, 5.0, true}}, JobStatus::kCompleted));
+  result.jobs.push_back(MakeJob(2, 2, {JobRun{0, 5.0, 10.0, true}}, JobStatus::kCompleted));
+  ClusterTimeline timeline(cluster, result, 11);  // Samples exactly at integers.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(timeline.occupancy(0, i), 2) << "sample " << i;
+  }
+}
+
+TEST(ClusterTimelineTest, RenderContainsGroupsAndMean) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(2, 2);
+  SimResult result;
+  result.end_time = 60.0;
+  result.jobs.push_back(MakeJob(1, 2, {JobRun{1, 0.0, 60.0, true}}, JobStatus::kCompleted));
+  const std::string render = ClusterTimeline(cluster, result, 20).RenderAscii();
+  EXPECT_NE(render.find("group-0"), std::string::npos);
+  EXPECT_NE(render.find("group-1"), std::string::npos);
+  EXPECT_NE(render.find("cluster mean utilization"), std::string::npos);
+  // Group 1 fully busy -> '#' shades present.
+  EXPECT_NE(render.find('#'), std::string::npos);
+}
+
+TEST(ClusterTimelineTest, EndToEndFromSimulation) {
+  // Run a real simulation and reconstruct its timeline: occupancy must stay
+  // within capacity (CHECKed inside the constructor) and mean utilization
+  // must reflect the work actually completed.
+  ClusterConfig cluster = ClusterConfig::Uniform(2, 4);
+  PrioScheduler sched(cluster);
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 12; ++i) {
+    JobSpec spec;
+    spec.id = i + 1;
+    spec.name = "j" + std::to_string(i);
+    spec.type = JobType::kBestEffort;
+    spec.submit_time = i * 20.0;
+    spec.true_runtime = 100.0;
+    spec.num_tasks = 1 + i % 3;
+    spec.utility = UtilityFunction::BestEffortLinear(1.0, spec.submit_time, 3600.0);
+    spec.features = {"job=" + spec.name};
+    jobs.push_back(std::move(spec));
+  }
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = Hours(2.0);
+  const SimResult result = Simulator(cluster, &sched, jobs, options).Run();
+  const ClusterTimeline timeline(cluster, result, 200);
+  double total_work = 0.0;
+  for (const JobRecord& job : result.jobs) {
+    total_work += job.completed_work;
+  }
+  const double expected_util =
+      total_work / (cluster.total_nodes() * std::max(result.end_time, 1e-9));
+  EXPECT_NEAR(timeline.MeanUtilization(), expected_util, 0.05);
+}
+
+TEST(ReportTest, JobRecordsCsvShape) {
+  SimResult result;
+  result.end_time = 100.0;
+  JobRecord rec = MakeJob(7, 3, {JobRun{0, 1.0, 11.0, true}}, JobStatus::kCompleted);
+  rec.spec.type = JobType::kSlo;
+  rec.spec.deadline = 20.0;
+  rec.spec.submit_time = 0.5;
+  rec.spec.true_runtime = 10.0;
+  std::ostringstream os;
+  WriteJobRecordsCsv(os, {rec});
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("id,user,name,type"), std::string::npos);
+  EXPECT_NE(csv.find("7,u,j,slo,3,0.5,10,20,completed,1,11,0,0,30,0"), std::string::npos)
+      << csv;
+}
+
+TEST(ReportTest, RunMetricsCsvShape) {
+  RunMetrics m;
+  m.system = "3Sigma";
+  m.slo_jobs = 10;
+  m.slo_missed = 1;
+  m.slo_miss_rate_percent = 10.0;
+  std::ostringstream os;
+  WriteRunMetricsCsv(os, {m});
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("system,slo_jobs"), std::string::npos);
+  EXPECT_NE(csv.find("3Sigma,10,0,0,1,10,"), std::string::npos) << csv;
+}
+
+TEST(MissBySlackTest, BucketsCorrectly) {
+  SimResult result;
+  result.end_time = 10000.0;
+  auto slo_job = [&](double slack_pct, bool missed) {
+    JobRecord rec;
+    rec.spec.type = JobType::kSlo;
+    rec.spec.submit_time = 0.0;
+    rec.spec.true_runtime = 100.0;
+    rec.spec.deadline = 100.0 * (1.0 + slack_pct / 100.0);
+    rec.status = JobStatus::kCompleted;
+    rec.start_time = 0.0;
+    rec.finish_time = missed ? rec.spec.deadline + 1.0 : rec.spec.deadline - 1.0;
+    return rec;
+  };
+  result.jobs.push_back(slo_job(25.0, true));
+  result.jobs.push_back(slo_job(25.0, false));
+  result.jobs.push_back(slo_job(75.0, false));
+  const auto buckets = MissBySlack(result, {0.0, 50.0, 100.0});
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].jobs, 2);
+  EXPECT_EQ(buckets[0].missed, 1);
+  EXPECT_DOUBLE_EQ(buckets[0].miss_rate_percent, 50.0);
+  EXPECT_EQ(buckets[1].jobs, 1);
+  EXPECT_EQ(buckets[1].missed, 0);
+}
+
+}  // namespace
+}  // namespace threesigma

@@ -1,0 +1,145 @@
+// Trace import/export tests: native CSV round-trip, SWF parsing, and the
+// shared shaping pipeline for loaded traces.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/generator.h"
+#include "src/workload/trace_io.h"
+
+namespace threesigma {
+namespace {
+
+TEST(TraceCsvTest, RoundTrip) {
+  std::vector<TimedTraceJob> records = {
+      {{"alice", "etl", 120.5, 8}, 10.0},
+      {{"bob", "train", 3600.0, 32}, 5.0},
+  };
+  std::ostringstream out;
+  WriteTraceCsv(out, records);
+  std::istringstream in(out.str());
+  const std::vector<TimedTraceJob> parsed = ReadTraceCsv(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  // Sorted by submit time on read.
+  EXPECT_EQ(parsed[0].job.user, "bob");
+  EXPECT_DOUBLE_EQ(parsed[0].submit, 5.0);
+  EXPECT_EQ(parsed[1].job.user, "alice");
+  EXPECT_EQ(parsed[1].job.jobname, "etl");
+  EXPECT_DOUBLE_EQ(parsed[1].job.runtime, 120.5);
+  EXPECT_EQ(parsed[1].job.num_tasks, 8);
+}
+
+TEST(TraceCsvTest, SkipsHeaderAndBlankLines) {
+  std::istringstream in("submit,user,jobname,runtime,tasks\n\n1.0,u,j,10,2\n\n");
+  const auto parsed = ReadTraceCsv(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].job.num_tasks, 2);
+}
+
+TEST(TraceCsvTest, HeaderlessInputAccepted) {
+  std::istringstream in("3.5,u1,j1,42,4\n");
+  const auto parsed = ReadTraceCsv(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed[0].submit, 3.5);
+}
+
+TEST(SwfTest, ParsesStandardRows) {
+  // job submit wait run procs cpu mem reqp reqt reqm status user group exe q part prec think
+  std::istringstream in(
+      "; SWF header comment\n"
+      ";Computer: Mustang\n"
+      "1 100 5 300 16 -1 -1 16 600 -1 1 7 1 3 1 -1 -1 -1\n"
+      "2 200 0 50 4 -1 -1 4 100 -1 1 8 1 4 1 -1 -1 -1\n");
+  const auto parsed = ReadSwf(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  // Rebased to the first submit.
+  EXPECT_DOUBLE_EQ(parsed[0].submit, 0.0);
+  EXPECT_DOUBLE_EQ(parsed[1].submit, 100.0);
+  EXPECT_DOUBLE_EQ(parsed[0].job.runtime, 300.0);
+  EXPECT_EQ(parsed[0].job.num_tasks, 16);
+  EXPECT_EQ(parsed[0].job.user, "user7");
+  EXPECT_EQ(parsed[0].job.jobname, "exe3");
+}
+
+TEST(SwfTest, DropsInvalidAndOversizedJobs) {
+  std::istringstream in(
+      "1 100 5 -1 16 -1 -1 16 600 -1 0 7 1 3 1 -1 -1 -1\n"   // runtime -1: dropped
+      "2 150 5 300 0 -1 -1 0 600 -1 1 7 1 3 1 -1 -1 -1\n"    // 0 procs: dropped
+      "3 200 0 50 128 -1 -1 128 100 -1 1 8 1 4 1 -1 -1 -1\n"  // too wide
+      "4 300 0 50 8 -1 -1 8 100 -1 1 8 1 4 1 -1 -1 -1\n");
+  SwfReadOptions options;
+  options.max_tasks = 64;
+  const auto parsed = ReadSwf(in, options);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].job.num_tasks, 8);
+}
+
+TEST(SwfTest, FallsBackToRequestedProcs) {
+  std::istringstream in("1 10 0 60 -1 -1 -1 12 100 -1 1 2 1 5 1 -1 -1 -1\n");
+  const auto parsed = ReadSwf(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].job.num_tasks, 12);
+}
+
+TEST(SwfTest, SkipsShortRows) {
+  std::istringstream in("1 2 3\n1 10 0 60 4 -1 -1 4 100 -1 1 2 1 5 1 -1 -1 -1\n");
+  EXPECT_EQ(ReadSwf(in).size(), 1u);
+}
+
+using TraceCsvDeathTest = ::testing::Test;
+
+TEST(TraceCsvDeathTest, MalformedRowAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  std::istringstream too_few("1.0,u,j,10\n");
+  EXPECT_DEATH(ReadTraceCsv(too_few), "expected 5 cells");
+  std::istringstream bad_runtime("1.0,u,j,notanumber,2\n");
+  EXPECT_DEATH(ReadTraceCsv(bad_runtime), "unparseable runtime");
+  std::istringstream zero_runtime("1.0,u,j,0,2\n");
+  EXPECT_DEATH(ReadTraceCsv(zero_runtime), "non-positive runtime");
+}
+
+TEST(ShapeTraceJobsTest, AppliesWorkloadRecipe) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  std::vector<TimedTraceJob> records;
+  for (int i = 0; i < 200; ++i) {
+    records.push_back({{"u" + std::to_string(i % 7), "j", 100.0 + i, 1 + i % 8},
+                       static_cast<double>(i)});
+  }
+  WorkloadOptions options;
+  options.slo_fraction = 0.5;
+  options.deadline_slacks = {20.0, 80.0};
+  options.seed = 3;
+  const std::vector<JobSpec> jobs = ShapeTraceJobs(records, cluster, options);
+  ASSERT_EQ(jobs.size(), records.size());
+  int slo = 0;
+  for (const JobSpec& job : jobs) {
+    EXPECT_EQ(job.features.size(), 4u);
+    if (job.is_slo()) {
+      ++slo;
+      const int slack = static_cast<int>(std::lround(job.DeadlineSlackPercent()));
+      EXPECT_TRUE(slack == 20 || slack == 80) << slack;
+      EXPECT_EQ(job.preferred_groups.size(), 3u);
+    }
+  }
+  EXPECT_NEAR(slo / 200.0, 0.5, 0.15);
+  // Deterministic for the same seed.
+  const std::vector<JobSpec> again = ShapeTraceJobs(records, cluster, options);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].type, again[i].type);
+    EXPECT_DOUBLE_EQ(jobs[i].deadline, again[i].deadline);
+  }
+}
+
+TEST(ShapeTraceJobsTest, SortsLoadedJobsBySubmit) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(2, 8);
+  std::vector<TimedTraceJob> records = {{{"u", "a", 10.0, 1}, 50.0},
+                                        {{"u", "b", 10.0, 1}, 5.0}};
+  const std::vector<JobSpec> jobs = ShapeTraceJobs(records, cluster, {});
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_LE(jobs[0].submit_time, jobs[1].submit_time);
+  EXPECT_EQ(jobs[0].name, "b");
+}
+
+}  // namespace
+}  // namespace threesigma

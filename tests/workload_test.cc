@@ -1,0 +1,337 @@
+// Workload substrate tests: k-means, environment models, and the generator's
+// §5 contract (load, mixes, deadlines, preferences, features, pre-training).
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/workload/generator.h"
+#include "src/workload/kmeans.h"
+#include "src/workload/trace_model.h"
+
+namespace threesigma {
+namespace {
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) {
+    values.push_back(10.0 + i * 0.01);
+    values.push_back(100.0 + i * 0.01);
+    values.push_back(1000.0 + i * 0.01);
+  }
+  const KMeansResult result = KMeans1D(values, 3);
+  ASSERT_EQ(result.centroids.size(), 3u);
+  EXPECT_NEAR(result.centroids[0], 10.25, 1.0);
+  EXPECT_NEAR(result.centroids[1], 100.25, 1.0);
+  EXPECT_NEAR(result.centroids[2], 1000.25, 1.0);
+  // Members of the same decade share a cluster.
+  for (size_t i = 0; i < values.size(); i += 3) {
+    EXPECT_EQ(result.assignment[i], 0);
+    EXPECT_EQ(result.assignment[i + 1], 1);
+    EXPECT_EQ(result.assignment[i + 2], 2);
+  }
+}
+
+TEST(KMeansTest, KLargerThanDistinctValues) {
+  const KMeansResult result = KMeans1D({5.0, 5.0, 5.0}, 4);
+  EXPECT_EQ(result.centroids.size(), 1u);
+  for (int a : result.assignment) {
+    EXPECT_EQ(a, 0);
+  }
+}
+
+TEST(KMeansTest, DeterministicForSameInput) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.LogNormal(3.0, 1.5));
+  }
+  const KMeansResult a = KMeans1D(values, 6);
+  const KMeansResult b = KMeans1D(values, 6);
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(KMeansTest, AssignmentIsNearestCentroid) {
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(rng.Uniform(0.0, 100.0));
+  }
+  const KMeansResult result = KMeans1D(values, 5);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double assigned = std::fabs(values[i] - result.centroids[result.assignment[i]]);
+    for (double c : result.centroids) {
+      EXPECT_LE(assigned, std::fabs(values[i] - c) + 1e-9);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EnvironmentModel
+// ---------------------------------------------------------------------------
+
+class EnvironmentModelTest : public ::testing::TestWithParam<EnvironmentKind> {};
+
+TEST_P(EnvironmentModelTest, SamplesAreValid) {
+  const EnvironmentModel model = EnvironmentModel::Make(GetParam(), 64, 11);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const TraceJob job = model.Sample(rng);
+    EXPECT_GT(job.runtime, 0.0);
+    EXPECT_GE(job.num_tasks, 1);
+    EXPECT_LE(job.num_tasks, 64);
+    EXPECT_FALSE(job.user.empty());
+    EXPECT_FALSE(job.jobname.empty());
+  }
+}
+
+TEST_P(EnvironmentModelTest, RuntimesAreHeavyTailed) {
+  // Fig. 2a: the longest jobs are much longer than the typical job.
+  const EnvironmentModel model = EnvironmentModel::Make(GetParam(), 64, 11);
+  Rng rng(5);
+  std::vector<double> runtimes;
+  for (int i = 0; i < 20000; ++i) {
+    runtimes.push_back(model.Sample(rng).runtime);
+  }
+  EXPECT_GT(Quantile(runtimes, 0.99), 10.0 * Quantile(runtimes, 0.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvironments, EnvironmentModelTest,
+                         ::testing::Values(EnvironmentKind::kGoogle,
+                                           EnvironmentKind::kHedgeFund,
+                                           EnvironmentKind::kMustang));
+
+TEST(EnvironmentModelTest, MustangHasRepetitivePopulations) {
+  // §2.1: Mustang has a large share of near-perfectly repetitive jobs.
+  const EnvironmentModel model = EnvironmentModel::Make(EnvironmentKind::kMustang, 64, 11);
+  int tight = 0;
+  for (const JobPopulation& p : model.populations()) {
+    if (p.log_sigma < 0.1) {
+      ++tight;
+    }
+  }
+  EXPECT_GT(tight, static_cast<int>(model.populations().size()) / 3);
+}
+
+TEST(EnvironmentModelTest, HedgeFundIsWidest) {
+  const EnvironmentModel hf = EnvironmentModel::Make(EnvironmentKind::kHedgeFund, 64, 11);
+  const EnvironmentModel google = EnvironmentModel::Make(EnvironmentKind::kGoogle, 64, 11);
+  RunningStats hf_sigma;
+  RunningStats google_sigma;
+  for (const JobPopulation& p : hf.populations()) {
+    hf_sigma.Add(p.log_sigma);
+  }
+  for (const JobPopulation& p : google.populations()) {
+    google_sigma.Add(p.log_sigma);
+  }
+  EXPECT_GT(hf_sigma.mean(), google_sigma.mean());
+}
+
+// ---------------------------------------------------------------------------
+// GenerateWorkload
+// ---------------------------------------------------------------------------
+
+WorkloadOptions SmallWorkload() {
+  WorkloadOptions options;
+  options.duration = Hours(1.0);
+  options.load = 1.2;
+  options.model_sample_jobs = 1500;
+  options.pretrain_jobs = 500;
+  options.seed = 17;
+  return options;
+}
+
+TEST(GeneratorTest, HitsOfferedLoadTarget) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  const GeneratedWorkload w = GenerateWorkload(cluster, SmallWorkload());
+  EXPECT_GT(w.jobs.size(), 50u);
+  EXPECT_NEAR(w.offered_load, 1.2, 0.15);
+  // Recompute the load from the jobs themselves.
+  double work = 0.0;
+  for (const JobSpec& job : w.jobs) {
+    work += job.true_runtime * job.num_tasks;
+  }
+  EXPECT_NEAR(work / (cluster.total_nodes() * Hours(1.0)), w.offered_load, 1e-9);
+}
+
+TEST(GeneratorTest, ArrivalsSortedWithinWindowAndBursty) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  const GeneratedWorkload w = GenerateWorkload(cluster, SmallWorkload());
+  RunningStats gaps;
+  for (size_t i = 0; i < w.jobs.size(); ++i) {
+    EXPECT_GE(w.jobs[i].submit_time, 0.0);
+    EXPECT_LE(w.jobs[i].submit_time, Hours(1.0) + 1e-6);
+    if (i > 0) {
+      EXPECT_GE(w.jobs[i].submit_time, w.jobs[i - 1].submit_time);
+      gaps.Add(w.jobs[i].submit_time - w.jobs[i - 1].submit_time);
+    }
+  }
+  // c_a^2 = 4 burstiness: squared CoV of inter-arrivals well above Poisson.
+  const double cv2 = gaps.variance() / (gaps.mean() * gaps.mean());
+  EXPECT_GT(cv2, 2.0);
+}
+
+TEST(GeneratorTest, SloBeSplitAndDeadlines) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  WorkloadOptions options = SmallWorkload();
+  options.deadline_slacks = {20.0, 40.0, 60.0, 80.0};
+  const GeneratedWorkload w = GenerateWorkload(cluster, options);
+  int slo = 0;
+  std::set<int> seen_slacks;
+  for (const JobSpec& job : w.jobs) {
+    if (job.is_slo()) {
+      ++slo;
+      ASSERT_NE(job.deadline, kNever);
+      const double slack = job.DeadlineSlackPercent();
+      const int rounded = static_cast<int>(std::round(slack));
+      EXPECT_TRUE(rounded == 20 || rounded == 40 || rounded == 60 || rounded == 80)
+          << "slack=" << slack;
+      seen_slacks.insert(rounded);
+      EXPECT_TRUE(job.utility.is_step());
+      // Preferred groups: 75% of 4 groups = 3.
+      EXPECT_EQ(job.preferred_groups.size(), 3u);
+      EXPECT_DOUBLE_EQ(job.nonpreferred_slowdown, 1.5);
+    } else {
+      EXPECT_EQ(job.deadline, kNever);
+      EXPECT_FALSE(job.utility.is_step());
+      EXPECT_TRUE(job.preferred_groups.empty());
+    }
+  }
+  // Roughly even split.
+  EXPECT_NEAR(static_cast<double>(slo) / w.jobs.size(), 0.5, 0.12);
+  EXPECT_EQ(seen_slacks.size(), 4u);
+}
+
+TEST(GeneratorTest, JobsFitTheLargestGroup) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  const GeneratedWorkload w = GenerateWorkload(cluster, SmallWorkload());
+  for (const JobSpec& job : w.jobs) {
+    EXPECT_LE(job.num_tasks, 64);
+    EXPECT_GE(job.num_tasks, 1);
+  }
+}
+
+TEST(GeneratorTest, FeaturesPresentAndStructured) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  const GeneratedWorkload w = GenerateWorkload(cluster, SmallWorkload());
+  for (const JobSpec& job : w.jobs) {
+    ASSERT_EQ(job.features.size(), 4u);
+    EXPECT_EQ(job.features[0].rfind("user=", 0), 0u);
+    EXPECT_EQ(job.features[1].rfind("jobname=", 0), 0u);
+    EXPECT_EQ(job.features[2].rfind("user+jobname=", 0), 0u);
+    EXPECT_EQ(job.features[3].rfind("tasks=", 0), 0u);
+  }
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  const GeneratedWorkload a = GenerateWorkload(cluster, SmallWorkload());
+  const GeneratedWorkload b = GenerateWorkload(cluster, SmallWorkload());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].true_runtime, b.jobs[i].true_runtime);
+    EXPECT_DOUBLE_EQ(a.jobs[i].submit_time, b.jobs[i].submit_time);
+    EXPECT_EQ(a.jobs[i].user, b.jobs[i].user);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  WorkloadOptions o1 = SmallWorkload();
+  WorkloadOptions o2 = SmallWorkload();
+  o2.seed = 18;
+  const GeneratedWorkload a = GenerateWorkload(cluster, o1);
+  const GeneratedWorkload b = GenerateWorkload(cluster, o2);
+  EXPECT_NE(a.jobs.size(), b.jobs.size());
+}
+
+TEST(GeneratorTest, PretrainSampleCapHolds) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  WorkloadOptions options = SmallWorkload();
+  options.pretrain_jobs = 2000;
+  options.pretrain_sample_cap = 5;
+  const GeneratedWorkload w = GenerateWorkload(cluster, options);
+  std::map<std::string, int> counts;
+  for (const JobSpec& job : w.pretrain) {
+    ++counts[job.user + "|" + job.name];
+  }
+  for (const auto& [key, count] : counts) {
+    EXPECT_LE(count, 5) << key;
+  }
+}
+
+TEST(GeneratorTest, FixedJobCountScalesToLoad) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(8, 1573);  // ~12.5k nodes.
+  WorkloadOptions options = SmallWorkload();
+  options.fixed_job_count = 2000;
+  options.load = 0.95;
+  const GeneratedWorkload w = GenerateWorkload(cluster, options);
+  EXPECT_EQ(w.jobs.size(), 2000u);
+  EXPECT_NEAR(w.offered_load, 0.95, 0.1);
+}
+
+TEST(GeneratorTest, UtilityValuesScaleWithGangWidth) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  WorkloadOptions options = SmallWorkload();
+  options.slo_utility_per_task = 50.0;
+  options.be_utility_per_task = 1.0;
+  const GeneratedWorkload w = GenerateWorkload(cluster, options);
+  for (const JobSpec& job : w.jobs) {
+    if (job.is_slo()) {
+      EXPECT_DOUBLE_EQ(job.utility.peak_value(), 50.0 * job.num_tasks);
+    } else {
+      EXPECT_DOUBLE_EQ(job.utility.peak_value(), 1.0 * job.num_tasks);
+    }
+  }
+}
+
+TEST(GeneratorTest, AllEnvironmentsGenerate) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  for (EnvironmentKind env : {EnvironmentKind::kGoogle, EnvironmentKind::kHedgeFund,
+                              EnvironmentKind::kMustang}) {
+    WorkloadOptions options = SmallWorkload();
+    options.env = env;
+    const GeneratedWorkload w = GenerateWorkload(cluster, options);
+    EXPECT_GT(w.jobs.size(), 10u) << EnvironmentName(env);
+    EXPECT_NEAR(w.offered_load, options.load, 0.25) << EnvironmentName(env);
+  }
+}
+
+TEST(GeneratorTest, RuntimesCappedToWindow) {
+  // Jobs longer than 60% of the window are filtered (they cannot complete
+  // inside the experiment), mirroring the paper's size filtering.
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  WorkloadOptions options = SmallWorkload();
+  options.env = EnvironmentKind::kMustang;  // Longest runtimes.
+  const GeneratedWorkload w = GenerateWorkload(cluster, options);
+  for (const JobSpec& job : w.jobs) {
+    EXPECT_LE(job.true_runtime, options.duration * 0.6 + 1e-9);
+  }
+}
+
+TEST(GeneratorTest, PretrainJobsShareFeatureSpaceWithWorkload) {
+  // The predictor can only warm up if pre-training jobs hit the same feature
+  // values the experiment jobs carry.
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  const GeneratedWorkload w = GenerateWorkload(cluster, SmallWorkload());
+  std::set<std::string> pretrain_users;
+  for (const JobSpec& job : w.pretrain) {
+    pretrain_users.insert(job.features[0]);
+  }
+  int covered = 0;
+  for (const JobSpec& job : w.jobs) {
+    if (pretrain_users.count(job.features[0]) > 0) {
+      ++covered;
+    }
+  }
+  EXPECT_GT(static_cast<double>(covered) / w.jobs.size(), 0.9);
+}
+
+}  // namespace
+}  // namespace threesigma
