@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_planahead.dir/abl01_planahead.cc.o"
+  "CMakeFiles/abl01_planahead.dir/abl01_planahead.cc.o.d"
+  "abl01_planahead"
+  "abl01_planahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_planahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_oe_threshold.dir/abl02_oe_threshold.cc.o"
+  "CMakeFiles/abl02_oe_threshold.dir/abl02_oe_threshold.cc.o.d"
+  "abl02_oe_threshold"
+  "abl02_oe_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_oe_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_preemption.dir/abl03_preemption.cc.o"
+  "CMakeFiles/abl03_preemption.dir/abl03_preemption.cc.o.d"
+  "abl03_preemption"
+  "abl03_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

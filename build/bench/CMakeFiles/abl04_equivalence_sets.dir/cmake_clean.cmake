@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl04_equivalence_sets.dir/abl04_equivalence_sets.cc.o"
+  "CMakeFiles/abl04_equivalence_sets.dir/abl04_equivalence_sets.cc.o.d"
+  "abl04_equivalence_sets"
+  "abl04_equivalence_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_equivalence_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

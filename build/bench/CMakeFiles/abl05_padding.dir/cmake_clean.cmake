@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl05_padding.dir/abl05_padding.cc.o"
+  "CMakeFiles/abl05_padding.dir/abl05_padding.cc.o.d"
+  "abl05_padding"
+  "abl05_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl05_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

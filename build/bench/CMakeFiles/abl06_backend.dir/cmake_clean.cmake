@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl06_backend.dir/abl06_backend.cc.o"
+  "CMakeFiles/abl06_backend.dir/abl06_backend.cc.o.d"
+  "abl06_backend"
+  "abl06_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl06_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl07_sketches.dir/abl07_sketches.cc.o"
+  "CMakeFiles/abl07_sketches.dir/abl07_sketches.cc.o.d"
+  "abl07_sketches"
+  "abl07_sketches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl07_sketches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

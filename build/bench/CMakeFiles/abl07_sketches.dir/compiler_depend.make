@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl07_sketches.
+# This may be replaced when dependencies are built.

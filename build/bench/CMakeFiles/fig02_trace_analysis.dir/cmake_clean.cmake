@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_trace_analysis.dir/fig02_trace_analysis.cc.o"
+  "CMakeFiles/fig02_trace_analysis.dir/fig02_trace_analysis.cc.o.d"
+  "fig02_trace_analysis"
+  "fig02_trace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

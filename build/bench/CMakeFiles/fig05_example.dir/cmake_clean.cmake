@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_example.dir/fig05_example.cc.o"
+  "CMakeFiles/fig05_example.dir/fig05_example.cc.o.d"
+  "fig05_example"
+  "fig05_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

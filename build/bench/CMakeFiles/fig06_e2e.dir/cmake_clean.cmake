@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_e2e.dir/fig06_e2e.cc.o"
+  "CMakeFiles/fig06_e2e.dir/fig06_e2e.cc.o.d"
+  "fig06_e2e"
+  "fig06_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_workloads.dir/fig07_workloads.cc.o"
+  "CMakeFiles/fig07_workloads.dir/fig07_workloads.cc.o.d"
+  "fig07_workloads"
+  "fig07_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

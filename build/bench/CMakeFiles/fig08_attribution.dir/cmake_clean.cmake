@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_attribution.dir/fig08_attribution.cc.o"
+  "CMakeFiles/fig08_attribution.dir/fig08_attribution.cc.o.d"
+  "fig08_attribution"
+  "fig08_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_perturbation.dir/fig09_perturbation.cc.o"
+  "CMakeFiles/fig09_perturbation.dir/fig09_perturbation.cc.o.d"
+  "fig09_perturbation"
+  "fig09_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_samples.dir/fig11_samples.cc.o"
+  "CMakeFiles/fig11_samples.dir/fig11_samples.cc.o.d"
+  "fig11_samples"
+  "fig11_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_predict.dir/micro_predict.cc.o"
+  "CMakeFiles/micro_predict.dir/micro_predict.cc.o.d"
+  "micro_predict"
+  "micro_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_predict.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig05_smoke "/root/repo/build/bench/fig05_example")
+set_tests_properties(bench_fig05_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl07_smoke "/root/repo/build/bench/abl07_sketches")
+set_tests_properties(bench_abl07_smoke PROPERTIES  ENVIRONMENT "THREESIGMA_BENCH_SCALE=quick" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_scenarios.dir/deadline_scenarios.cpp.o"
+  "CMakeFiles/deadline_scenarios.dir/deadline_scenarios.cpp.o.d"
+  "deadline_scenarios"
+  "deadline_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_deadline_scenarios_smoke "/root/repo/build/examples/deadline_scenarios")
+set_tests_properties(example_deadline_scenarios_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_experiment_smoke "/root/repo/build/examples/run_experiment" "--hours=0.03" "--load=0.8" "--systems=Prio,3Sigma" "--no-timeline" "--metrics-csv=run_experiment_smoke.csv")
+set_tests_properties(example_run_experiment_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_experiment_help "/root/repo/build/examples/run_experiment" "--help")
+set_tests_properties(example_run_experiment_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_experiment_bad_flag "/root/repo/build/examples/run_experiment" "--bogus=1")
+set_tests_properties(example_run_experiment_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_cluster.dir/cluster.cc.o"
+  "CMakeFiles/ts_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/ts_cluster.dir/job.cc.o"
+  "CMakeFiles/ts_cluster.dir/job.cc.o.d"
+  "CMakeFiles/ts_cluster.dir/utility.cc.o"
+  "CMakeFiles/ts_cluster.dir/utility.cc.o.d"
+  "libts_cluster.a"
+  "libts_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

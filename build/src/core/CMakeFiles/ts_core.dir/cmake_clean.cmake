@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_core.dir/experiment.cc.o"
+  "CMakeFiles/ts_core.dir/experiment.cc.o.d"
+  "CMakeFiles/ts_core.dir/systems.cc.o"
+  "CMakeFiles/ts_core.dir/systems.cc.o.d"
+  "libts_core.a"
+  "libts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/histogram/empirical_distribution.cc" "src/histogram/CMakeFiles/ts_histogram.dir/empirical_distribution.cc.o" "gcc" "src/histogram/CMakeFiles/ts_histogram.dir/empirical_distribution.cc.o.d"
+  "/root/repo/src/histogram/stream_histogram.cc" "src/histogram/CMakeFiles/ts_histogram.dir/stream_histogram.cc.o" "gcc" "src/histogram/CMakeFiles/ts_histogram.dir/stream_histogram.cc.o.d"
+  "/root/repo/src/histogram/tdigest.cc" "src/histogram/CMakeFiles/ts_histogram.dir/tdigest.cc.o" "gcc" "src/histogram/CMakeFiles/ts_histogram.dir/tdigest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_histogram.dir/empirical_distribution.cc.o"
+  "CMakeFiles/ts_histogram.dir/empirical_distribution.cc.o.d"
+  "CMakeFiles/ts_histogram.dir/stream_histogram.cc.o"
+  "CMakeFiles/ts_histogram.dir/stream_histogram.cc.o.d"
+  "CMakeFiles/ts_histogram.dir/tdigest.cc.o"
+  "CMakeFiles/ts_histogram.dir/tdigest.cc.o.d"
+  "libts_histogram.a"
+  "libts_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

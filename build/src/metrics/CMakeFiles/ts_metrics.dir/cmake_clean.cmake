@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_metrics.dir/metrics.cc.o"
+  "CMakeFiles/ts_metrics.dir/metrics.cc.o.d"
+  "CMakeFiles/ts_metrics.dir/report.cc.o"
+  "CMakeFiles/ts_metrics.dir/report.cc.o.d"
+  "CMakeFiles/ts_metrics.dir/timeline.cc.o"
+  "CMakeFiles/ts_metrics.dir/timeline.cc.o.d"
+  "libts_metrics.a"
+  "libts_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_predict.dir/feature_history.cc.o"
+  "CMakeFiles/ts_predict.dir/feature_history.cc.o.d"
+  "CMakeFiles/ts_predict.dir/predictor.cc.o"
+  "CMakeFiles/ts_predict.dir/predictor.cc.o.d"
+  "CMakeFiles/ts_predict.dir/predictor_io.cc.o"
+  "CMakeFiles/ts_predict.dir/predictor_io.cc.o.d"
+  "libts_predict.a"
+  "libts_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_sched.dir/distribution_scheduler.cc.o"
+  "CMakeFiles/ts_sched.dir/distribution_scheduler.cc.o.d"
+  "CMakeFiles/ts_sched.dir/prio_scheduler.cc.o"
+  "CMakeFiles/ts_sched.dir/prio_scheduler.cc.o.d"
+  "libts_sched.a"
+  "libts_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

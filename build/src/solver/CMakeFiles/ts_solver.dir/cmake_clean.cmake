@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_solver.dir/lp_model.cc.o"
+  "CMakeFiles/ts_solver.dir/lp_model.cc.o.d"
+  "CMakeFiles/ts_solver.dir/milp.cc.o"
+  "CMakeFiles/ts_solver.dir/milp.cc.o.d"
+  "CMakeFiles/ts_solver.dir/presolve.cc.o"
+  "CMakeFiles/ts_solver.dir/presolve.cc.o.d"
+  "CMakeFiles/ts_solver.dir/simplex.cc.o"
+  "CMakeFiles/ts_solver.dir/simplex.cc.o.d"
+  "libts_solver.a"
+  "libts_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

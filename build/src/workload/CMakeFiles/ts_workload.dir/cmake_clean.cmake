@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_workload.dir/generator.cc.o"
+  "CMakeFiles/ts_workload.dir/generator.cc.o.d"
+  "CMakeFiles/ts_workload.dir/kmeans.cc.o"
+  "CMakeFiles/ts_workload.dir/kmeans.cc.o.d"
+  "CMakeFiles/ts_workload.dir/trace_io.cc.o"
+  "CMakeFiles/ts_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/ts_workload.dir/trace_model.cc.o"
+  "CMakeFiles/ts_workload.dir/trace_model.cc.o.d"
+  "libts_workload.a"
+  "libts_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_io_test.dir/predictor_io_test.cc.o"
+  "CMakeFiles/predictor_io_test.dir/predictor_io_test.cc.o.d"
+  "predictor_io_test"
+  "predictor_io_test.pdb"
+  "predictor_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched_test.cc" "tests/CMakeFiles/sched_test.dir/sched_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/ts_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ts_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/ts_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ts_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/histogram/CMakeFiles/ts_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

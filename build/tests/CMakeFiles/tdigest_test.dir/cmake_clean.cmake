@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdigest_test.dir/tdigest_test.cc.o"
+  "CMakeFiles/tdigest_test.dir/tdigest_test.cc.o.d"
+  "tdigest_test"
+  "tdigest_test.pdb"
+  "tdigest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdigest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
