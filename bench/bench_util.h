@@ -5,6 +5,8 @@
 //   THREESIGMA_BENCH_SCALE=quick|default|full   (workload length multiplier;
 //       "full" approximates the paper's 5-hour windows)
 //   THREESIGMA_SEED=<n>
+//   THREESIGMA_SOLVER_THREADS=<n>   (branch-and-bound worker threads for all
+//       e2e benches; the solver is deterministic in this value)
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
@@ -38,6 +40,8 @@ inline ExperimentConfig MakeE2EConfig(double base_hours, double load = 1.4) {
   config.sim.reactive_min_gap = 2.0;
   config.sim.seed = BenchSeed();
   config.sched.cycle_period = config.sim.cycle_period;
+  config.sched.solver_threads =
+      static_cast<int>(GetEnvInt("THREESIGMA_SOLVER_THREADS", 1));
   return config;
 }
 

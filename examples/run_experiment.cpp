@@ -65,6 +65,8 @@ int main(int argc, char** argv) {
   int64_t groups = 4;
   int64_t nodes_per_group = 64;
   double cycle = 10.0;
+  int64_t solver_threads = 1;
+  bool capacity_cache = true;
   bool high_fidelity = false;
   bool timeline = true;
   bool slack_breakdown = false;
@@ -85,6 +87,12 @@ int main(int argc, char** argv) {
       .AddInt("groups", &groups, "node groups (equivalence sets)")
       .AddInt("nodes-per-group", &nodes_per_group, "nodes per group")
       .AddDouble("cycle", &cycle, "scheduling cycle period in seconds")
+      .AddInt("solver-threads", &solver_threads,
+              "MILP branch-and-bound worker threads (deterministic: any count "
+              "returns the same solution)")
+      .AddBool("capacity-cache", &capacity_cache,
+               "incremental expected-capacity cache (vs. full Eq. 3 recompute "
+               "per cycle)")
       .AddBool("high-fidelity", &high_fidelity, "use the noisy 'RC256' simulator mode")
       .AddBool("timeline", &timeline, "print the ASCII utilization timeline")
       .AddBool("slack-breakdown", &slack_breakdown, "print SLO miss rate by deadline slack");
@@ -106,6 +114,8 @@ int main(int argc, char** argv) {
   config.sim.seed = static_cast<uint64_t>(seed);
   config.sim.fidelity = high_fidelity ? SimFidelity::kHighFidelity : SimFidelity::kIdeal;
   config.sched.cycle_period = cycle;
+  config.sched.solver_threads = static_cast<int>(solver_threads);
+  config.sched.capacity_cache = capacity_cache;
 
   GeneratedWorkload workload;
   if (!swf_path.empty() || !trace_csv_path.empty()) {

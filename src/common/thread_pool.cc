@@ -1,0 +1,86 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace threesigma {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int background = std::max(num_threads, 1) - 1;
+  threads_.reserve(static_cast<size_t>(background));
+  for (int w = 0; w < background; ++w) {
+    // Worker 0 is the caller; background threads are 1..background.
+    threads_.emplace_back([this, w] { WorkerLoop(w + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::RunBatch(Batch& batch, int worker) {
+  for (;;) {
+    const int index = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch.size) {
+      return;
+    }
+    (*batch.fn)(worker, index);
+    if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last item done; the lock pairs with the caller's predicate check so
+      // the wakeup cannot slip between its test and its wait.
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) {
+        return;
+      }
+      seen_epoch = epoch_;
+      batch = batch_;
+    }
+    RunBatch(*batch, worker);
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int, int)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (threads_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) {
+      fn(0, i);
+    }
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->size = n;
+  batch->remaining.store(n, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+  RunBatch(*batch, /*worker=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock,
+                   [&] { return batch->remaining.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace threesigma

@@ -71,10 +71,23 @@ RunMetrics ComputeMetrics(const SimResult& result, const std::string& system_nam
     m.max_solver_seconds = std::max(m.max_solver_seconds, c.solver_seconds);
     m.max_milp_variables = std::max(m.max_milp_variables, c.milp_variables);
     m.max_milp_rows = std::max(m.max_milp_rows, c.milp_rows);
+    m.total_milp_nodes += c.milp_nodes;
+    m.max_milp_queue_depth = std::max(m.max_milp_queue_depth, c.milp_max_queue_depth);
+    m.total_incumbent_improvements += c.milp_incumbent_improvements;
+    m.capacity_cache_hits += c.capacity_cache_hits;
+    m.capacity_cache_misses += c.capacity_cache_misses;
   }
   if (!result.cycles.empty()) {
     m.mean_cycle_seconds = cycle_sum / static_cast<double>(result.cycles.size());
     m.mean_solver_seconds = solver_sum / static_cast<double>(result.cycles.size());
+  }
+  if (solver_sum > 0.0) {
+    m.solver_nodes_per_second = static_cast<double>(m.total_milp_nodes) / solver_sum;
+  }
+  const int64_t cache_total = m.capacity_cache_hits + m.capacity_cache_misses;
+  if (cache_total > 0) {
+    m.capacity_cache_hit_rate = static_cast<double>(m.capacity_cache_hits) /
+                                static_cast<double>(cache_total);
   }
   return m;
 }

@@ -11,6 +11,7 @@
 #ifndef SRC_METRICS_METRICS_H_
 #define SRC_METRICS_METRICS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,18 @@ struct RunMetrics {
   double max_solver_seconds = 0.0;
   int max_milp_variables = 0;
   int max_milp_rows = 0;
+
+  // Parallel-solver throughput: total branch-and-bound nodes over total
+  // solver wall-clock (0 when no solver time was recorded).
+  int64_t total_milp_nodes = 0;
+  double solver_nodes_per_second = 0.0;
+  int max_milp_queue_depth = 0;
+  int total_incumbent_improvements = 0;
+  // Expected-capacity cache: fraction of running-job survival lookups served
+  // without a recompute (0 when the cache recorded no traffic).
+  int64_t capacity_cache_hits = 0;
+  int64_t capacity_cache_misses = 0;
+  double capacity_cache_hit_rate = 0.0;
 };
 
 // Aggregates a simulation run into the paper's success metrics.

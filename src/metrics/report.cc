@@ -43,7 +43,9 @@ void WriteRunMetricsCsv(std::ostream& os, const std::vector<RunMetrics>& runs) {
         "goodput_machine_hours,slo_goodput_machine_hours,be_goodput_machine_hours,"
         "mean_be_latency_s,p50_be_latency_s,p90_be_latency_s,p99_be_latency_s,"
         "mean_cycle_s,max_cycle_s,mean_solver_s,max_solver_s,max_milp_variables,"
-        "max_milp_rows\n";
+        "max_milp_rows,total_milp_nodes,solver_nodes_per_s,max_milp_queue_depth,"
+        "incumbent_improvements,capacity_cache_hits,capacity_cache_misses,"
+        "capacity_cache_hit_rate\n";
   for (const RunMetrics& m : runs) {
     os << m.system << "," << m.slo_jobs << "," << m.slo_censored << "," << m.be_jobs << ","
        << m.slo_missed << "," << m.slo_miss_rate_percent << "," << m.slo_completed << ","
@@ -54,7 +56,10 @@ void WriteRunMetricsCsv(std::ostream& os, const std::vector<RunMetrics>& runs) {
        << m.p90_be_latency_seconds << "," << m.p99_be_latency_seconds << ","
        << m.mean_cycle_seconds << "," << m.max_cycle_seconds << "," << m.mean_solver_seconds
        << "," << m.max_solver_seconds << "," << m.max_milp_variables << ","
-       << m.max_milp_rows << "\n";
+       << m.max_milp_rows << "," << m.total_milp_nodes << "," << m.solver_nodes_per_second
+       << "," << m.max_milp_queue_depth << "," << m.total_incumbent_improvements << ","
+       << m.capacity_cache_hits << "," << m.capacity_cache_misses << ","
+       << m.capacity_cache_hit_rate << "\n";
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "src/common/check.h"
 #include "src/solver/milp.h"
@@ -12,6 +13,10 @@ namespace {
 
 // Options below this expected utility are pruned from the MILP (§4.3.6).
 constexpr double kMinOptionUtility = 1e-6;
+
+// Full consumed_ rebuild period (in solves) when the capacity cache is on;
+// squashes accumulated add/subtract float drift.
+constexpr int kCacheRebuildPeriod = 256;
 
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
   const std::chrono::duration<double> d = std::chrono::steady_clock::now() - t0;
@@ -27,6 +32,11 @@ DistributionScheduler::DistributionScheduler(const ClusterConfig& cluster,
   TS_CHECK(predictor_ != nullptr);
   TS_CHECK_GT(config_.num_start_slots, 0);
   TS_CHECK_GT(config_.planahead, 0.0);
+  consumed_.assign(static_cast<size_t>(cluster_.num_groups()),
+                   std::vector<double>(static_cast<size_t>(config_.num_start_slots), 0.0));
+  if (config_.solver_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.solver_threads);
+  }
 }
 
 void DistributionScheduler::OnJobArrival(const JobSpec& spec, Time now) {
@@ -74,11 +84,13 @@ void DistributionScheduler::OnJobStarted(JobId id, int group, Time now) {
   auto it = jobs_.find(id);
   TS_CHECK(it != jobs_.end());
   JobInfo& info = it->second;
+  RetireCapacityContribution(info);  // Stale entry from a pre-preemption run.
   info.running = true;
   info.group = group;
   info.start_time = now;
   info.underest_level = -1;
   info.underest_finish = kNever;
+  info.survival_valid_until = -1e18;
   pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
   dirty_ = true;
 }
@@ -86,6 +98,7 @@ void DistributionScheduler::OnJobStarted(JobId id, int group, Time now) {
 void DistributionScheduler::OnJobFinished(JobId id, Time now, Duration observed_runtime) {
   auto it = jobs_.find(id);
   TS_CHECK(it != jobs_.end());
+  RetireCapacityContribution(it->second);
   predictor_->RecordCompletion(it->second.spec.features, observed_runtime);
   jobs_.erase(it);
   pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
@@ -98,6 +111,7 @@ void DistributionScheduler::OnJobPreempted(JobId id, Time now) {
   TS_CHECK(it != jobs_.end());
   JobInfo& info = it->second;
   TS_CHECK(info.running);
+  RetireCapacityContribution(info);
   info.running = false;
   info.group = -1;
   info.start_time = kNever;
@@ -105,6 +119,7 @@ void DistributionScheduler::OnJobPreempted(JobId id, Time now) {
   info.underest_finish = kNever;
   info.planned_group = -1;
   info.planned_start = kNever;
+  info.survival_valid_until = -1e18;
   pending_.push_back(id);
   dirty_ = true;
   (void)now;
@@ -131,26 +146,161 @@ void DistributionScheduler::UpdateUnderestimate(JobInfo& info, Time now) const {
   }
 }
 
-double DistributionScheduler::RunningSurvival(JobInfo& info, Time now, Time tau) const {
+void DistributionScheduler::ComputeRunningSurvival(const JobInfo& info, Time now,
+                                                   std::vector<double>* out) const {
   TS_CHECK(info.running);
-  TS_CHECK_GE(tau, now);
+  const int slots = config_.num_start_slots;
+  const double delta = config_.planahead / slots;
+  out->resize(static_cast<size_t>(slots));
   if (info.underest_level >= 0) {
-    // Under-estimated job: a point remaining-time estimate (exp-inc).
-    return tau < info.underest_finish ? 1.0 : 0.0;
+    // Under-estimated job: a point remaining-time estimate (exp-inc, §4.2.1).
+    for (int i = 0; i < slots; ++i) {
+      (*out)[static_cast<size_t>(i)] = now + i * delta < info.underest_finish ? 1.0 : 0.0;
+    }
+    return;
   }
+  // Eq. 2: S(elapsed + offset | T > elapsed) = S(elapsed + offset) /
+  // S(elapsed), in the scaled (on-this-group) time base.
   const double mult = info.spec.RuntimeMultiplier(info.group);
   const double elapsed = now - info.start_time;
-  const double total_at_tau = elapsed + (tau - now);
-  // Eq. 2: S(total | T > elapsed) = S(total) / S(elapsed), in the scaled
-  // (on-this-group) time base.
   const EmpiricalDistribution scaled =
       mult == 1.0 ? info.sched_dist : info.sched_dist.Scaled(mult);
   const double s_elapsed = scaled.Survival(elapsed);
   if (s_elapsed <= 0.0) {
     // Raced past the max between updates; treat as one more cycle.
-    return tau < now + config_.cycle_period ? 1.0 : 0.0;
+    for (int i = 0; i < slots; ++i) {
+      (*out)[static_cast<size_t>(i)] = i * delta < config_.cycle_period ? 1.0 : 0.0;
+    }
+    return;
   }
-  return scaled.Survival(total_at_tau) / s_elapsed;
+  for (int i = 0; i < slots; ++i) {
+    (*out)[static_cast<size_t>(i)] = scaled.Survival(elapsed + i * delta) / s_elapsed;
+  }
+}
+
+void DistributionScheduler::RefreshRunningSurvival(JobInfo& info, Time now) {
+  UpdateUnderestimate(info, now);
+  ComputeRunningSurvival(info, now, &info.cached_survival);
+
+  // Validity horizon: the vector stays exact until one of the per-slot query
+  // points crosses a step of the survival function.
+  const int slots = config_.num_start_slots;
+  const double delta = config_.planahead / slots;
+  constexpr Time kForever = std::numeric_limits<double>::infinity();
+  if (info.underest_level >= 0) {
+    // Steps at now' + i·delta == underest_finish; the earliest future one
+    // bounds validity (i == 0 guarantees a future boundary: UpdateUnderestimate
+    // leaves underest_finish > now).
+    Time valid_until = kForever;
+    for (int i = 0; i < slots; ++i) {
+      const Time boundary = info.underest_finish - i * delta;
+      if (boundary > now) {
+        valid_until = std::min(valid_until, boundary);
+      }
+    }
+    info.survival_valid_until = valid_until;
+    return;
+  }
+  const double mult = info.spec.RuntimeMultiplier(info.group);
+  const double elapsed = now - info.start_time;
+  if (info.sched_dist.empty() || info.sched_dist.MaxValue() * mult <= elapsed) {
+    info.survival_valid_until = now;  // Fallback branch: recompute every cycle.
+    return;
+  }
+  // Survival steps at each atom value; slot i's query point elapsed + i·delta
+  // crosses atom v when elapsed reaches v − i·delta. The smallest such future
+  // elapsed bounds validity; per atom that is the *largest* i whose crossing
+  // is still ahead (larger i crosses earlier). The max atom's i == 0 crossing
+  // also covers the switch into under-estimate extension.
+  double next_elapsed = kForever;
+  for (const EmpiricalDistribution::Atom& atom : info.sched_dist.atoms()) {
+    const double v = atom.value * mult;
+    for (int i = slots - 1; i >= 0; --i) {
+      const double boundary = v - i * delta;
+      if (boundary > elapsed + 1e-9) {
+        next_elapsed = std::min(next_elapsed, boundary);
+        break;
+      }
+    }
+  }
+  info.survival_valid_until = info.start_time + next_elapsed;
+}
+
+void DistributionScheduler::RetireCapacityContribution(JobInfo& info) {
+  if (!info.capacity_applied) {
+    return;
+  }
+  const double k = info.spec.num_tasks;
+  std::vector<double>& row = consumed_[static_cast<size_t>(info.group)];
+  for (size_t i = 0; i < info.cached_survival.size(); ++i) {
+    row[i] -= k * info.cached_survival[i];
+  }
+  info.capacity_applied = false;
+}
+
+void DistributionScheduler::UpdateConsumed(Time now, const ClusterStateView& state,
+                                           CycleResult* result) {
+  const bool incremental =
+      config_.capacity_cache && solves_since_rebuild_ < kCacheRebuildPeriod;
+  if (!incremental) {
+    solves_since_rebuild_ = 0;
+    for (std::vector<double>& row : consumed_) {
+      std::fill(row.begin(), row.end(), 0.0);
+    }
+    for (auto& [id, info] : jobs_) {
+      info.capacity_applied = false;
+    }
+  }
+  ++solves_since_rebuild_;
+
+  for (const RunningJobView& r : state.running) {
+    auto it = jobs_.find(r.id);
+    TS_CHECK_MSG(it != jobs_.end(), "unknown running job " << r.id);
+    JobInfo& info = it->second;
+    TS_CHECK(info.running);
+    TS_CHECK_MSG(info.group == r.group, "group mismatch for job " << r.id);
+    if (incremental && info.capacity_applied && now < info.survival_valid_until) {
+      ++result->capacity_cache_hits;
+      continue;
+    }
+    RetireCapacityContribution(info);
+    RefreshRunningSurvival(info, now);
+    const double k = info.spec.num_tasks;
+    std::vector<double>& row = consumed_[static_cast<size_t>(info.group)];
+    for (size_t i = 0; i < info.cached_survival.size(); ++i) {
+      row[i] += k * info.cached_survival[i];
+    }
+    info.capacity_applied = true;
+    if (config_.capacity_cache) {
+      ++result->capacity_cache_misses;
+    }
+  }
+  cache_hits_ += result->capacity_cache_hits;
+  cache_misses_ += result->capacity_cache_misses;
+
+  if (config_.capacity_cache && config_.capacity_cache_crosscheck) {
+    // The cache invariant: delta-updated rows must equal a from-scratch
+    // recompute (up to float accumulation noise).
+    std::vector<std::vector<double>> expected(
+        consumed_.size(), std::vector<double>(static_cast<size_t>(config_.num_start_slots), 0.0));
+    std::vector<double> survival;
+    for (const RunningJobView& r : state.running) {
+      const JobInfo& info = jobs_.at(r.id);
+      ComputeRunningSurvival(info, now, &survival);
+      for (size_t i = 0; i < survival.size(); ++i) {
+        expected[static_cast<size_t>(r.group)][i] += info.spec.num_tasks * survival[i];
+      }
+    }
+    for (size_t g = 0; g < consumed_.size(); ++g) {
+      for (size_t i = 0; i < consumed_[g].size(); ++i) {
+        const double diff = std::fabs(consumed_[g][i] - expected[g][i]);
+        TS_CHECK_MSG(diff <= 1e-6 * std::max(1.0, std::fabs(expected[g][i])),
+                     "capacity cache drift at group " << g << " slot " << i << ": cached "
+                                                      << consumed_[g][i] << " vs recomputed "
+                                                      << expected[g][i]);
+      }
+    }
+  }
 }
 
 CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& state) {
@@ -181,13 +331,11 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   const double delta = config_.planahead / slots;
 
   // --- 1. Running jobs: conditional consumption per (group, slot). ---------
-  for (const RunningJobView& r : state.running) {
-    auto it = jobs_.find(r.id);
-    TS_CHECK_MSG(it != jobs_.end(), "unknown running job " << r.id);
-    UpdateUnderestimate(it->second, now);
-  }
-  // consumed[g][i]: expected nodes used at tau_i by running jobs.
-  std::vector<std::vector<double>> consumed(num_groups, std::vector<double>(slots, 0.0));
+  // Brings consumed_[g][i] up to date (incrementally when the cache is on);
+  // every running job's cached_survival is fresh as of `now` afterwards —
+  // either because it was just recomputed or because its validity horizon has
+  // not expired.
+  UpdateConsumed(now, state, &result);
   // Preemption candidates: running best-effort jobs (§4.3.5).
   struct PreemptCandidate {
     JobId id;
@@ -198,17 +346,13 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   };
   std::vector<PreemptCandidate> preemptables;
   for (const RunningJobView& r : state.running) {
-    JobInfo& info = jobs_.at(r.id);
-    std::vector<double> survival(slots);
-    for (int i = 0; i < slots; ++i) {
-      survival[i] = RunningSurvival(info, now, now + i * delta);
-      consumed[r.group][i] += r.num_tasks * survival[i];
+    if (!(config_.enable_preemption && r.type == JobType::kBestEffort)) {
+      continue;
     }
-    if (config_.enable_preemption && r.type == JobType::kBestEffort) {
-      preemptables.push_back(PreemptCandidate{
-          r.id, r.group, static_cast<double>(r.num_tasks), std::move(survival),
-          config_.preemption_cost_factor * info.effective_utility.peak_value()});
-    }
+    const JobInfo& info = jobs_.at(r.id);
+    preemptables.push_back(PreemptCandidate{
+        r.id, r.group, static_cast<double>(r.num_tasks), info.cached_survival,
+        config_.preemption_cost_factor * info.effective_utility.peak_value()});
   }
 
   // --- 2. Pending selection and abandonment. ------------------------------
@@ -310,7 +454,7 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   std::vector<std::vector<double>> cap(num_groups, std::vector<double>(slots));
   for (int g = 0; g < num_groups; ++g) {
     for (int i = 0; i < slots; ++i) {
-      cap[g][i] = cluster_.group(g).node_count - consumed[g][i];
+      cap[g][i] = cluster_.group(g).node_count - consumed_[static_cast<size_t>(g)][static_cast<size_t>(i)];
     }
   }
 
@@ -447,6 +591,8 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   MilpOptions milp_options;
   milp_options.time_limit_seconds = config_.solver_time_limit_seconds;
   milp_options.max_nodes = config_.solver_max_nodes;
+  milp_options.num_threads = config_.solver_threads;
+  milp_options.pool = pool_.get();
   if (any_warm) {
     milp_options.warm_start = warm;
   }
@@ -455,6 +601,8 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   const MilpSolution solution = solver.Solve(milp_options);
   result.solver_seconds = SecondsSince(solve_start);
   result.milp_nodes = solution.nodes_explored;
+  result.milp_max_queue_depth = solution.max_queue_depth;
+  result.milp_incumbent_improvements = static_cast<int>(solution.incumbent_improvements.size());
 
   if (solution.status != MilpStatus::kInfeasible) {
     // Clear previous plans; they are re-established from this solution.

@@ -27,12 +27,15 @@
 #ifndef SRC_SCHED_DISTRIBUTION_SCHEDULER_H_
 #define SRC_SCHED_DISTRIBUTION_SCHEDULER_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/cluster/cluster.h"
 #include "src/cluster/job.h"
+#include "src/common/thread_pool.h"
 #include "src/histogram/empirical_distribution.h"
 #include "src/predict/predictor.h"
 #include "src/sched/scheduler.h"
@@ -85,6 +88,24 @@ struct DistSchedulerConfig {
   // a planned deferred start comes due, or this much time passed since the
   // last solve (expected capacity drifts as conditional distributions age).
   Duration max_solve_skip = 30.0;
+
+  // Worker threads for the wave-parallel branch-and-bound solver (§4.3.6
+  // time budget stretches further when LP relaxations solve concurrently).
+  // The search is deterministic in this value's *presence*, not its size:
+  // any thread count returns bit-identical solutions.
+  int solver_threads = 1;
+
+  // Incremental expected-capacity cache: per (group, slot) Eq. 3 rows are
+  // updated by delta when a running job starts/completes/needs reconditioning
+  // instead of re-summing Σ k·(1 − CDF) over all running jobs every cycle.
+  // Each job's per-slot survival vector carries a validity horizon (the next
+  // time an atom of its conditioned distribution crosses a slot boundary);
+  // rows stay untouched until a horizon expires.
+  bool capacity_cache = true;
+  // Debug mode: after every incremental update, recompute all rows from
+  // scratch and TS_CHECK the delta-updated values match (the cache
+  // invariant). Costs the full recompute the cache saves; tests only.
+  bool capacity_cache_crosscheck = false;
 };
 
 class DistributionScheduler : public Scheduler {
@@ -103,6 +124,11 @@ class DistributionScheduler : public Scheduler {
   // Diagnostics.
   int pending_count() const { return static_cast<int>(pending_.size()); }
   const DistSchedulerConfig& config() const { return config_; }
+  // Eq. 3 running-job consumption per (group, slot) as of the last full
+  // cycle: expected free capacity is node_count − expected_consumed()[g][i].
+  const std::vector<std::vector<double>>& expected_consumed() const { return consumed_; }
+  int64_t capacity_cache_hits() const { return cache_hits_; }
+  int64_t capacity_cache_misses() const { return cache_misses_; }
 
  private:
   struct JobInfo {
@@ -125,13 +151,31 @@ class DistributionScheduler : public Scheduler {
     // Warm-start memory: last cycle's planned option.
     int planned_group = -1;
     Time planned_start = kNever;
+
+    // Expected-capacity cache entry: this job's per-slot survival vector,
+    // exact for any cycle time in [when it was computed, survival_valid_until).
+    // `capacity_applied` marks that k·cached_survival is currently summed
+    // into consumed_[group] and must be subtracted before any change.
+    std::vector<double> cached_survival;
+    Time survival_valid_until = -1e18;
+    bool capacity_applied = false;
   };
 
-  // Survival probability of a *running* job at future absolute time `tau`
-  // (>= now). Folds in Eq. 2 conditioning and under-estimate extension.
-  double RunningSurvival(JobInfo& info, Time now, Time tau) const;
   // Refreshes the under-estimate extension state of a running job (§4.2.1).
   void UpdateUnderestimate(JobInfo& info, Time now) const;
+
+  // Pure per-slot survival vector of a running job at `now` (no cache or
+  // under-estimate state mutation; shared by the cache refresh and the
+  // cross-check recompute).
+  void ComputeRunningSurvival(const JobInfo& info, Time now, std::vector<double>* out) const;
+  // Recomputes a job's cached survival vector and its validity horizon
+  // (calls UpdateUnderestimate first).
+  void RefreshRunningSurvival(JobInfo& info, Time now);
+  // Removes a job's applied contribution from consumed_ (no-op if none).
+  void RetireCapacityContribution(JobInfo& info);
+  // Step 1 of RunCycle: brings consumed_ up to date for `now`, incrementally
+  // when the cache is enabled; fills the cycle's hit/miss counters.
+  void UpdateConsumed(Time now, const ClusterStateView& state, CycleResult* result);
 
   const ClusterConfig& cluster_;
   RuntimePredictor* predictor_;
@@ -143,6 +187,18 @@ class DistributionScheduler : public Scheduler {
   // Solve-skip state (see DistSchedulerConfig::max_solve_skip).
   bool dirty_ = true;
   Time last_solve_ = -1e18;
+
+  // Incremental Eq. 3 state: consumed_[g][i] = Σ k·(1 − CDF) over running
+  // jobs, maintained by delta updates (see DistSchedulerConfig::capacity_cache).
+  std::vector<std::vector<double>> consumed_;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+  // Delta updates accumulate float error; a periodic full rebuild squashes
+  // any drift long before it can reach the cross-check tolerance.
+  int solves_since_rebuild_ = 0;
+
+  // Shared across cycles so the parallel solver never re-spawns threads.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace threesigma

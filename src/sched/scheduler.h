@@ -8,6 +8,7 @@
 #ifndef SRC_SCHED_SCHEDULER_H_
 #define SRC_SCHED_SCHEDULER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,14 @@ struct CycleResult {
   int milp_variables = 0;
   int milp_rows = 0;
   int milp_nodes = 0;
+  // Parallel-solver diagnostics: deepest the subproblem queue got and how
+  // many times the incumbent improved during the solve.
+  int milp_max_queue_depth = 0;
+  int milp_incumbent_improvements = 0;
+  // Expected-capacity cache traffic this cycle (running jobs served from
+  // their cached survival vector vs. recomputed).
+  int64_t capacity_cache_hits = 0;
+  int64_t capacity_cache_misses = 0;
 };
 
 class Scheduler {

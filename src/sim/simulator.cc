@@ -182,7 +182,11 @@ SimResult Simulator::Run() {
         result.cycles.push_back(CycleStats{now, decision.cycle_seconds,
                                            decision.solver_seconds, decision.milp_variables,
                                            decision.milp_rows, decision.milp_nodes,
-                                           pending_count, running_count});
+                                           pending_count, running_count,
+                                           decision.milp_max_queue_depth,
+                                           decision.milp_incumbent_improvements,
+                                           decision.capacity_cache_hits,
+                                           decision.capacity_cache_misses});
 
         // 1. Preemptions free capacity first (slot-0 placements may rely on
         //    the freed nodes).

@@ -1,13 +1,23 @@
 #include "src/solver/milp.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
 
 #include "src/common/check.h"
 
 namespace threesigma {
 namespace {
+
+// Nodes dispatched per wave when MilpOptions::batch_width is 0. Chosen large
+// enough to keep several workers busy once the tree fans out, small enough
+// that the incumbent bound (which only advances at wave commits) stays fresh.
+constexpr int kDefaultBatchWidth = 16;
 
 // A branching decision along the current tree path.
 struct BoundFix {
@@ -17,11 +27,24 @@ struct BoundFix {
 };
 
 struct Node {
+  // Tree path: '0' for the floor child, '1' for the ceil child. Lexicographic
+  // order on ids is the deterministic tie-break between equal-objective
+  // incumbents; '~' (warm start) and a trailing 'r' (greedy rounding) sort
+  // after real tree ids so exact tree solutions take precedence.
+  std::string id;
   std::vector<BoundFix> fixes;  // Full path from the root.
   double parent_bound;          // LP bound of the parent (pruning hint).
 };
 
 bool IsIntegral(double v, double tol) { return std::fabs(v - std::round(v)) <= tol; }
+
+// Per-worker scratch: a private model copy whose bounds are mutated along the
+// assigned node's tree path, then restored.
+struct Workspace {
+  explicit Workspace(const LpModel& model) : work(model) {}
+  LpModel work;
+  std::vector<int> touched;
+};
 
 }  // namespace
 
@@ -100,30 +123,41 @@ bool MilpSolver::GreedyRound(const std::vector<double>& relaxed, std::vector<dou
 MilpSolution MilpSolver::Solve(const MilpOptions& options) {
   using Clock = std::chrono::steady_clock;
   const auto start_time = Clock::now();
+  const auto seconds_elapsed = [&]() {
+    const std::chrono::duration<double> elapsed = Clock::now() - start_time;
+    return elapsed.count();
+  };
   const auto out_of_time = [&]() {
     if (options.time_limit_seconds <= 0.0) {
       return false;
     }
-    const std::chrono::duration<double> elapsed = Clock::now() - start_time;
-    return elapsed.count() >= options.time_limit_seconds;
+    return seconds_elapsed() >= options.time_limit_seconds;
   };
 
   MilpSolution result;
 
-  // Working copy whose bounds are mutated along the tree path.
-  LpModel work = model_;
-  std::vector<int> touched;  // Vars whose bounds differ from the baseline.
-  const auto reset_bounds = [&]() {
-    for (int v : touched) {
-      work.SetVariableBounds(v, model_.lower(v), model_.upper(v));
-    }
-    touched.clear();
-  };
+  // Worker setup. The caller always participates, so `workers` counts it;
+  // the sequential path (workers == 1, no pool) touches no thread machinery.
+  std::unique_ptr<ThreadPool> local_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr && options.num_threads > 1) {
+    local_pool = std::make_unique<ThreadPool>(options.num_threads);
+    pool = local_pool.get();
+  }
+  const int workers = pool != nullptr ? pool->size() : 1;
+  const int batch_width = options.batch_width > 0 ? options.batch_width : kDefaultBatchWidth;
+
+  std::vector<Workspace> workspaces;
+  workspaces.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workspaces.emplace_back(model_);
+  }
 
   // Install the warm start as the initial incumbent if it is valid.
   bool have_incumbent = false;
   std::vector<double> best;
   double best_obj = 0.0;
+  std::string best_id = "~";  // Sorts after every tree id.
   if (!options.warm_start.empty() &&
       static_cast<int>(options.warm_start.size()) == model_.num_variables()) {
     bool integral = true;
@@ -141,99 +175,191 @@ MilpSolution MilpSolver::Solve(const MilpOptions& options) {
     }
   }
 
+  // The incumbent objective, readable lock-free by workers mid-wave. It only
+  // advances at the sequential wave commits below — that is what makes the
+  // search deterministic (see the header comment).
+  std::atomic<double> incumbent_bound{
+      have_incumbent ? best_obj : -std::numeric_limits<double>::infinity()};
+
+  // Accepts a candidate incumbent under the deterministic total order:
+  // higher objective wins; equal objectives go to the lexicographically
+  // smallest id. Only called from the sequential commit phase.
+  const auto consider_incumbent = [&](double obj, const std::string& id,
+                                      std::vector<double>&& values, bool from_tree) {
+    if (have_incumbent && !(obj > best_obj || (obj == best_obj && id < best_id))) {
+      return;
+    }
+    best = std::move(values);
+    best_obj = obj;
+    best_id = id;
+    have_incumbent = true;
+    if (from_tree) {
+      result.warm_start_returned = false;
+    }
+    result.incumbent_improvements.push_back(IncumbentImprovement{seconds_elapsed(), obj});
+  };
+
   std::vector<Node> stack;
-  stack.push_back(Node{{}, kLpInfinity});
+  stack.push_back(Node{"", {}, kLpInfinity});
+  result.max_queue_depth = 1;
+
+  std::vector<Node> wave;
+  std::vector<LpSolution> relaxations;
+  std::vector<char> solved;
 
   while (!stack.empty()) {
-    if ((options.max_nodes > 0 && result.nodes_explored >= options.max_nodes) || out_of_time()) {
+    if ((options.max_nodes > 0 && result.nodes_explored >= options.max_nodes) ||
+        out_of_time()) {
       break;
     }
-    Node node = std::move(stack.back());
-    stack.pop_back();
-    if (have_incumbent && node.parent_bound <= best_obj + 1e-9) {
-      continue;  // The parent already proved this subtree cannot improve.
-    }
-    ++result.nodes_explored;
 
-    reset_bounds();
-    for (const BoundFix& fix : node.fixes) {
-      work.SetVariableBounds(fix.var, fix.lower, fix.upper);
-      touched.push_back(fix.var);
+    // --- Dispatch: pop the wave, pruning against the committed incumbent. --
+    int budget_room = std::numeric_limits<int>::max();
+    if (options.max_nodes > 0) {
+      budget_room = options.max_nodes - result.nodes_explored;
     }
-
-    const LpSolution relax = SolveLp(work);
-    result.lp_iterations += relax.iterations;
-    if (relax.status == LpStatus::kInfeasible) {
-      continue;
-    }
-    if (relax.status == LpStatus::kUnbounded) {
-      // Integral restriction of an unbounded relaxation: give up on bounding
-      // and rely on incumbents only (does not occur for scheduler models).
-      continue;
-    }
-    if (have_incumbent && relax.objective <= best_obj + 1e-9) {
-      continue;
+    const int take =
+        std::min({batch_width, static_cast<int>(stack.size()), budget_room});
+    wave.clear();
+    for (int i = 0; i < take; ++i) {
+      wave.push_back(std::move(stack.back()));
+      stack.pop_back();
     }
 
-    // Find the most fractional integer variable.
-    int branch_var = -1;
-    double branch_frac = 0.0;
-    for (int v : integer_vars_) {
-      const double value = relax.values[v];
-      if (!IsIntegral(value, options.integrality_tol)) {
-        const double frac = std::fabs(value - std::round(value));
-        if (frac > branch_frac) {
-          branch_frac = frac;
-          branch_var = v;
+    // --- Solve: LP relaxations in parallel on private model copies. --------
+    // Per-node outcome: 0 = unsolved (wall clock expired), 1 = LP solved,
+    // 2 = pruned lock-free against the incumbent bound.
+    constexpr char kUnsolved = 0, kSolved = 1, kPruned = 2;
+    const int n = static_cast<int>(wave.size());
+    relaxations.assign(static_cast<size_t>(n), LpSolution{});
+    solved.assign(static_cast<size_t>(n), kUnsolved);
+    const auto solve_node = [&](int worker, int index) {
+      if (out_of_time()) {
+        return;  // Left unsolved; requeued by the commit phase.
+      }
+      const Node& node = wave[static_cast<size_t>(index)];
+      // Lock-free bound prune. The atomic only advances at wave commits, so
+      // this reads the same value in every run — deterministic.
+      if (node.parent_bound <= incumbent_bound.load(std::memory_order_relaxed) + 1e-9) {
+        solved[static_cast<size_t>(index)] = kPruned;
+        return;
+      }
+      Workspace& ws = workspaces[static_cast<size_t>(worker)];
+      for (const BoundFix& fix : node.fixes) {
+        ws.work.SetVariableBounds(fix.var, fix.lower, fix.upper);
+        ws.touched.push_back(fix.var);
+      }
+      relaxations[static_cast<size_t>(index)] = SolveLp(ws.work);
+      for (int v : ws.touched) {
+        ws.work.SetVariableBounds(v, model_.lower(v), model_.upper(v));
+      }
+      ws.touched.clear();
+      solved[static_cast<size_t>(index)] = kSolved;
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(n, solve_node);
+    } else {
+      for (int i = 0; i < n; ++i) {
+        solve_node(0, i);
+      }
+    }
+
+    // --- Commit: sequential, in pop order, so every incumbent update,
+    // prune, node count, and child push is deterministic. ------------------
+    bool timed_out = false;
+    for (int i = 0; i < n; ++i) {
+      Node& node = wave[static_cast<size_t>(i)];
+      if (solved[static_cast<size_t>(i)] == kPruned) {
+        continue;  // Dominated subtree; not counted, exactly like a pop-prune.
+      }
+      if (solved[static_cast<size_t>(i)] == kUnsolved) {
+        // Ran out of wall clock mid-wave: requeue this and the remaining
+        // unsolved nodes (reverse order keeps the pop order intact).
+        for (int j = n - 1; j >= i; --j) {
+          if (solved[static_cast<size_t>(j)] == kUnsolved) {
+            stack.push_back(std::move(wave[static_cast<size_t>(j)]));
+          }
+        }
+        timed_out = true;
+        break;
+      }
+      const LpSolution& relax = relaxations[static_cast<size_t>(i)];
+      ++result.nodes_explored;
+      result.lp_iterations += relax.iterations;
+      if (relax.status == LpStatus::kInfeasible) {
+        continue;
+      }
+      if (relax.status == LpStatus::kUnbounded) {
+        // Integral restriction of an unbounded relaxation: give up on
+        // bounding and rely on incumbents only (does not occur for scheduler
+        // models).
+        continue;
+      }
+      if (have_incumbent && relax.objective <= best_obj + 1e-9) {
+        continue;
+      }
+
+      // Find the most fractional integer variable.
+      int branch_var = -1;
+      double branch_frac = 0.0;
+      for (int v : integer_vars_) {
+        const double value = relax.values[v];
+        if (!IsIntegral(value, options.integrality_tol)) {
+          const double frac = std::fabs(value - std::round(value));
+          if (frac > branch_frac) {
+            branch_frac = frac;
+            branch_var = v;
+          }
         }
       }
-    }
 
-    if (branch_var < 0) {
-      // Integral solution: snap and accept.
-      std::vector<double> snapped = relax.values;
-      for (int v : integer_vars_) {
-        snapped[v] = std::round(snapped[v]);
+      if (branch_var < 0) {
+        // Integral solution: snap and accept.
+        std::vector<double> snapped = relax.values;
+        for (int v : integer_vars_) {
+          snapped[v] = std::round(snapped[v]);
+        }
+        if (model_.IsFeasible(snapped)) {
+          const double obj = model_.ObjectiveValue(snapped);
+          consider_incumbent(obj, node.id, std::move(snapped), /*from_tree=*/true);
+        }
+        continue;
       }
-      if (model_.IsFeasible(snapped) &&
-          (!have_incumbent || model_.ObjectiveValue(snapped) > best_obj)) {
-        best = std::move(snapped);
-        best_obj = model_.ObjectiveValue(best);
-        have_incumbent = true;
-        result.warm_start_returned = false;
-      }
-      continue;
-    }
 
-    // Use a rounding pass for an early incumbent before descending.
-    std::vector<double> rounded;
-    if (GreedyRound(relax.values, &rounded)) {
-      const double obj = model_.ObjectiveValue(rounded);
-      if (!have_incumbent || obj > best_obj) {
-        best = std::move(rounded);
-        best_obj = obj;
-        have_incumbent = true;
-        result.warm_start_returned = false;
+      // Use a rounding pass for an early incumbent before descending.
+      std::vector<double> rounded;
+      if (GreedyRound(relax.values, &rounded)) {
+        const double obj = model_.ObjectiveValue(rounded);
+        consider_incumbent(obj, node.id + "r", std::move(rounded), /*from_tree=*/true);
+      }
+
+      // Branch: explore the nearest integer side first (pushed last).
+      const double value = relax.values[branch_var];
+      const double floor_v = std::floor(value);
+      const double ceil_v = std::ceil(value);
+      Node down{node.id + "0", node.fixes, relax.objective};
+      down.fixes.push_back(BoundFix{branch_var, model_.lower(branch_var), floor_v});
+      Node up{node.id + "1", node.fixes, relax.objective};
+      up.fixes.push_back(BoundFix{branch_var, ceil_v, model_.upper(branch_var)});
+      if (value - floor_v >= 0.5) {
+        stack.push_back(std::move(down));
+        stack.push_back(std::move(up));
+      } else {
+        stack.push_back(std::move(up));
+        stack.push_back(std::move(down));
       }
     }
-
-    // Branch: explore the nearest integer side first (pushed last).
-    const double value = relax.values[branch_var];
-    const double floor_v = std::floor(value);
-    const double ceil_v = std::ceil(value);
-    Node down{node.fixes, relax.objective};
-    down.fixes.push_back(BoundFix{branch_var, model_.lower(branch_var), floor_v});
-    Node up{node.fixes, relax.objective};
-    up.fixes.push_back(BoundFix{branch_var, ceil_v, model_.upper(branch_var)});
-    if (value - floor_v >= 0.5) {
-      stack.push_back(std::move(down));
-      stack.push_back(std::move(up));
-    } else {
-      stack.push_back(std::move(up));
-      stack.push_back(std::move(down));
+    result.max_queue_depth =
+        std::max(result.max_queue_depth, static_cast<int>(stack.size()));
+    if (have_incumbent) {
+      incumbent_bound.store(best_obj, std::memory_order_relaxed);
+    }
+    if (timed_out) {
+      break;
     }
   }
 
+  result.solve_seconds = seconds_elapsed();
   if (!have_incumbent) {
     result.status = MilpStatus::kInfeasible;
     return result;

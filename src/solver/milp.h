@@ -10,6 +10,19 @@
 //     the incumbent is returned when the budget expires,
 //   - a greedy rounding pass on each LP relaxation supplies incumbents early
 //     so pruning is effective.
+//
+// Parallel search: the tree is explored in deterministic *waves*. Each wave
+// pops up to `batch_width` nodes off the subproblem stack, solves their LP
+// relaxations concurrently (`num_threads` workers, each with a private
+// LpModel copy, pulling node indices from a shared atomic cursor and reading
+// the atomic incumbent bound lock-free to skip dominated nodes), then
+// commits the results sequentially in pop order. Because the wave schedule
+// depends only on `batch_width` (never on thread count) and the incumbent
+// advances only at the sequential commits — with ties between equal-objective
+// incumbents broken toward the lexicographically smallest node id — the
+// explored tree, node counts, and returned solution are bit-identical for
+// any thread count. Only the wall-clock budget can break this (it truncates
+// the search at a hardware-dependent point).
 
 #ifndef SRC_SOLVER_MILP_H_
 #define SRC_SOLVER_MILP_H_
@@ -17,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/solver/lp_model.h"
 #include "src/solver/simplex.h"
 
@@ -28,6 +42,13 @@ enum class MilpStatus {
   kInfeasible,  // No integral feasible point exists (or none found + LP infeasible).
 };
 
+// One incumbent replacement during the search (Fig. 12-style anytime
+// diagnostics: how quickly the solver closes in on its final answer).
+struct IncumbentImprovement {
+  double seconds = 0.0;  // Offset from the start of Solve (wall clock).
+  double objective = 0.0;
+};
+
 struct MilpSolution {
   MilpStatus status = MilpStatus::kInfeasible;
   double objective = 0.0;
@@ -37,12 +58,20 @@ struct MilpSolution {
   // True when the returned incumbent came from the warm start and was never
   // improved (diagnostic for the warm-start ablation bench).
   bool warm_start_returned = false;
+  // Deepest the subproblem stack ever got (work-queue depth diagnostic).
+  int max_queue_depth = 0;
+  // Wall-clock time spent inside Solve.
+  double solve_seconds = 0.0;
+  // Every incumbent replacement, in commit order. The objectives are
+  // deterministic; the timestamps are wall clock (diagnostic only).
+  std::vector<IncumbentImprovement> incumbent_improvements;
 };
 
 struct MilpOptions {
   // Wall-clock budget in seconds; <= 0 disables the limit. Mirrors the
   // paper's "best solution found within a configurable fraction of the
-  // scheduling interval".
+  // scheduling interval". NOTE: an expiring time limit truncates the search
+  // non-deterministically; disable it when bit-reproducibility matters.
   double time_limit_seconds = 0.0;
   // Branch-and-bound node budget; <= 0 disables the limit.
   int max_nodes = 0;
@@ -51,6 +80,16 @@ struct MilpOptions {
   // Initial incumbent (e.g. the previous scheduling cycle's solution). Used
   // only if it is feasible for the current model.
   std::vector<double> warm_start;
+  // Worker threads for the wave-parallel search; <= 1 solves on the calling
+  // thread. Ignored when `pool` is set (the pool's size wins).
+  int num_threads = 1;
+  // Optional borrowed pool (must outlive Solve). Lets the scheduler reuse
+  // one pool across cycles instead of spawning threads per solve.
+  ThreadPool* pool = nullptr;
+  // Nodes dispatched per wave; 0 uses the default. Part of the deterministic
+  // schedule: the result depends on this value but never on thread count, so
+  // it must NOT be derived from num_threads.
+  int batch_width = 0;
 };
 
 class MilpSolver {

@@ -1,0 +1,200 @@
+// Differential test layer for the wave-parallel branch-and-bound solver.
+//
+// Two hundred seeded random 0/1 programs (up to 12 binary variables, mixed
+// <= and >= rows, positive and negative objective coefficients) are solved
+//   (a) by exhaustive 2^n enumeration,
+//   (b) by MilpSolver on 1 thread,
+//   (c) by MilpSolver on 4 threads,
+// and all three must agree on feasibility status and optimal objective to
+// 1e-6. (b) and (c) must additionally agree *exactly* — same values vector,
+// same node count, same incumbent-improvement objectives — because the wave
+// schedule is deterministic in batch_width and independent of thread count.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/solver/lp_model.h"
+#include "src/solver/milp.h"
+
+namespace threesigma {
+namespace {
+
+struct BruteForceResult {
+  bool feasible = false;
+  double objective = 0.0;
+};
+
+// Exhaustive optimum of a pure-binary program; infeasible when no assignment
+// satisfies every row.
+BruteForceResult BruteForceBinary(const LpModel& model) {
+  const int n = model.num_variables();
+  BruteForceResult best;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<double> x(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      x[static_cast<size_t>(i)] = (mask >> i) & 1u ? 1.0 : 0.0;
+    }
+    if (!model.IsFeasible(x)) {
+      continue;
+    }
+    const double obj = model.ObjectiveValue(x);
+    if (!best.feasible || obj > best.objective) {
+      best.feasible = true;
+      best.objective = obj;
+    }
+  }
+  return best;
+}
+
+// A random 0/1 program with the scheduler's row shapes plus adversarial
+// extras: >= rows (preemption-credit-like), negative objective terms, and
+// occasional infeasible row combinations.
+LpModel RandomBinaryProgram(Rng& rng, std::vector<int>* int_vars) {
+  const int n = static_cast<int>(rng.UniformInt(2, 12));
+  LpModel model;
+  for (int i = 0; i < n; ++i) {
+    const int var = model.AddVariable(0.0, 1.0, rng.Uniform(-4.0, 10.0));
+    int_vars->push_back(var);
+  }
+  const int rows = static_cast<int>(rng.UniformInt(1, 8));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<LpTerm> terms;
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.5)) {
+        terms.push_back({i, rng.Uniform(-2.0, 4.0)});
+      }
+    }
+    if (terms.empty()) {
+      terms.push_back({static_cast<int>(rng.UniformInt(0, n - 1)), 1.0});
+    }
+    if (rng.Bernoulli(0.25)) {
+      // A >= row; a tight rhs sometimes makes the whole program infeasible,
+      // which the solver must also detect at every thread count.
+      model.AddRow(RowSense::kGreaterEqual, rng.Uniform(0.0, 3.0), std::move(terms));
+    } else {
+      model.AddRow(RowSense::kLessEqual, rng.Uniform(0.5, 6.0), std::move(terms));
+    }
+  }
+  return model;
+}
+
+TEST(MilpDifferentialTest, MatchesBruteForceAt1And4Threads) {
+  constexpr int kPrograms = 200;
+  ThreadPool pool(4);
+  int infeasible_seen = 0;
+  for (int p = 0; p < kPrograms; ++p) {
+    Rng rng(1000 + static_cast<uint64_t>(p));
+    std::vector<int> int_vars;
+    const LpModel model = RandomBinaryProgram(rng, &int_vars);
+    const BruteForceResult reference = BruteForceBinary(model);
+
+    // Unbudgeted search: the solver must prove optimality or infeasibility.
+    MilpOptions serial;
+    serial.num_threads = 1;
+    MilpOptions parallel;
+    parallel.pool = &pool;
+
+    MilpSolver solver1(model, int_vars);
+    const MilpSolution s1 = solver1.Solve(serial);
+    MilpSolver solver4(model, int_vars);
+    const MilpSolution s4 = solver4.Solve(parallel);
+
+    if (!reference.feasible) {
+      ++infeasible_seen;
+      EXPECT_EQ(s1.status, MilpStatus::kInfeasible) << "program " << p;
+      EXPECT_EQ(s4.status, MilpStatus::kInfeasible) << "program " << p;
+      continue;
+    }
+    ASSERT_EQ(s1.status, MilpStatus::kOptimal) << "program " << p;
+    ASSERT_EQ(s4.status, MilpStatus::kOptimal) << "program " << p;
+    EXPECT_NEAR(s1.objective, reference.objective, 1e-6) << "program " << p;
+    EXPECT_NEAR(s4.objective, reference.objective, 1e-6) << "program " << p;
+    // The returned point must itself be feasible and integral.
+    EXPECT_TRUE(model.IsFeasible(s1.values)) << "program " << p;
+    for (double v : s1.values) {
+      EXPECT_NEAR(v, std::round(v), 1e-6) << "program " << p;
+    }
+
+    // Thread-count independence is exact, not approximate: identical values,
+    // explored-node count, and incumbent trajectory.
+    EXPECT_EQ(s1.values, s4.values) << "program " << p;
+    EXPECT_EQ(s1.nodes_explored, s4.nodes_explored) << "program " << p;
+    ASSERT_EQ(s1.incumbent_improvements.size(), s4.incumbent_improvements.size())
+        << "program " << p;
+    for (size_t i = 0; i < s1.incumbent_improvements.size(); ++i) {
+      EXPECT_DOUBLE_EQ(s1.incumbent_improvements[i].objective,
+                       s4.incumbent_improvements[i].objective)
+          << "program " << p;
+    }
+  }
+  // The generator must actually exercise the infeasible path.
+  EXPECT_GT(infeasible_seen, 0);
+  EXPECT_LT(infeasible_seen, kPrograms / 2);
+}
+
+// Node budgets truncate the search identically at every thread count: the
+// wave schedule (and therefore where the budget lands) is thread-independent.
+TEST(MilpDifferentialTest, BudgetedSearchIsThreadCountInvariant) {
+  ThreadPool pool(4);
+  for (int p = 0; p < 40; ++p) {
+    Rng rng(9000 + static_cast<uint64_t>(p));
+    std::vector<int> int_vars;
+    const LpModel model = RandomBinaryProgram(rng, &int_vars);
+
+    MilpOptions serial;
+    serial.num_threads = 1;
+    serial.max_nodes = 5;
+    MilpOptions parallel = serial;
+    parallel.num_threads = 4;
+    parallel.pool = &pool;
+
+    MilpSolver solver1(model, int_vars);
+    const MilpSolution s1 = solver1.Solve(serial);
+    MilpSolver solver4(model, int_vars);
+    const MilpSolution s4 = solver4.Solve(parallel);
+
+    EXPECT_EQ(s1.status, s4.status) << "program " << p;
+    EXPECT_EQ(s1.nodes_explored, s4.nodes_explored) << "program " << p;
+    EXPECT_EQ(s1.max_queue_depth, s4.max_queue_depth) << "program " << p;
+    if (s1.status != MilpStatus::kInfeasible) {
+      EXPECT_DOUBLE_EQ(s1.objective, s4.objective) << "program " << p;
+      EXPECT_EQ(s1.values, s4.values) << "program " << p;
+    }
+  }
+}
+
+// The warm start must survive parallelization: when it is optimal, every
+// thread count returns it unchanged and reports warm_start_returned.
+TEST(MilpDifferentialTest, WarmStartReturnedIdenticallyAcrossThreadCounts) {
+  ThreadPool pool(4);
+  for (int p = 0; p < 20; ++p) {
+    Rng rng(500 + static_cast<uint64_t>(p));
+    std::vector<int> int_vars;
+    const LpModel model = RandomBinaryProgram(rng, &int_vars);
+    MilpSolver solver(model, int_vars);
+    const MilpSolution cold = solver.Solve();
+    if (cold.status != MilpStatus::kOptimal) {
+      continue;
+    }
+    MilpOptions serial;
+    serial.warm_start = cold.values;
+    MilpOptions parallel = serial;
+    parallel.pool = &pool;
+    MilpSolver solver1(model, int_vars);
+    const MilpSolution s1 = solver1.Solve(serial);
+    MilpSolver solver4(model, int_vars);
+    const MilpSolution s4 = solver4.Solve(parallel);
+    ASSERT_EQ(s1.status, MilpStatus::kOptimal) << "program " << p;
+    EXPECT_DOUBLE_EQ(s1.objective, cold.objective) << "program " << p;
+    EXPECT_EQ(s1.values, s4.values) << "program " << p;
+    EXPECT_EQ(s1.warm_start_returned, s4.warm_start_returned) << "program " << p;
+  }
+}
+
+}  // namespace
+}  // namespace threesigma
