@@ -1,0 +1,59 @@
+// Ablation: fault injection — node churn at decreasing MTTF (src/faults).
+//
+// Sweeps per-node MTTF from "off" down to aggressive churn at a fixed MTTR.
+// Expected: goodput is non-increasing as MTTF shrinks (less cluster survives,
+// and killed runs turn occupancy into rework), downtime fraction and rework
+// ratio grow, and the distribution-based 3Sigma degrades more gracefully than
+// the runtime-unaware Prio because it re-plans against shrunken Eq. 3 supply
+// instead of overcommitting crashed nodes.
+//
+// The THREESIGMA_FAULT_* env knobs overlay the non-swept processes (task
+// kills, stragglers, cycle stalls) on every row; MTTF/MTTR come from the
+// sweep itself.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace threesigma;
+
+int main() {
+  ExperimentConfig config = MakeE2EConfig(/*base_hours=*/0.4);
+  const GeneratedWorkload workload = GenerateWorkload(config.cluster, config.workload);
+  PrintHeaderBlock("Ablation: node churn (MTTF sweep)",
+                   "Expectation: goodput non-increasing as MTTF shrinks; rework and "
+                   "downtime grow",
+                   workload);
+
+  const double kMttfSweep[] = {0.0, 14400.0, 3600.0, 1200.0};
+  TablePrinter table({"system", "MTTF (s)", "SLO miss %", "goodput (M-hr)", "gp/avail-hr",
+                      "downtime %", "kills", "rework ratio", "stalls"});
+  bool monotone = true;
+  for (SystemKind kind : {SystemKind::kThreeSigma, SystemKind::kPrio}) {
+    double prev_goodput = -1.0;
+    for (double mttf : kMttfSweep) {
+      ExperimentConfig c = config;
+      c.sim.faults.node_mttf = mttf;
+      c.sim.faults.node_mttr = 600.0;
+      const RunMetrics m = RunSystem(kind, c, workload);
+      table.AddRow({m.system, TablePrinter::Fmt(mttf, 0),
+                    TablePrinter::Fmt(m.slo_miss_rate_percent, 1),
+                    TablePrinter::Fmt(m.goodput_machine_hours, 1),
+                    TablePrinter::Fmt(m.goodput_per_available_hour, 3),
+                    TablePrinter::Fmt(100.0 * m.node_downtime_fraction, 2),
+                    std::to_string(m.tasks_killed_by_faults),
+                    TablePrinter::Fmt(m.rework_ratio, 3),
+                    std::to_string(m.stalled_cycles)});
+      // Small tolerance: churn can shuffle which jobs land inside the drain
+      // window, so "non-increasing" is enforced up to 2% noise.
+      if (prev_goodput >= 0.0 && m.goodput_machine_hours > prev_goodput * 1.02) {
+        monotone = false;
+      }
+      prev_goodput = m.goodput_machine_hours;
+    }
+  }
+  table.Print(std::cout);
+  std::cout << (monotone ? "\nsweep: goodput non-increasing as MTTF shrinks (OK)\n"
+                         : "\nsweep: WARNING goodput increased as MTTF shrank\n");
+  return monotone ? 0 : 1;
+}

@@ -7,6 +7,14 @@
 //   THREESIGMA_SEED=<n>
 //   THREESIGMA_SOLVER_THREADS=<n>   (branch-and-bound worker threads for all
 //       e2e benches; the solver is deterministic in this value)
+//   THREESIGMA_FAULT_MTTF=<s>            (node mean time to failure; 0 = off)
+//   THREESIGMA_FAULT_MTTR=<s>            (node mean time to repair)
+//   THREESIGMA_FAULT_KILL_PROB=<p>       (per-run task-fault kill probability)
+//   THREESIGMA_FAULT_STRAGGLER_PROB=<p>  (per-run straggler probability)
+//   THREESIGMA_FAULT_STRAGGLER_FACTOR=<f> (max straggler inflation)
+//   THREESIGMA_FAULT_STALL_PROB=<p>      (per-cycle scheduler-stall probability)
+//   THREESIGMA_FAULT_SEED=<n>            (fault RNG seed, independent of
+//       THREESIGMA_SEED so churn stays fixed across workload seeds)
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
@@ -23,6 +31,22 @@ namespace threesigma {
 
 // The paper's SC256/RC256 stand-in: 4 placement groups x 64 nodes.
 inline ClusterConfig Cluster256() { return ClusterConfig::Uniform(4, 64); }
+
+// Overlays the THREESIGMA_FAULT_* environment knobs onto `faults` (leaves the
+// passed-in values when unset, so benches can set programmatic defaults).
+inline void ApplyFaultEnv(FaultOptions* faults) {
+  faults->node_mttf = GetEnvDouble("THREESIGMA_FAULT_MTTF", faults->node_mttf);
+  faults->node_mttr = GetEnvDouble("THREESIGMA_FAULT_MTTR", faults->node_mttr);
+  faults->task_kill_prob = GetEnvDouble("THREESIGMA_FAULT_KILL_PROB", faults->task_kill_prob);
+  faults->straggler_prob =
+      GetEnvDouble("THREESIGMA_FAULT_STRAGGLER_PROB", faults->straggler_prob);
+  faults->straggler_factor =
+      GetEnvDouble("THREESIGMA_FAULT_STRAGGLER_FACTOR", faults->straggler_factor);
+  faults->cycle_stall_prob =
+      GetEnvDouble("THREESIGMA_FAULT_STALL_PROB", faults->cycle_stall_prob);
+  faults->seed = static_cast<uint64_t>(
+      GetEnvInt("THREESIGMA_FAULT_SEED", static_cast<int64_t>(faults->seed)));
+}
 
 // The GOOGLE-scale cluster for Fig. 12 (12,584 nodes ~ the trace's 12,583).
 inline ClusterConfig ClusterGoogleScale() { return ClusterConfig::Uniform(8, 1573); }
@@ -42,6 +66,7 @@ inline ExperimentConfig MakeE2EConfig(double base_hours, double load = 1.4) {
   config.sched.cycle_period = config.sim.cycle_period;
   config.sched.solver_threads =
       static_cast<int>(GetEnvInt("THREESIGMA_SOLVER_THREADS", 1));
+  ApplyFaultEnv(&config.sim.faults);
   return config;
 }
 

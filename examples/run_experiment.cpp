@@ -70,6 +70,13 @@ int main(int argc, char** argv) {
   bool high_fidelity = false;
   bool timeline = true;
   bool slack_breakdown = false;
+  double fault_mttf = 0.0;
+  double fault_mttr = 600.0;
+  double fault_kill_prob = 0.0;
+  double fault_straggler_prob = 0.0;
+  double fault_straggler_factor = 3.0;
+  double fault_stall_prob = 0.0;
+  int64_t fault_seed = 1;
 
   FlagParser parser(
       "run_experiment — drive 3Sigma and its baselines over a workload.\n"
@@ -95,7 +102,19 @@ int main(int argc, char** argv) {
                "per cycle)")
       .AddBool("high-fidelity", &high_fidelity, "use the noisy 'RC256' simulator mode")
       .AddBool("timeline", &timeline, "print the ASCII utilization timeline")
-      .AddBool("slack-breakdown", &slack_breakdown, "print SLO miss rate by deadline slack");
+      .AddBool("slack-breakdown", &slack_breakdown, "print SLO miss rate by deadline slack")
+      .AddDouble("fault-mttf", &fault_mttf,
+                 "mean time to failure per node in seconds (0 = no node churn)")
+      .AddDouble("fault-mttr", &fault_mttr, "mean time to repair per node in seconds")
+      .AddDouble("fault-kill-prob", &fault_kill_prob,
+                 "probability a gang run is killed mid-flight by a task fault")
+      .AddDouble("fault-straggler-prob", &fault_straggler_prob,
+                 "probability a run's duration is inflated by a straggler")
+      .AddDouble("fault-straggler-factor", &fault_straggler_factor,
+                 "maximum straggler runtime inflation factor")
+      .AddDouble("fault-stall-prob", &fault_stall_prob,
+                 "probability a scheduling cycle is stalled (scheduler hiccup)")
+      .AddInt("fault-seed", &fault_seed, "fault-injection RNG seed (independent of --seed)");
   if (!parser.Parse(argc, argv)) {
     return parser.exit_code();
   }
@@ -113,6 +132,13 @@ int main(int argc, char** argv) {
   config.sim.cycle_period = cycle;
   config.sim.seed = static_cast<uint64_t>(seed);
   config.sim.fidelity = high_fidelity ? SimFidelity::kHighFidelity : SimFidelity::kIdeal;
+  config.sim.faults.node_mttf = fault_mttf;
+  config.sim.faults.node_mttr = fault_mttr;
+  config.sim.faults.task_kill_prob = fault_kill_prob;
+  config.sim.faults.straggler_prob = fault_straggler_prob;
+  config.sim.faults.straggler_factor = fault_straggler_factor;
+  config.sim.faults.cycle_stall_prob = fault_stall_prob;
+  config.sim.faults.seed = static_cast<uint64_t>(fault_seed);
   config.sched.cycle_period = cycle;
   config.sched.solver_threads = static_cast<int>(solver_threads);
   config.sched.capacity_cache = capacity_cache;
@@ -185,6 +211,14 @@ int main(int argc, char** argv) {
                       TablePrinter::Fmt(m.p90_be_latency_seconds, 0),
                   std::to_string(m.preemptions),
                   TablePrinter::Fmt(m.mean_cycle_seconds * 1000.0, 1)});
+    if (config.sim.faults.any()) {
+      std::cout << system_name << " faults: downtime "
+                << TablePrinter::Fmt(100.0 * m.node_downtime_fraction, 2) << "%, "
+                << m.tasks_killed_by_faults << " fault kills, rework "
+                << TablePrinter::Fmt(m.rework_machine_hours, 1) << " M-hr (ratio "
+                << TablePrinter::Fmt(m.rework_ratio, 3) << "), " << m.stalled_cycles
+                << " stalled cycles\n";
+    }
     if (timeline) {
       std::cout << "---- " << system_name << " cluster occupancy ----\n"
                 << ClusterTimeline(config.cluster, result).RenderAscii() << "\n";

@@ -7,10 +7,19 @@
 namespace threesigma {
 
 ClusterConfig::ClusterConfig(std::vector<NodeGroup> groups) : groups_(std::move(groups)) {
+  TS_CHECK_MSG(!groups_.empty(),
+               "ClusterConfig requires at least one node group (got an empty group list)");
   total_nodes_ = 0;
   for (size_t i = 0; i < groups_.size(); ++i) {
-    TS_CHECK_EQ(groups_[i].id, static_cast<int>(i));
-    TS_CHECK_GT(groups_[i].node_count, 0);
+    TS_CHECK_MSG(groups_[i].id == static_cast<int>(i),
+                 "node group ids must be unique and dense 0..n-1: the group at index "
+                     << i << " has id " << groups_[i].id
+                     << (groups_[i].id < static_cast<int>(i) ? " (duplicate or out of order)"
+                                                             : " (gap in the id sequence)"));
+    TS_CHECK_MSG(groups_[i].node_count > 0,
+                 "node group " << groups_[i].id << " ('" << groups_[i].name
+                               << "') must have a positive node_count, got "
+                               << groups_[i].node_count);
     total_nodes_ += groups_[i].node_count;
   }
 }

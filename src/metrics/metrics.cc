@@ -89,6 +89,20 @@ RunMetrics ComputeMetrics(const SimResult& result, const std::string& system_nam
     m.capacity_cache_hit_rate = static_cast<double>(m.capacity_cache_hits) /
                                 static_cast<double>(cache_total);
   }
+
+  m.tasks_killed_by_faults = result.tasks_killed_by_faults;
+  m.fault_node_events = result.fault_node_events;
+  m.stalled_cycles = result.stalled_cycles;
+  m.node_downtime_fraction = result.node_downtime_fraction;
+  m.rework_machine_hours = MachineHours(1.0, result.rework_node_seconds);
+  const double consumed = m.rework_machine_hours + m.goodput_machine_hours;
+  if (consumed > 0.0) {
+    m.rework_ratio = m.rework_machine_hours / consumed;
+  }
+  if (result.available_node_seconds > 0.0) {
+    m.goodput_per_available_hour =
+        m.goodput_machine_hours / MachineHours(1.0, result.available_node_seconds);
+  }
   return m;
 }
 

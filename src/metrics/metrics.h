@@ -63,6 +63,22 @@ struct RunMetrics {
   int64_t capacity_cache_hits = 0;
   int64_t capacity_cache_misses = 0;
   double capacity_cache_hit_rate = 0.0;
+
+  // Fault-injection observability (all zero when chaos is off).
+  int tasks_killed_by_faults = 0;
+  int fault_node_events = 0;
+  int stalled_cycles = 0;
+  // Fraction of cluster space-time spent with nodes crashed.
+  double node_downtime_fraction = 0.0;
+  // Machine-hours of occupancy lost to fault kills (work that must be redone).
+  double rework_machine_hours = 0.0;
+  // rework / (rework + completed work): the share of consumed cluster time
+  // that produced nothing. 0 when nothing ran.
+  double rework_ratio = 0.0;
+  // Goodput per available machine-hour: completed work over cluster
+  // space-time actually up (nominal minus downtime). Separates "the scheduler
+  // got worse" from "there was less cluster" under churn.
+  double goodput_per_available_hour = 0.0;
 };
 
 // Aggregates a simulation run into the paper's success metrics.

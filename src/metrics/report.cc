@@ -25,15 +25,15 @@ const char* StatusName(JobStatus status) {
 
 void WriteJobRecordsCsv(std::ostream& os, const std::vector<JobRecord>& jobs) {
   os << "id,user,name,type,tasks,submit,true_runtime,deadline,status,start,finish,"
-        "group,preemptions,completed_work,missed_deadline\n";
+        "group,preemptions,fault_kills,completed_work,missed_deadline\n";
   for (const JobRecord& job : jobs) {
     os << job.spec.id << "," << job.spec.user << "," << job.spec.name << ","
        << (job.spec.is_slo() ? "slo" : "be") << "," << job.spec.num_tasks << ","
        << job.spec.submit_time << "," << job.spec.true_runtime << ","
        << (job.spec.deadline == kNever ? -1.0 : job.spec.deadline) << ","
        << StatusName(job.status) << "," << job.start_time << "," << job.finish_time << ","
-       << job.group << "," << job.preemptions << "," << job.completed_work << ","
-       << (job.MissedDeadline() ? 1 : 0) << "\n";
+       << job.group << "," << job.preemptions << "," << job.fault_kills << ","
+       << job.completed_work << "," << (job.MissedDeadline() ? 1 : 0) << "\n";
   }
 }
 
@@ -45,7 +45,9 @@ void WriteRunMetricsCsv(std::ostream& os, const std::vector<RunMetrics>& runs) {
         "mean_cycle_s,max_cycle_s,mean_solver_s,max_solver_s,max_milp_variables,"
         "max_milp_rows,total_milp_nodes,solver_nodes_per_s,max_milp_queue_depth,"
         "incumbent_improvements,capacity_cache_hits,capacity_cache_misses,"
-        "capacity_cache_hit_rate\n";
+        "capacity_cache_hit_rate,tasks_killed_by_faults,fault_node_events,"
+        "stalled_cycles,node_downtime_fraction,rework_machine_hours,rework_ratio,"
+        "goodput_per_available_hour\n";
   for (const RunMetrics& m : runs) {
     os << m.system << "," << m.slo_jobs << "," << m.slo_censored << "," << m.be_jobs << ","
        << m.slo_missed << "," << m.slo_miss_rate_percent << "," << m.slo_completed << ","
@@ -59,7 +61,10 @@ void WriteRunMetricsCsv(std::ostream& os, const std::vector<RunMetrics>& runs) {
        << m.max_milp_rows << "," << m.total_milp_nodes << "," << m.solver_nodes_per_second
        << "," << m.max_milp_queue_depth << "," << m.total_incumbent_improvements << ","
        << m.capacity_cache_hits << "," << m.capacity_cache_misses << ","
-       << m.capacity_cache_hit_rate << "\n";
+       << m.capacity_cache_hit_rate << "," << m.tasks_killed_by_faults << ","
+       << m.fault_node_events << "," << m.stalled_cycles << ","
+       << m.node_downtime_fraction << "," << m.rework_machine_hours << ","
+       << m.rework_ratio << "," << m.goodput_per_available_hour << "\n";
   }
 }
 

@@ -39,9 +39,41 @@ DistributionScheduler::DistributionScheduler(const ClusterConfig& cluster,
   }
 }
 
+void DistributionScheduler::ApplyOverestimateDecay(JobInfo& info, bool force) const {
+  // §4.2.2/§4.2.3: over-estimate handling turns the SLO utility cliff into a
+  // linear decay. Adaptive mode enables it only when the history claims the
+  // job cannot meet its deadline window — the tell-tale of an over-estimate.
+  // `force` skips the adaptive gate (fault restarts are treated as likely
+  // mis-estimates: the pre-restart estimate ignores the lost work).
+  const JobSpec& spec = info.spec;
+  info.effective_utility = spec.utility;
+  info.oe_enabled = false;
+  if (!(spec.is_slo() && spec.deadline != kNever && config_.overestimate_handling)) {
+    return;
+  }
+  const double window = spec.deadline - spec.submit_time;
+  if (window <= 0.0) {
+    return;
+  }
+  bool enable = true;
+  if (!force && config_.adaptive_oe) {
+    const double p_meet = info.sched_dist.CdfAtMost(window);
+    enable = p_meet < config_.oe_probability_threshold;
+  }
+  info.oe_enabled = enable;
+  if (enable) {
+    // The decay must span the runtimes the history considers plausible,
+    // or the "impossible" job would still value to zero everywhere.
+    const double span = std::max(window, info.sched_dist.MaxValue());
+    const double decay = std::max(span * config_.oe_decay_factor, config_.cycle_period);
+    info.effective_utility = spec.utility.WithOverestimateDecay(decay);
+  }
+}
+
 void DistributionScheduler::OnJobArrival(const JobSpec& spec, Time now) {
   JobInfo info;
   info.spec = spec;
+  info.record_features = spec.features;
 
   const RuntimePrediction prediction = predictor_->Predict(spec.features, spec.true_runtime);
   info.point_estimate = prediction.point_estimate;
@@ -51,28 +83,7 @@ void DistributionScheduler::OnJobArrival(const JobSpec& spec, Time now) {
     info.sched_dist = EmpiricalDistribution::Point(prediction.point_estimate);
   }
 
-  // §4.2.2/§4.2.3: over-estimate handling turns the SLO utility cliff into a
-  // linear decay. Adaptive mode enables it only when the history claims the
-  // job cannot meet its deadline window — the tell-tale of an over-estimate.
-  info.effective_utility = spec.utility;
-  if (spec.is_slo() && spec.deadline != kNever && config_.overestimate_handling) {
-    const double window = spec.deadline - spec.submit_time;
-    if (window > 0.0) {
-      bool enable = true;
-      if (config_.adaptive_oe) {
-        const double p_meet = info.sched_dist.CdfAtMost(window);
-        enable = p_meet < config_.oe_probability_threshold;
-      }
-      info.oe_enabled = enable;
-      if (enable) {
-        // The decay must span the runtimes the history considers plausible,
-        // or the "impossible" job would still value to zero everywhere.
-        const double span = std::max(window, info.sched_dist.MaxValue());
-        const double decay = std::max(span * config_.oe_decay_factor, config_.cycle_period);
-        info.effective_utility = spec.utility.WithOverestimateDecay(decay);
-      }
-    }
-  }
+  ApplyOverestimateDecay(info, /*force=*/false);
 
   jobs_[spec.id] = std::move(info);
   pending_.push_back(spec.id);
@@ -99,7 +110,7 @@ void DistributionScheduler::OnJobFinished(JobId id, Time now, Duration observed_
   auto it = jobs_.find(id);
   TS_CHECK(it != jobs_.end());
   RetireCapacityContribution(it->second);
-  predictor_->RecordCompletion(it->second.spec.features, observed_runtime);
+  predictor_->RecordCompletion(it->second.record_features, observed_runtime);
   jobs_.erase(it);
   pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
   dirty_ = true;
@@ -122,6 +133,46 @@ void DistributionScheduler::OnJobPreempted(JobId id, Time now) {
   info.survival_valid_until = -1e18;
   pending_.push_back(id);
   dirty_ = true;
+  (void)now;
+}
+
+void DistributionScheduler::OnJobFaultKilled(JobId id, Time now) {
+  // Requeue exactly like a preemption...
+  OnJobPreempted(id, now);
+
+  // ...then fold the restart into the estimate. The pre-restart prediction
+  // described a fresh run; attempt k of the same job is a different
+  // population (the lost work must be redone, co-failure correlations, etc.),
+  // so it gets its own feature key and history.
+  auto it = jobs_.find(id);
+  TS_CHECK(it != jobs_.end());
+  JobInfo& info = it->second;
+  ++info.attempts;
+  info.record_features = info.spec.features;
+  info.record_features.push_back("attempts=" + std::to_string(info.attempts));
+
+  const RuntimePrediction prediction =
+      predictor_->Predict(info.record_features, info.spec.true_runtime);
+  info.point_estimate = prediction.point_estimate;
+  if (config_.use_distribution) {
+    info.sched_dist = prediction.distribution;
+  } else {
+    info.sched_dist = EmpiricalDistribution::Point(prediction.point_estimate);
+  }
+
+  // §4.2.2 applied to restarts: whatever the history says, the deadline math
+  // for this job is now off by the lost run — treat it as an over-estimate
+  // candidate unconditionally so its utility decays instead of cliffing.
+  ApplyOverestimateDecay(info, /*force=*/true);
+}
+
+void DistributionScheduler::OnCapacityChanged(int group, int available_nodes, Time now) {
+  // The last plan (and any solve-skip decision) was drawn against the old
+  // capacity; force a full re-solve next cycle. consumed_ needs no surgery:
+  // RunCycle charges Eq. 3 consumption against the view's available nodes.
+  dirty_ = true;
+  (void)group;
+  (void)available_nodes;
   (void)now;
 }
 
@@ -450,11 +501,14 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
     }
   }
 
-  // Remaining expected capacity per (group, slot).
+  // Remaining expected capacity per (group, slot). Supply is the *available*
+  // node count (nominal minus crashed nodes) so fault churn shrinks what the
+  // MILP may hand out; with no faults this equals the nominal count.
   std::vector<std::vector<double>> cap(num_groups, std::vector<double>(slots));
   for (int g = 0; g < num_groups; ++g) {
+    const double supply = state.AvailableNodes(g);
     for (int i = 0; i < slots; ++i) {
-      cap[g][i] = cluster_.group(g).node_count - consumed_[static_cast<size_t>(g)][static_cast<size_t>(i)];
+      cap[g][i] = supply - consumed_[static_cast<size_t>(g)][static_cast<size_t>(i)];
     }
   }
 

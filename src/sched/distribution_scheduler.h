@@ -118,6 +118,15 @@ class DistributionScheduler : public Scheduler {
   void OnJobStarted(JobId id, int group, Time now) override;
   void OnJobFinished(JobId id, Time now, Duration observed_runtime) override;
   void OnJobPreempted(JobId id, Time now) override;
+  // Fault recovery (§4.2 applied to restarts): requeues like a preemption,
+  // then (a) bumps the attempt count and re-predicts with an "attempts=k"
+  // feature so restarted jobs build their own history population, and (b)
+  // treats the restart as a likely mis-estimate — the original estimate
+  // ignores the lost work — enabling the over-estimate utility decay.
+  void OnJobFaultKilled(JobId id, Time now) override;
+  // Node crash/repair: invalidates the solve-skip plan cache (the previous
+  // plan was drawn against stale capacity, so the next cycle must re-solve).
+  void OnCapacityChanged(int group, int available_nodes, Time now) override;
   CycleResult RunCycle(Time now, const ClusterStateView& state) override;
   std::string name() const override { return config_.name; }
 
@@ -140,6 +149,13 @@ class DistributionScheduler : public Scheduler {
     bool oe_enabled = false;
     UtilityFunction effective_utility = UtilityFunction::BestEffortLinear(1.0, 0.0, 1.0);
 
+    // Fault restarts of this job so far; > 0 appends an "attempts=k" feature
+    // to record_features so the predictor's history keys on attempt counts.
+    int attempts = 0;
+    // Features used for re-prediction and completion recording (spec.features
+    // until the first fault restart).
+    JobFeatures record_features;
+
     bool running = false;
     int group = -1;
     Time start_time = kNever;
@@ -160,6 +176,11 @@ class DistributionScheduler : public Scheduler {
     Time survival_valid_until = -1e18;
     bool capacity_applied = false;
   };
+
+  // Recomputes info.effective_utility / info.oe_enabled from the current
+  // sched_dist (§4.2.2/§4.2.3). `force` bypasses the adaptive gate (used for
+  // fault restarts, which are treated as likely mis-estimates).
+  void ApplyOverestimateDecay(JobInfo& info, bool force) const;
 
   // Refreshes the under-estimate extension state of a running job (§4.2.1).
   void UpdateUnderestimate(JobInfo& info, Time now) const;

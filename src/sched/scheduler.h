@@ -28,9 +28,23 @@ struct RunningJobView {
 
 struct ClusterStateView {
   const ClusterConfig* cluster = nullptr;
-  // Free nodes per group id.
+  // Free *available* nodes per group id (excludes both occupied and crashed
+  // nodes).
   std::vector<int> free_nodes;
+  // Currently available (non-crashed) nodes per group id; equals the nominal
+  // node_count when no fault injection is active. Empty in hand-built views
+  // (tests): consumers fall back to the nominal capacity then.
+  std::vector<int> available_nodes;
   std::vector<RunningJobView> running;
+
+  // Available nodes of `group`, falling back to nominal capacity when the
+  // view carries no fault-adjusted timeline.
+  int AvailableNodes(int group) const {
+    if (group >= 0 && group < static_cast<int>(available_nodes.size())) {
+      return available_nodes[static_cast<size_t>(group)];
+    }
+    return cluster->group(group).node_count;
+  }
 };
 
 struct Placement {
@@ -86,6 +100,21 @@ class Scheduler {
   virtual void OnJobFinished(JobId id, Time now, Duration observed_runtime) = 0;
   // A preemption was executed; the job is pending again.
   virtual void OnJobPreempted(JobId id, Time now) = 0;
+
+  // A running job was killed by a fault (node crash or injected task
+  // failure) and is pending again. Default: treated like a preemption.
+  // Fault-aware schedulers override this to flag the restarted attempt as a
+  // likely mis-estimate (§4.2) and feed attempt counts to their predictor.
+  virtual void OnJobFaultKilled(JobId id, Time now) { OnJobPreempted(id, now); }
+
+  // The available capacity of `group` changed (node crash/repair); the new
+  // post-fault capacity is `available_nodes`. Schedulers that cache plans or
+  // capacity state must invalidate on this signal. Default: ignored.
+  virtual void OnCapacityChanged(int group, int available_nodes, Time now) {
+    (void)group;
+    (void)available_nodes;
+    (void)now;
+  }
 
   // One scheduling cycle (§4.3.1's periodic re-evaluation).
   virtual CycleResult RunCycle(Time now, const ClusterStateView& state) = 0;

@@ -14,14 +14,16 @@ enum class EventKind {
   kArrival,
   kCompletion,
   kCycle,
+  kNodeFault,  // Node crash/repair from the fault schedule.
+  kTaskKill,   // Injected mid-run gang kill from the fault schedule.
 };
 
 struct Event {
   Time time;
   uint64_t seq;  // FIFO tiebreak for simultaneous events.
   EventKind kind;
-  size_t job_index = 0;
-  int run_epoch = 0;  // Completion validity: stale after preemption.
+  size_t job_index = 0;  // kNodeFault: index into the fault event list.
+  int run_epoch = 0;     // Completion/kill validity: stale after preemption.
 
   bool operator>(const Event& other) const {
     if (time != other.time) {
@@ -89,6 +91,28 @@ SimResult Simulator::Run() {
   int live_jobs = static_cast<int>(workload_.size());
   const Time last_arrival = workload_.empty() ? 0.0 : workload_.back().submit_time;
   const Time hard_stop = last_arrival + options_.drain_limit;
+
+  // Fault schedule: pre-materialized node churn (every event is fixed before
+  // the first cycle, so traces are byte-reproducible at any solver thread
+  // count) plus hash-draw kill/straggler/stall processes.
+  const FaultSchedule fault_schedule =
+      options_.fault_events.empty()
+          ? FaultSchedule::Sample(cluster_, options_.faults, hard_stop)
+          : FaultSchedule::Replay(options_.fault_events, options_.faults);
+  const bool chaos = !fault_schedule.empty();
+  // down[g]: crashed nodes per group. Invariant after every event batch:
+  // free_nodes[g] >= down[g] (crashed nodes are never counted as placeable).
+  std::vector<int> down(static_cast<size_t>(cluster_.num_groups()), 0);
+  for (size_t i = 0; i < fault_schedule.node_events().size(); ++i) {
+    const FaultEvent& ev = fault_schedule.node_events()[i];
+    if (ev.time <= hard_stop) {
+      queue.push(Event{ev.time, seq++, EventKind::kNodeFault, i, 0});
+    }
+  }
+  int total_down = 0;
+  double down_integral = 0.0;  // Node-seconds of crashed capacity.
+  Time last_down_change = 0.0;
+  int64_t cycle_ordinal = 0;  // Stall-draw key; counts attempted cycles.
   Time now = 0.0;
   Time next_cycle_at = -1.0;  // < 0: none scheduled.
   Time last_cycle_at = -1e18;
@@ -126,6 +150,65 @@ SimResult Simulator::Run() {
     scheduler_->OnJobFinished(rec.spec.id, at, at - rec.start_time);
   };
 
+  // Kill-and-requeue after a fault (node crash or injected task kill). Shares
+  // the preemption path's mechanics, but the current run's progress is always
+  // lost — a crash takes the in-memory state with it, so even in
+  // migration-resume mode only previously banked (checkpointed) progress
+  // survives — and the elapsed occupancy becomes rework.
+  const auto fault_kill_job = [&](size_t idx, Time at) {
+    LiveJob& job = jobs[idx];
+    JobRecord& rec = job.record;
+    TS_CHECK(rec.status == JobStatus::kRunning);
+    rec.status = JobStatus::kPending;
+    free_nodes[rec.group] += rec.spec.num_tasks;
+    rec.runs.push_back(JobRun{rec.group, rec.start_time, at, false});
+    result.rework_node_seconds += rec.spec.num_tasks * (at - rec.start_time);
+    rec.group = -1;
+    rec.start_time = kNever;
+    ++rec.fault_kills;
+    ++job.run_epoch;
+    ++result.tasks_killed_by_faults;
+    scheduler_->OnJobFaultKilled(rec.spec.id, at);
+  };
+
+  // Applies a node crash/repair: adjusts the crashed-node ledger, then kills
+  // just enough running gangs (most recently started first — the jobs whose
+  // loss costs the least work — id as the deterministic tiebreak) to vacate
+  // the crashed nodes.
+  const auto apply_node_fault = [&](const FaultEvent& fault, Time at) {
+    const size_t g = static_cast<size_t>(fault.group);
+    TS_CHECK_MSG(fault.group >= 0 && fault.group < cluster_.num_groups(),
+                 "fault event targets unknown group " << fault.group);
+    down_integral += static_cast<double>(total_down) * (at - last_down_change);
+    last_down_change = at;
+    const int delta = fault.kind == FaultKind::kNodeDown ? fault.count : -fault.count;
+    const int new_down =
+        std::min(std::max(down[g] + delta, 0), cluster_.group(fault.group).node_count);
+    total_down += new_down - down[g];
+    down[g] = new_down;
+    while (free_nodes[g] < down[g]) {
+      // Crashed nodes were occupied: evict victims until they are vacated.
+      size_t victim = jobs.size();
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        const JobRecord& rec = jobs[i].record;
+        if (rec.status != JobStatus::kRunning || rec.group != fault.group) {
+          continue;
+        }
+        if (victim == jobs.size() || rec.start_time > jobs[victim].record.start_time ||
+            (rec.start_time == jobs[victim].record.start_time &&
+             rec.spec.id > jobs[victim].record.spec.id)) {
+          victim = i;
+        }
+      }
+      TS_CHECK_MSG(victim < jobs.size(), "crashed nodes occupied but no running job found");
+      fault_kill_job(victim, at);
+    }
+    ++result.fault_node_events;
+    result.fault_events.push_back(fault);
+    scheduler_->OnCapacityChanged(fault.group,
+                                  cluster_.group(fault.group).node_count - down[g], at);
+  };
+
   while (!queue.empty()) {
     const Event ev = queue.top();
     queue.pop();
@@ -152,6 +235,20 @@ SimResult Simulator::Run() {
         schedule_reactive_cycle();
         break;
       }
+      case EventKind::kNodeFault: {
+        apply_node_fault(fault_schedule.node_events()[ev.job_index], now);
+        schedule_reactive_cycle();
+        break;
+      }
+      case EventKind::kTaskKill: {
+        LiveJob& job = jobs[ev.job_index];
+        if (ev.run_epoch != job.run_epoch || job.record.status != JobStatus::kRunning) {
+          break;  // Stale kill: the run already completed or was preempted.
+        }
+        fault_kill_job(ev.job_index, now);
+        schedule_reactive_cycle();
+        break;
+      }
       case EventKind::kCycle: {
         if (std::fabs(ev.time - next_cycle_at) > 1e-9) {
           break;  // Superseded by an earlier reactive cycle.
@@ -161,10 +258,27 @@ SimResult Simulator::Run() {
         if (live_jobs == 0) {
           break;
         }
+        if (chaos) {
+          Duration stall = 0.0;
+          if (fault_schedule.CycleStall(cycle_ordinal++, &stall)) {
+            // The scheduler process is stalled: this cycle is lost; the next
+            // chance to schedule comes once the stall clears.
+            ++result.stalled_cycles;
+            schedule_cycle(now + stall);
+            break;
+          }
+        }
         // Build the scheduler's view.
         ClusterStateView view;
         view.cluster = &cluster_;
         view.free_nodes = free_nodes;
+        view.available_nodes.reserve(static_cast<size_t>(cluster_.num_groups()));
+        for (int g = 0; g < cluster_.num_groups(); ++g) {
+          // Crashed nodes are neither free nor placeable.
+          view.free_nodes[static_cast<size_t>(g)] -= down[static_cast<size_t>(g)];
+          view.available_nodes.push_back(cluster_.group(g).node_count -
+                                         down[static_cast<size_t>(g)]);
+        }
         int pending_count = 0;
         for (const LiveJob& job : jobs) {
           if (job.record.status == JobStatus::kRunning) {
@@ -231,7 +345,7 @@ SimResult Simulator::Run() {
           JobRecord& rec = job.record;
           if (rec.status != JobStatus::kPending || p.group < 0 ||
               p.group >= cluster_.num_groups() ||
-              free_nodes[p.group] < rec.spec.num_tasks) {
+              free_nodes[p.group] - down[static_cast<size_t>(p.group)] < rec.spec.num_tasks) {
             ++result.rejected_placements;
             continue;
           }
@@ -244,6 +358,11 @@ SimResult Simulator::Run() {
           Duration duration = rec.spec.TrueRuntimeOn(p.group);
           if (options_.preemption_resumes) {
             duration *= 1.0 - job.progress;
+          }
+          if (chaos) {
+            // Straggler chaos: hash-drawn per (job, attempt), so the verdict
+            // does not depend on how many other draws preceded it.
+            duration *= fault_schedule.StragglerMultiplier(rec.spec.id, job.run_epoch);
           }
           if (options_.fidelity == SimFidelity::kHighFidelity) {
             const double jitter =
@@ -258,6 +377,15 @@ SimResult Simulator::Run() {
           job.actual_duration = duration;
           scheduler_->OnJobStarted(rec.spec.id, p.group, now);
           queue.push(Event{now + duration, seq++, EventKind::kCompletion, idx, job.run_epoch});
+          if (chaos) {
+            double kill_fraction = 0.0;
+            if (fault_schedule.TaskKill(rec.spec.id, job.run_epoch, &kill_fraction)) {
+              // The kill lands strictly before the completion, which then
+              // goes stale via the epoch bump in fault_kill_job.
+              queue.push(Event{now + kill_fraction * duration, seq++, EventKind::kTaskKill,
+                               idx, job.run_epoch});
+            }
+          }
         }
 
         // Keep cycling while any job is pending or running.
@@ -267,11 +395,19 @@ SimResult Simulator::Run() {
         break;
       }
     }
-    if (live_jobs == 0 && queue.empty()) {
+    // With chaos on, pending fault events cannot affect anything once no job
+    // is live; stop rather than replaying churn against an empty cluster.
+    if (live_jobs == 0 && (queue.empty() || chaos)) {
       break;
     }
   }
 
+  down_integral += static_cast<double>(total_down) * (now - last_down_change);
+  result.available_node_seconds = static_cast<double>(cluster_.total_nodes()) * now - down_integral;
+  if (now > 0.0 && cluster_.total_nodes() > 0) {
+    result.node_downtime_fraction =
+        down_integral / (static_cast<double>(cluster_.total_nodes()) * now);
+  }
   result.end_time = now;
   result.jobs.reserve(jobs.size());
   for (LiveJob& job : jobs) {

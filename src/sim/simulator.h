@@ -21,6 +21,7 @@
 #include "src/cluster/job.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
+#include "src/faults/fault_schedule.h"
 #include "src/sched/scheduler.h"
 
 namespace threesigma {
@@ -55,6 +56,14 @@ struct SimOptions {
   // (VM clusters, §2.2 "migrating") — an extension ablated in
   // bench/abl03_preemption.
   bool preemption_resumes = false;
+
+  // Fault injection (src/faults). With the default options (all processes
+  // off) and an empty event list, the simulation is bit-identical to a
+  // fault-free run. Node churn is sampled from `faults` unless
+  // `fault_events` is non-empty, in which case that list is replayed exactly
+  // (the probabilistic kill/straggler/stall processes still follow `faults`).
+  FaultOptions faults;
+  std::vector<FaultEvent> fault_events;
 };
 
 enum class JobStatus {
@@ -81,6 +90,8 @@ struct JobRecord {
   Time finish_time = kNever;
   int group = -1;
   int preemptions = 0;
+  // Runs of this job killed by faults (node crashes or injected task kills).
+  int fault_kills = 0;
   // Machine-seconds of the run that completed (goodput contribution).
   double completed_work = 0.0;
   // Full occupancy history, including preempted runs (cluster space-time
@@ -112,6 +123,22 @@ struct SimResult {
   int rejected_placements = 0;  // Scheduler decisions that did not fit.
   int total_preemptions = 0;
   Time end_time = 0.0;
+
+  // Fault-injection observability (all zero when chaos is off).
+  int tasks_killed_by_faults = 0;  // Gang runs killed by crashes/injected kills.
+  int fault_node_events = 0;       // Node down/up events applied.
+  int stalled_cycles = 0;          // Scheduling cycles lost to injected stalls.
+  // Node-seconds of work lost to fault kills (the killed runs' elapsed
+  // occupancy, which must be redone).
+  double rework_node_seconds = 0.0;
+  // Fraction of cluster space-time spent with nodes crashed.
+  double node_downtime_fraction = 0.0;
+  // Cluster space-time actually up: total_nodes * end_time minus crashed
+  // node-seconds (the goodput-under-churn denominator).
+  double available_node_seconds = 0.0;
+  // The node churn events the run actually applied (sampled or replayed, up
+  // to the simulation stop) — input for availability reconstruction.
+  std::vector<FaultEvent> fault_events;
 };
 
 class Simulator {

@@ -24,6 +24,20 @@ TEST(ClusterConfigTest, HeterogeneousGroups) {
   EXPECT_EQ(c.max_group_size(), 100);
 }
 
+TEST(ClusterConfigDeathTest, RejectsEmptyGroupList) {
+  EXPECT_DEATH(ClusterConfig(std::vector<NodeGroup>{}), "at least one node group");
+}
+
+TEST(ClusterConfigDeathTest, RejectsNonPositiveNodeCount) {
+  EXPECT_DEATH(ClusterConfig({{0, "bad", 0}}), "positive node_count");
+  EXPECT_DEATH(ClusterConfig({{0, "ok", 8}, {1, "bad", -3}}), "positive node_count");
+}
+
+TEST(ClusterConfigDeathTest, RejectsDuplicateAndGappedGroupIds) {
+  EXPECT_DEATH(ClusterConfig({{0, "a", 8}, {0, "b", 8}}), "duplicate or out of order");
+  EXPECT_DEATH(ClusterConfig({{0, "a", 8}, {2, "b", 8}}), "gap in the id sequence");
+}
+
 TEST(JobSpecTest, PreferenceAndMultiplier) {
   JobSpec spec;
   spec.preferred_groups = {0, 2};

@@ -1,0 +1,189 @@
+// Tests for the fault-injection schedule (src/faults): determinism of the
+// pre-materialized node churn, hash-draw processes, and the availability
+// timeline the capacity-conservation property checks against.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/faults/fault_schedule.h"
+
+namespace threesigma {
+namespace {
+
+FaultOptions ChurnOptions(uint64_t seed = 7) {
+  FaultOptions options;
+  options.node_mttf = 1800.0;
+  options.node_mttr = 300.0;
+  options.seed = seed;
+  return options;
+}
+
+TEST(FaultScheduleTest, DefaultScheduleIsEmptyAndInert) {
+  const FaultSchedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_TRUE(schedule.node_events().empty());
+  double fraction = -1.0;
+  EXPECT_FALSE(schedule.TaskKill(1, 0, &fraction));
+  EXPECT_DOUBLE_EQ(schedule.StragglerMultiplier(1, 0), 1.0);
+  Duration stall = -1.0;
+  EXPECT_FALSE(schedule.CycleStall(0, &stall));
+}
+
+TEST(FaultScheduleTest, ZeroMttfSamplesNoChurn) {
+  FaultOptions options;
+  options.node_mttf = 0.0;
+  options.task_kill_prob = 0.5;  // Other processes may still be on.
+  const FaultSchedule schedule =
+      FaultSchedule::Sample(ClusterConfig::Uniform(2, 8), options, 10000.0);
+  EXPECT_TRUE(schedule.node_events().empty());
+  EXPECT_FALSE(schedule.empty());  // The kill process still perturbs runs.
+}
+
+TEST(FaultScheduleTest, SampleIsDeterministicInSeed) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(3, 16);
+  const FaultSchedule a = FaultSchedule::Sample(cluster, ChurnOptions(7), 7200.0);
+  const FaultSchedule b = FaultSchedule::Sample(cluster, ChurnOptions(7), 7200.0);
+  ASSERT_FALSE(a.node_events().empty());
+  ASSERT_EQ(a.node_events().size(), b.node_events().size());
+  for (size_t i = 0; i < a.node_events().size(); ++i) {
+    EXPECT_EQ(a.node_events()[i].time, b.node_events()[i].time);
+    EXPECT_EQ(a.node_events()[i].kind, b.node_events()[i].kind);
+    EXPECT_EQ(a.node_events()[i].group, b.node_events()[i].group);
+    EXPECT_EQ(a.node_events()[i].count, b.node_events()[i].count);
+  }
+
+  const FaultSchedule c = FaultSchedule::Sample(cluster, ChurnOptions(8), 7200.0);
+  bool identical = c.node_events().size() == a.node_events().size();
+  for (size_t i = 0; identical && i < a.node_events().size(); ++i) {
+    identical = a.node_events()[i].time == c.node_events()[i].time;
+  }
+  EXPECT_FALSE(identical) << "different seeds produced identical churn";
+}
+
+TEST(FaultScheduleTest, SampledEventsAreSortedInBoundsAndAlternate) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(2, 32);
+  const Time horizon = 7200.0;
+  const FaultSchedule schedule = FaultSchedule::Sample(cluster, ChurnOptions(), horizon);
+  ASSERT_FALSE(schedule.node_events().empty());
+  int crashes = 0;
+  int repairs = 0;
+  for (size_t i = 0; i < schedule.node_events().size(); ++i) {
+    const FaultEvent& ev = schedule.node_events()[i];
+    EXPECT_GE(ev.time, 0.0);
+    EXPECT_LE(ev.time, horizon);
+    EXPECT_GE(ev.group, 0);
+    EXPECT_LT(ev.group, cluster.num_groups());
+    EXPECT_EQ(ev.count, 1);
+    if (i > 0) {
+      EXPECT_LE(schedule.node_events()[i - 1].time, ev.time);
+    }
+    (ev.kind == FaultKind::kNodeDown ? crashes : repairs) += 1;
+  }
+  // Each node alternates crash/repair starting with a crash, so repairs can
+  // never outnumber crashes.
+  EXPECT_GE(crashes, repairs);
+  EXPECT_GT(crashes, 0);
+}
+
+TEST(FaultScheduleTest, ReplaySortsAndPreservesEvents) {
+  std::vector<FaultEvent> events = {
+      {50.0, FaultKind::kNodeUp, 0, 2},
+      {10.0, FaultKind::kNodeDown, 0, 2},
+  };
+  const FaultSchedule schedule = FaultSchedule::Replay(events);
+  ASSERT_EQ(schedule.node_events().size(), 2u);
+  EXPECT_EQ(schedule.node_events()[0].time, 10.0);
+  EXPECT_EQ(schedule.node_events()[0].kind, FaultKind::kNodeDown);
+  EXPECT_EQ(schedule.node_events()[1].time, 50.0);
+  EXPECT_FALSE(schedule.empty());
+}
+
+TEST(FaultScheduleTest, TaskKillFrequencyTracksProbability) {
+  FaultOptions options;
+  options.task_kill_prob = 0.3;
+  options.seed = 11;
+  const FaultSchedule schedule = FaultSchedule::Replay({}, options);
+  int kills = 0;
+  const int trials = 20000;
+  for (int job = 0; job < trials; ++job) {
+    double fraction = -1.0;
+    if (schedule.TaskKill(job, 0, &fraction)) {
+      ++kills;
+      EXPECT_GT(fraction, 0.0);
+      EXPECT_LT(fraction, 1.0);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(kills) / trials, 0.3, 0.02);
+  // Same key, same verdict — the draw is a pure function.
+  double f1 = -1.0;
+  double f2 = -1.0;
+  EXPECT_EQ(schedule.TaskKill(42, 1, &f1), schedule.TaskKill(42, 1, &f2));
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(FaultScheduleTest, StragglerMultiplierBoundsAndFrequency) {
+  FaultOptions options;
+  options.straggler_prob = 0.25;
+  options.straggler_factor = 3.0;
+  options.seed = 13;
+  const FaultSchedule schedule = FaultSchedule::Replay({}, options);
+  int stragglers = 0;
+  const int trials = 20000;
+  for (int job = 0; job < trials; ++job) {
+    const double mult = schedule.StragglerMultiplier(job, 0);
+    EXPECT_GE(mult, 1.0);
+    EXPECT_LE(mult, 3.0);
+    if (mult > 1.0) {
+      ++stragglers;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(stragglers) / trials, 0.25, 0.02);
+}
+
+TEST(FaultScheduleTest, CycleStallDraw) {
+  FaultOptions options;
+  options.cycle_stall_prob = 1.0;
+  options.cycle_stall = 45.0;
+  const FaultSchedule schedule = FaultSchedule::Replay({}, options);
+  Duration stall = 0.0;
+  EXPECT_TRUE(schedule.CycleStall(3, &stall));
+  EXPECT_DOUBLE_EQ(stall, 45.0);
+
+  options.cycle_stall_prob = 0.0;
+  const FaultSchedule off = FaultSchedule::Replay({}, options);
+  EXPECT_FALSE(off.CycleStall(3, &stall));
+}
+
+TEST(AvailabilityTimelineTest, StepFunctionAndDowntimeIntegral) {
+  const ClusterConfig cluster({{0, "g0", 4}, {1, "g1", 2}});
+  const std::vector<FaultEvent> events = {
+      {10.0, FaultKind::kNodeDown, 0, 2},
+      {20.0, FaultKind::kNodeUp, 0, 1},
+      {30.0, FaultKind::kNodeUp, 0, 1},
+  };
+  const AvailabilityTimeline timeline(cluster, events);
+  EXPECT_EQ(timeline.AvailableAt(0, 5.0), 4);
+  EXPECT_EQ(timeline.AvailableAt(0, 10.0), 2);  // Events at t apply at t.
+  EXPECT_EQ(timeline.AvailableAt(0, 15.0), 2);
+  EXPECT_EQ(timeline.AvailableAt(0, 20.0), 3);
+  EXPECT_EQ(timeline.AvailableAt(0, 35.0), 4);
+  EXPECT_EQ(timeline.AvailableAt(1, 15.0), 2);  // Untouched group.
+  // 2 nodes down for [10,20) + 1 node down for [20,30) = 30 node-seconds.
+  EXPECT_DOUBLE_EQ(timeline.DowntimeNodeSeconds(40.0), 30.0);
+}
+
+TEST(AvailabilityTimelineTest, ClampsExcessCrashes) {
+  const ClusterConfig cluster({{0, "g0", 2}});
+  const std::vector<FaultEvent> events = {
+      {10.0, FaultKind::kNodeDown, 0, 5},  // More crashes than nodes.
+      {20.0, FaultKind::kNodeUp, 0, 5},
+  };
+  const AvailabilityTimeline timeline(cluster, events);
+  EXPECT_EQ(timeline.AvailableAt(0, 15.0), 0);
+  EXPECT_EQ(timeline.AvailableAt(0, 25.0), 2);
+  EXPECT_DOUBLE_EQ(timeline.DowntimeNodeSeconds(30.0), 20.0);
+}
+
+}  // namespace
+}  // namespace threesigma

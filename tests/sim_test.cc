@@ -3,6 +3,7 @@
 // scripted scheduler.
 
 #include <algorithm>
+#include <map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -43,14 +44,19 @@ class GreedyFifoScheduler : public Scheduler {
  public:
   explicit GreedyFifoScheduler(const ClusterConfig& cluster) : cluster_(cluster) {}
 
-  void OnJobArrival(const JobSpec& spec, Time) override { pending_.push_back(spec); }
+  void OnJobArrival(const JobSpec& spec, Time) override {
+    specs_[spec.id] = spec;
+    pending_.push_back(spec);
+  }
   void OnJobStarted(JobId id, int, Time) override {
     pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
                                   [&](const JobSpec& s) { return s.id == id; }),
                    pending_.end());
   }
   void OnJobFinished(JobId, Time, Duration) override { ++finished_; }
-  void OnJobPreempted(JobId, Time) override {}
+  // Preempted and fault-killed jobs requeue FIFO (fault kills route here via
+  // the default OnJobFaultKilled).
+  void OnJobPreempted(JobId id, Time) override { pending_.push_back(specs_.at(id)); }
   CycleResult RunCycle(Time, const ClusterStateView& state) override {
     CycleResult result;
     std::vector<int> free = state.free_nodes;
@@ -71,6 +77,7 @@ class GreedyFifoScheduler : public Scheduler {
 
  private:
   const ClusterConfig& cluster_;
+  std::map<JobId, JobSpec> specs_;
   std::vector<JobSpec> pending_;
   int finished_ = 0;
 };
@@ -334,6 +341,206 @@ TEST(SimulatorTest, DeterministicGivenSeed) {
   ASSERT_EQ(a.jobs.size(), b.jobs.size());
   for (size_t i = 0; i < a.jobs.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.jobs[i].finish_time, b.jobs[i].finish_time);
+  }
+}
+
+TEST(SimulatorFaultTest, ChaosOffIsAStrictNoOp) {
+  // Default fault options: every fault metric stays zero and the run matches
+  // a pre-fault-subsystem simulation (full dynamics covered by the property
+  // tests; here we pin the observability fields).
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 4);
+  GreedyFifoScheduler sched(cluster);
+  SimOptions options;
+  options.cycle_period = 5.0;
+  Simulator sim(cluster, &sched, {SimpleBeJob(1, 0.0, 100.0, 2)}, options);
+  const SimResult result = sim.Run();
+  EXPECT_EQ(result.tasks_killed_by_faults, 0);
+  EXPECT_EQ(result.fault_node_events, 0);
+  EXPECT_EQ(result.stalled_cycles, 0);
+  EXPECT_DOUBLE_EQ(result.rework_node_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.node_downtime_fraction, 0.0);
+  EXPECT_TRUE(result.fault_events.empty());
+  EXPECT_EQ(result.jobs[0].fault_kills, 0);
+}
+
+TEST(SimulatorFaultTest, NodeCrashKillsRequeuesAndRepairRestarts) {
+  // 2-node group, one 2-task job started at t=0. A crash at t=30 must evict
+  // the gang (one of its nodes died), a repair at t=60 restores capacity, and
+  // the job restarts from scratch and completes.
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 2);
+  GreedyFifoScheduler sched(cluster);
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = 2000.0;
+  options.fault_events = {{30.0, FaultKind::kNodeDown, 0, 1},
+                          {60.0, FaultKind::kNodeUp, 0, 1}};
+  Simulator sim(cluster, &sched, {SimpleBeJob(1, 0.0, 100.0, 2)}, options);
+  const SimResult result = sim.Run();
+  const JobRecord& job = result.jobs[0];
+  EXPECT_EQ(job.status, JobStatus::kCompleted);
+  EXPECT_EQ(job.fault_kills, 1);
+  EXPECT_EQ(job.preemptions, 0);  // Fault kills are not preemptions.
+  ASSERT_EQ(job.runs.size(), 2u);
+  EXPECT_FALSE(job.runs[0].completed);
+  EXPECT_DOUBLE_EQ(job.runs[0].end, 30.0);
+  EXPECT_GE(job.runs[1].start, 60.0);  // Cannot restart while a node is down.
+  EXPECT_TRUE(job.runs[1].completed);
+  EXPECT_EQ(result.tasks_killed_by_faults, 1);
+  EXPECT_EQ(result.fault_node_events, 2);
+  // The killed run occupied 2 nodes for 30s: all rework.
+  EXPECT_NEAR(result.rework_node_seconds, 2 * 30.0, 1e-9);
+  // 1 of 2 nodes down for 30s of the run.
+  EXPECT_GT(result.node_downtime_fraction, 0.0);
+  EXPECT_NEAR(result.node_downtime_fraction * 2.0 * result.end_time, 30.0, 1e-6);
+  // Completed work counts only the completing run.
+  EXPECT_NEAR(job.completed_work, 2 * 100.0, 1e-6);
+}
+
+TEST(SimulatorFaultTest, FaultKillExactlyAtDrainLimitIsIncomplete) {
+  // Regression: the job's completion and a crash both land exactly at the
+  // hard stop. The crash was queued first (pre-materialized schedule), so the
+  // job is killed at the boundary and must count as incomplete — never as a
+  // completion that sneaks in at the same timestamp.
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 1);
+  GreedyFifoScheduler sched(cluster);
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = 500.0;  // Last arrival t=0: hard stop at exactly 500.
+  options.fault_events = {{500.0, FaultKind::kNodeDown, 0, 1}};
+  Simulator sim(cluster, &sched, {SimpleBeJob(1, 0.0, 500.0, 1)}, options);
+  const SimResult result = sim.Run();
+  const JobRecord& job = result.jobs[0];
+  EXPECT_EQ(job.status, JobStatus::kUnfinished);
+  EXPECT_EQ(job.fault_kills, 1);
+  EXPECT_DOUBLE_EQ(job.completed_work, 0.0);
+  EXPECT_EQ(result.tasks_killed_by_faults, 1);
+}
+
+TEST(SimulatorFaultTest, CompletionExactlyAtDrainLimitCompletes) {
+  // The flip side of the boundary: a completion event landing exactly at the
+  // hard stop is still processed (events strictly beyond it are not).
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 1);
+  GreedyFifoScheduler sched(cluster);
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = 500.0;
+  Simulator sim(cluster, &sched, {SimpleBeJob(1, 0.0, 500.0, 1)}, options);
+  const SimResult result = sim.Run();
+  EXPECT_EQ(result.jobs[0].status, JobStatus::kCompleted);
+  EXPECT_DOUBLE_EQ(result.jobs[0].finish_time, 500.0);
+}
+
+TEST(SimulatorFaultTest, InjectedTaskKillsTurnAllWorkIntoRework) {
+  // kill_prob = 1: every attempt dies mid-run, so the job can never finish;
+  // everything it consumed is rework and goodput is zero.
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 2);
+  GreedyFifoScheduler sched(cluster);
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = 300.0;
+  options.faults.task_kill_prob = 1.0;
+  Simulator sim(cluster, &sched, {SimpleBeJob(1, 0.0, 100.0, 2)}, options);
+  const SimResult result = sim.Run();
+  const JobRecord& job = result.jobs[0];
+  EXPECT_NE(job.status, JobStatus::kCompleted);
+  EXPECT_GE(job.fault_kills, 2);  // Killed, requeued, killed again, ...
+  EXPECT_GT(result.rework_node_seconds, 0.0);
+  const RunMetrics m = ComputeMetrics(result, "chaos");
+  EXPECT_EQ(m.tasks_killed_by_faults, job.fault_kills);
+  EXPECT_DOUBLE_EQ(m.goodput_machine_hours, 0.0);
+  EXPECT_DOUBLE_EQ(m.rework_ratio, 1.0);
+}
+
+TEST(SimulatorFaultTest, StragglerInflatesRuntimeDeterministically) {
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 2);
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = 2000.0;
+  options.faults.straggler_prob = 1.0;
+  options.faults.straggler_factor = 3.0;
+  GreedyFifoScheduler s1(cluster);
+  const SimResult a = Simulator(cluster, &s1, {SimpleBeJob(1, 0.0, 100.0, 2)}, options).Run();
+  GreedyFifoScheduler s2(cluster);
+  const SimResult b = Simulator(cluster, &s2, {SimpleBeJob(1, 0.0, 100.0, 2)}, options).Run();
+  const double runtime_a = a.jobs[0].finish_time - a.jobs[0].start_time;
+  EXPECT_EQ(a.jobs[0].status, JobStatus::kCompleted);
+  EXPECT_GT(runtime_a, 100.0);  // Inflated...
+  EXPECT_LE(runtime_a, 300.0);  // ...within the factor cap.
+  EXPECT_DOUBLE_EQ(runtime_a, b.jobs[0].finish_time - b.jobs[0].start_time);
+}
+
+TEST(SimulatorFaultTest, CycleStallsDelayScheduling) {
+  // Every cycle stalled: the scheduler never gets to run, so the job starves
+  // until the hard stop while the stall counter climbs.
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 2);
+  GreedyFifoScheduler sched(cluster);
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = 200.0;
+  options.faults.cycle_stall_prob = 1.0;
+  options.faults.cycle_stall = 30.0;
+  Simulator sim(cluster, &sched, {SimpleBeJob(1, 0.0, 50.0, 1)}, options);
+  const SimResult result = sim.Run();
+  EXPECT_EQ(result.jobs[0].status, JobStatus::kUnfinished);
+  EXPECT_GE(result.stalled_cycles, 2);
+  EXPECT_TRUE(result.cycles.empty());  // No cycle ever reached the scheduler.
+}
+
+TEST(SimulatorFaultTest, ResumeModeFaultKillLosesCurrentRunProgress) {
+  // Migration-resume mode banks progress on *preemption*, but a crash takes
+  // the in-memory state with it: the restarted run must redo everything.
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 1);
+  GreedyFifoScheduler sched(cluster);
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = 2000.0;
+  options.preemption_resumes = true;
+  options.fault_events = {{40.0, FaultKind::kNodeDown, 0, 1},
+                          {50.0, FaultKind::kNodeUp, 0, 1}};
+  Simulator sim(cluster, &sched, {SimpleBeJob(1, 0.0, 100.0, 1)}, options);
+  const SimResult result = sim.Run();
+  const JobRecord& job = result.jobs[0];
+  ASSERT_EQ(job.status, JobStatus::kCompleted);
+  ASSERT_EQ(job.fault_kills, 1);
+  // Restart at >= 50 redoes the full 100s (nothing banked from the crash).
+  EXPECT_GE(job.finish_time, 150.0 - 1e-9);
+  EXPECT_NEAR(job.finish_time - job.start_time, 100.0, 1e-9);
+  EXPECT_NEAR(result.rework_node_seconds, 40.0, 1e-9);
+}
+
+TEST(SimulatorFaultTest, ResumeModeSurvivesRequeueStorm) {
+  // Satellite regression: migration-style preemption under a storm of SLO
+  // arrivals that repeatedly evict a BE hog. Progress banking must neither
+  // lose nor double-count work across many requeues.
+  ClusterConfig cluster = ClusterConfig::Uniform(1, 4);
+  PrioScheduler sched(cluster);
+  std::vector<JobSpec> jobs = {SimpleBeJob(1, 0.0, 500.0, 4)};
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(SimpleSloJob(10 + i, 20.0 + 80.0 * i, 50.0, 4, 60.0));
+  }
+  SimOptions options;
+  options.cycle_period = 5.0;
+  options.drain_limit = Hours(10.0);
+  options.preemption_resumes = true;
+  Simulator sim(cluster, &sched, jobs, options);
+  const SimResult result = sim.Run();
+  const JobRecord* hog = nullptr;
+  for (const JobRecord& j : result.jobs) {
+    EXPECT_EQ(j.status, JobStatus::kCompleted) << "job " << j.spec.id;
+    if (j.spec.id == 1) {
+      hog = &j;
+    }
+  }
+  ASSERT_NE(hog, nullptr);
+  EXPECT_GE(hog->preemptions, 3);
+  ASSERT_GE(hog->runs.size(), 4u);
+  // Banked progress: total useful work stays ~ the job's true work — each
+  // resumed run only covers the remainder, so the sum cannot balloon.
+  EXPECT_NEAR(hog->completed_work, 4 * 500.0, 4 * 60.0);
+  // Occupancy sanity: runs never overlap an SLO job's gang (4 tasks each on
+  // a 4-node group means strict alternation).
+  for (size_t i = 1; i < hog->runs.size(); ++i) {
+    EXPECT_GE(hog->runs[i].start, hog->runs[i - 1].end - 1e-9);
   }
 }
 

@@ -131,7 +131,7 @@ TEST(ReportTest, JobRecordsCsvShape) {
   WriteJobRecordsCsv(os, {rec});
   const std::string csv = os.str();
   EXPECT_NE(csv.find("id,user,name,type"), std::string::npos);
-  EXPECT_NE(csv.find("7,u,j,slo,3,0.5,10,20,completed,1,11,0,0,30,0"), std::string::npos)
+  EXPECT_NE(csv.find("7,u,j,slo,3,0.5,10,20,completed,1,11,0,0,0,30,0"), std::string::npos)
       << csv;
 }
 
