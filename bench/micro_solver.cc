@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/solver/lp_model.h"
@@ -119,6 +120,51 @@ void BM_MilpWarmStart(benchmark::State& state) {
   state.SetLabel(warm ? "warm-start" : "cold");
 }
 BENCHMARK(BM_MilpWarmStart)->Arg(0)->Arg(1);
+
+// Basis warm-starting ablation on the branch-and-bound node stream: every
+// child re-optimizes from its parent's basis with a handful of dual pivots
+// instead of a cold Phase-1/Phase-2 solve. Arg(1) = warm, Arg(0) = cold;
+// THREESIGMA_SOLVER_WARMSTART=0 forces the cold path for A/B runs without
+// recompiling. Reported counters:
+//   pivots/s       — total simplex pivots (phase 1 + phase 2 + dual) per sec
+//   lp_iters       — mean total pivots per node-stream replay
+//   ftran, btran   — sparse eta-file solves per replay
+//   refactor       — basis reinversions per replay
+//   dual/warmnode  — mean dual pivots per warm-started node
+void BM_BnbNodeStreamBasis(benchmark::State& state) {
+  const bool warm = state.range(0) != 0 && SolverWarmstartEnv();
+  Rng rng(515);
+  std::vector<int> int_vars;
+  const LpModel model = SchedulerShapedModel(24, 3, 8, rng, &int_vars);
+  MilpOptions options;
+  options.basis_warmstart = warm;
+  options.max_nodes = 200;
+  int64_t pivots = 0, ftran = 0, btran = 0, refactor = 0;
+  int64_t dual = 0, warm_nodes = 0, replays = 0;
+  for (auto _ : state) {
+    MilpSolver solver(model, int_vars);
+    const MilpSolution sol = solver.Solve(options);
+    pivots += sol.lp_iterations;
+    ftran += sol.ftran_count;
+    btran += sol.btran_count;
+    refactor += sol.refactorizations;
+    dual += sol.lp_dual_iterations;
+    warm_nodes += sol.warm_started_nodes;
+    ++replays;
+    benchmark::DoNotOptimize(sol.objective);
+  }
+  const double n = static_cast<double>(replays);
+  state.counters["pivots/s"] =
+      benchmark::Counter(static_cast<double>(pivots), benchmark::Counter::kIsRate);
+  state.counters["lp_iters"] = static_cast<double>(pivots) / n;
+  state.counters["ftran"] = static_cast<double>(ftran) / n;
+  state.counters["btran"] = static_cast<double>(btran) / n;
+  state.counters["refactor"] = static_cast<double>(refactor) / n;
+  state.counters["dual/warmnode"] =
+      warm_nodes > 0 ? static_cast<double>(dual) / static_cast<double>(warm_nodes) : 0.0;
+  state.SetLabel(warm ? "warm-basis" : "cold-basis");
+}
+BENCHMARK(BM_BnbNodeStreamBasis)->Arg(0)->Arg(1);
 
 void BM_SimplexDense(benchmark::State& state) {
   // Dense random LP: stresses pricing and the basis inverse.

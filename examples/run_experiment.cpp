@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
   double cycle = 10.0;
   int64_t solver_threads = 1;
   bool capacity_cache = true;
+  bool solver_basis_warmstart = true;
   bool high_fidelity = false;
   bool timeline = true;
   bool slack_breakdown = false;
@@ -100,6 +101,11 @@ int main(int argc, char** argv) {
       .AddBool("capacity-cache", &capacity_cache,
                "incremental expected-capacity cache (vs. full Eq. 3 recompute "
                "per cycle)")
+      .AddBool("solver-basis-warmstart", &solver_basis_warmstart,
+               "re-optimize parent simplex bases with dual pivots across "
+               "branch-and-bound nodes and cycles; off = cold Phase-1 solves "
+               "(deterministic either way, but warm may pick a different "
+               "equally-scored schedule at degenerate LP ties)")
       .AddBool("high-fidelity", &high_fidelity, "use the noisy 'RC256' simulator mode")
       .AddBool("timeline", &timeline, "print the ASCII utilization timeline")
       .AddBool("slack-breakdown", &slack_breakdown, "print SLO miss rate by deadline slack")
@@ -142,6 +148,7 @@ int main(int argc, char** argv) {
   config.sched.cycle_period = cycle;
   config.sched.solver_threads = static_cast<int>(solver_threads);
   config.sched.capacity_cache = capacity_cache;
+  config.sched.solver_basis_warmstart = solver_basis_warmstart;
 
   GeneratedWorkload workload;
   if (!swf_path.empty() || !trace_csv_path.empty()) {

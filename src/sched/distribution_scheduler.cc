@@ -650,10 +650,19 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   if (any_warm) {
     milp_options.warm_start = warm;
   }
+  milp_options.basis_warmstart = config_.solver_basis_warmstart;
+  if (config_.solver_basis_warmstart) {
+    // Previous cycle's root basis; discarded inside the solver if this
+    // cycle's model has a different shape.
+    milp_options.root_basis = last_root_basis_;
+  }
   const auto solve_start = std::chrono::steady_clock::now();
   MilpSolver solver(model, int_vars);
   const MilpSolution solution = solver.Solve(milp_options);
   result.solver_seconds = SecondsSince(solve_start);
+  if (!solution.root_basis.empty()) {
+    last_root_basis_ = solution.root_basis;
+  }
   result.milp_nodes = solution.nodes_explored;
   result.milp_max_queue_depth = solution.max_queue_depth;
   result.milp_incumbent_improvements = static_cast<int>(solution.incumbent_improvements.size());

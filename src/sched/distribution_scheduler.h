@@ -39,6 +39,7 @@
 #include "src/histogram/empirical_distribution.h"
 #include "src/predict/predictor.h"
 #include "src/sched/scheduler.h"
+#include "src/solver/simplex.h"
 
 namespace threesigma {
 
@@ -106,6 +107,12 @@ struct DistSchedulerConfig {
   // scratch and TS_CHECK the delta-updated values match (the cache
   // invariant). Costs the full recompute the cache saves; tests only.
   bool capacity_cache_crosscheck = false;
+
+  // Simplex basis warm-starting (MilpOptions::basis_warmstart): B&B children
+  // re-optimize from their parent's basis via dual pivots, and the previous
+  // cycle's root basis seeds the next cycle's root relaxation. Affects LP
+  // pivot counts only; thread-count determinism is preserved.
+  bool solver_basis_warmstart = true;
 };
 
 class DistributionScheduler : public Scheduler {
@@ -217,6 +224,12 @@ class DistributionScheduler : public Scheduler {
   // Delta updates accumulate float error; a periodic full rebuild squashes
   // any drift long before it can reach the cross-check tolerance.
   int solves_since_rebuild_ = 0;
+
+  // Previous cycle's root-relaxation basis, fed back as the next cycle's
+  // root hint (§4.3.6 "seeding the solver with the previous solution" applied
+  // to the simplex itself). A shape mismatch is detected and discarded at
+  // install time, so consecutive cycles of different sizes are safe.
+  LpBasis last_root_basis_;
 
   // Shared across cycles so the parallel solver never re-spawns threads.
   std::unique_ptr<ThreadPool> pool_;

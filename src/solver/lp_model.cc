@@ -16,15 +16,37 @@ int LpModel::AddVariable(double lower, double upper, double objective, std::stri
 }
 
 int LpModel::AddRow(RowSense sense, double rhs, std::vector<LpTerm> terms, std::string name) {
+  // Coalesce duplicate variable indices (sum their coefficients, keeping the
+  // first occurrence's position) and drop resulting zeros. Duplicate terms
+  // would otherwise corrupt the row depending on which solver path scans it.
   std::vector<LpTerm> pruned;
   pruned.reserve(terms.size());
+  std::vector<int> slot_of_var;  // var -> index into `pruned` + 1, 0 = absent.
   for (const LpTerm& t : terms) {
     TS_CHECK_GE(t.var, 0);
     TS_CHECK_LT(t.var, num_variables());
-    if (t.coeff != 0.0) {
+    if (t.coeff == 0.0) {
+      continue;
+    }
+    if (static_cast<size_t>(t.var) >= slot_of_var.size()) {
+      slot_of_var.resize(static_cast<size_t>(t.var) + 1, 0);
+    }
+    const int slot = slot_of_var[static_cast<size_t>(t.var)];
+    if (slot == 0) {
       pruned.push_back(t);
+      slot_of_var[static_cast<size_t>(t.var)] = static_cast<int>(pruned.size());
+    } else {
+      pruned[static_cast<size_t>(slot - 1)].coeff += t.coeff;
     }
   }
+  // Re-drop terms whose coalesced coefficient cancelled to zero.
+  size_t keep = 0;
+  for (const LpTerm& t : pruned) {
+    if (t.coeff != 0.0) {
+      pruned[keep++] = t;
+    }
+  }
+  pruned.resize(keep);
   rows_.push_back(LpRow{sense, rhs, std::move(pruned), std::move(name)});
   return static_cast<int>(rows_.size()) - 1;
 }

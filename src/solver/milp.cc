@@ -34,6 +34,10 @@ struct Node {
   std::string id;
   std::vector<BoundFix> fixes;  // Full path from the root.
   double parent_bound;          // LP bound of the parent (pruning hint).
+  // The parent's optimal basis (shared between siblings). The child differs
+  // from the parent by one bound change, so this basis is dual feasible for
+  // the child and the LP re-optimizes in a few dual pivots.
+  std::shared_ptr<const LpBasis> parent_basis;
 };
 
 bool IsIntegral(double v, double tol) { return std::fabs(v - std::round(v)) <= tol; }
@@ -200,7 +204,12 @@ MilpSolution MilpSolver::Solve(const MilpOptions& options) {
   };
 
   std::vector<Node> stack;
-  stack.push_back(Node{"", {}, kLpInfinity});
+  Node root{"", {}, kLpInfinity, nullptr};
+  if (options.basis_warmstart && !options.root_basis.empty()) {
+    // Cross-solve hint (e.g. the previous scheduling cycle's root basis).
+    root.parent_basis = std::make_shared<const LpBasis>(options.root_basis);
+  }
+  stack.push_back(std::move(root));
   result.max_queue_depth = 1;
 
   std::vector<Node> wave;
@@ -249,7 +258,17 @@ MilpSolution MilpSolver::Solve(const MilpOptions& options) {
         ws.work.SetVariableBounds(fix.var, fix.lower, fix.upper);
         ws.touched.push_back(fix.var);
       }
-      relaxations[static_cast<size_t>(index)] = SolveLp(ws.work);
+      SimplexOptions lp_options;
+      if (options.basis_warmstart && node.parent_basis != nullptr) {
+        lp_options.start_basis = *node.parent_basis;
+        // Solve in the full space: the parent basis is exactly dual feasible
+        // there (the child differs by one bound change only), whereas each
+        // node's presolve reduces a different variable subset and the mapped
+        // basis loses that property. Fixed variables cost nothing unreduced —
+        // pricing skips them.
+        lp_options.presolve = false;
+      }
+      relaxations[static_cast<size_t>(index)] = SolveLp(ws.work, lp_options);
       for (int v : ws.touched) {
         ws.work.SetVariableBounds(v, model_.lower(v), model_.upper(v));
       }
@@ -286,6 +305,18 @@ MilpSolution MilpSolver::Solve(const MilpOptions& options) {
       const LpSolution& relax = relaxations[static_cast<size_t>(i)];
       ++result.nodes_explored;
       result.lp_iterations += relax.iterations;
+      result.lp_phase1_iterations += relax.stats.phase1_iterations;
+      result.lp_phase2_iterations += relax.stats.phase2_iterations;
+      result.lp_dual_iterations += relax.stats.dual_iterations;
+      result.ftran_count += relax.stats.ftran;
+      result.btran_count += relax.stats.btran;
+      result.refactorizations += relax.stats.refactorizations;
+      if (relax.stats.warm_basis_used) {
+        ++result.warm_started_nodes;
+      }
+      if (node.id.empty() && relax.status == LpStatus::kOptimal) {
+        result.root_basis = relax.basis;  // Exported for cross-solve reuse.
+      }
       if (relax.status == LpStatus::kInfeasible) {
         continue;
       }
@@ -333,13 +364,18 @@ MilpSolution MilpSolver::Solve(const MilpOptions& options) {
         consider_incumbent(obj, node.id + "r", std::move(rounded), /*from_tree=*/true);
       }
 
-      // Branch: explore the nearest integer side first (pushed last).
+      // Branch: explore the nearest integer side first (pushed last). Both
+      // children share this node's optimal basis as their warm start.
+      std::shared_ptr<const LpBasis> child_basis;
+      if (options.basis_warmstart && !relax.basis.empty()) {
+        child_basis = std::make_shared<const LpBasis>(relax.basis);
+      }
       const double value = relax.values[branch_var];
       const double floor_v = std::floor(value);
       const double ceil_v = std::ceil(value);
-      Node down{node.id + "0", node.fixes, relax.objective};
+      Node down{node.id + "0", node.fixes, relax.objective, child_basis};
       down.fixes.push_back(BoundFix{branch_var, model_.lower(branch_var), floor_v});
-      Node up{node.id + "1", node.fixes, relax.objective};
+      Node up{node.id + "1", node.fixes, relax.objective, child_basis};
       up.fixes.push_back(BoundFix{branch_var, ceil_v, model_.upper(branch_var)});
       if (value - floor_v >= 0.5) {
         stack.push_back(std::move(down));

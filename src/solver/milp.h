@@ -55,6 +55,19 @@ struct MilpSolution {
   std::vector<double> values;
   int nodes_explored = 0;
   int lp_iterations = 0;
+  // LP work breakdown across all nodes (see LpStats). With basis warm-starting
+  // most nodes re-optimize in a few dual pivots and phase-1 work collapses.
+  int64_t lp_phase1_iterations = 0;
+  int64_t lp_phase2_iterations = 0;
+  int64_t lp_dual_iterations = 0;
+  int64_t ftran_count = 0;
+  int64_t btran_count = 0;
+  int refactorizations = 0;
+  // Nodes whose LP accepted a parent basis (install survived repair).
+  int warm_started_nodes = 0;
+  // Optimal basis of the root relaxation; feed it back as
+  // MilpOptions::root_basis on the next, similar model (cross-cycle reuse).
+  LpBasis root_basis;
   // True when the returned incumbent came from the warm start and was never
   // improved (diagnostic for the warm-start ablation bench).
   bool warm_start_returned = false;
@@ -90,6 +103,18 @@ struct MilpOptions {
   // schedule: the result depends on this value but never on thread count, so
   // it must NOT be derived from num_threads.
   int batch_width = 0;
+  // Thread each node's optimal basis to its children, which then re-optimize
+  // with a few dual pivots instead of a cold two-phase solve. Every
+  // relaxation still solves to proven optimality, so bounds, prunes, and the
+  // returned objective are unaffected; thread-count determinism is fully
+  // preserved (the basis flow follows the thread-count-independent wave
+  // schedule). On a degenerate relaxation a warm solve may land on a
+  // different optimal vertex than a cold one, which can reorder branching —
+  // with a unique MILP optimum the returned solution is identical either way.
+  bool basis_warmstart = true;
+  // Starting basis hint for the root relaxation (e.g. the previous cycle's
+  // MilpSolution::root_basis). Ignored unless basis_warmstart is on.
+  LpBasis root_basis;
 };
 
 class MilpSolver {

@@ -21,11 +21,53 @@ std::vector<double> PresolveResult::ExpandSolution(
   return full;
 }
 
+LpBasis PresolveResult::MapBasisToReduced(const LpBasis& full, int num_vars,
+                                          int num_rows) const {
+  LpBasis out;
+  if (static_cast<int>(full.status.size()) != num_vars + num_rows) {
+    return out;
+  }
+  out.status.reserve(var_map.size() + row_map.size());
+  for (const int v : var_map) {
+    out.status.push_back(full.status[static_cast<size_t>(v)]);
+  }
+  for (const int r : row_map) {
+    out.status.push_back(full.status[static_cast<size_t>(num_vars + r)]);
+  }
+  return out;
+}
+
+LpBasis PresolveResult::MapBasisToFull(const LpBasis& reduced_basis, int num_vars,
+                                       int num_rows) const {
+  LpBasis out;
+  if (reduced_basis.status.size() != var_map.size() + row_map.size()) {
+    return out;
+  }
+  out.status.assign(static_cast<size_t>(num_vars + num_rows), BasisStatus::kAtLower);
+  for (int v = 0; v < num_vars; ++v) {
+    if (eliminated[static_cast<size_t>(v)] && eliminated_at_upper[static_cast<size_t>(v)]) {
+      out.status[static_cast<size_t>(v)] = BasisStatus::kAtUpper;
+    }
+  }
+  for (int r = 0; r < num_rows; ++r) {
+    out.status[static_cast<size_t>(num_vars + r)] = BasisStatus::kBasic;
+  }
+  for (size_t i = 0; i < var_map.size(); ++i) {
+    out.status[static_cast<size_t>(var_map[i])] = reduced_basis.status[i];
+  }
+  for (size_t i = 0; i < row_map.size(); ++i) {
+    out.status[static_cast<size_t>(num_vars + row_map[i])] =
+        reduced_basis.status[var_map.size() + i];
+  }
+  return out;
+}
+
 PresolveResult Presolve(const LpModel& model) {
   PresolveResult result;
   const int n = model.num_variables();
   result.eliminated_values.assign(static_cast<size_t>(n), 0.0);
   result.eliminated.assign(static_cast<size_t>(n), false);
+  result.eliminated_at_upper.assign(static_cast<size_t>(n), false);
 
   // Pass 1: find which variables appear in any row.
   std::vector<bool> in_rows(static_cast<size_t>(n), false);
@@ -61,6 +103,7 @@ PresolveResult Presolve(const LpModel& model) {
       }
       result.eliminated[static_cast<size_t>(v)] = true;
       result.eliminated_values[static_cast<size_t>(v)] = pick;
+      result.eliminated_at_upper[static_cast<size_t>(v)] = pick == up;
     }
   }
 
@@ -77,7 +120,8 @@ PresolveResult Presolve(const LpModel& model) {
   }
 
   // Rebuild rows: substitute eliminated variables, drop non-binding rows.
-  for (const LpRow& row : model.rows()) {
+  for (int row_index = 0; row_index < model.num_rows(); ++row_index) {
+    const LpRow& row = model.row(row_index);
     double rhs = row.rhs;
     std::vector<LpTerm> terms;
     terms.reserve(row.terms.size());
@@ -148,6 +192,7 @@ PresolveResult Presolve(const LpModel& model) {
     }
 
     result.reduced.AddRow(row.sense, rhs, std::move(terms), row.name);
+    result.row_map.push_back(row_index);
   }
   return result;
 }

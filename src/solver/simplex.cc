@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/solver/presolve.h"
@@ -11,13 +12,15 @@ namespace threesigma {
 namespace {
 
 constexpr double kPivotTol = 1e-9;
-
-enum class VarStatus : uint8_t { kBasic, kAtLower, kAtUpper };
+// Pivots between eta-file reinversions. Each pivot appends one eta, so this
+// bounds both FTRAN/BTRAN cost growth and numerical drift of the
+// incrementally-updated basic values (reinversion recomputes them exactly).
+constexpr int kRefactorInterval = 64;
 
 // Internal solver state over the extended variable set:
 //   [0, n)            structural variables
 //   [n, n+m)          slack variables (one per row)
-//   [n+m, n+m+k)      Phase-1 artificials
+//   [n+m, n+m+k)      Phase-1 artificials (cold starts only)
 class SimplexSolver {
  public:
   SimplexSolver(const LpModel& model, const SimplexOptions& options)
@@ -26,15 +29,66 @@ class SimplexSolver {
   LpSolution Solve();
 
  private:
-  void BuildStandardForm();
+  // Model ingestion: CSC structural columns, extended bounds/objective for
+  // structural + slack variables, right-hand sides.
+  void BuildCore();
+  // Cold start: structural vars parked at their bound nearest zero, slack
+  // basis where residuals fit, Phase-1 artificials where they do not.
+  void ColdStart();
+  // Installs options_.start_basis (statuses over structural + slack vars)
+  // with repair; returns false when the basis is unusable outright.
+  bool TryWarmStart();
+
+  // --- Eta-file basis machinery -------------------------------------------
+  // Factorizes the basis given by `proposed` (any length), assigning pivot
+  // rows and rewriting basis_/status_/value_ for demoted or promoted
+  // variables. Strict mode TS_CHECKs instead of repairing (mid-run
+  // reinversions of a basis maintained by nonzero pivots must succeed).
+  bool FactorFromSet(std::vector<int> proposed, bool strict);
+  void ResetToSlackBasis();
+  void Ftran(std::vector<double>* x);
+  void Btran(std::vector<double>* y);
+  void AppendEta(const std::vector<double>& column, int pivot_row);
   void RecomputeBasicValues();
-  void Refactorize();
-  // Runs pivots until the current objective `obj_` is optimal, or a limit is
-  // hit. Returns the terminating status for the phase.
-  LpStatus RunPhase();
-  // Column of extended variable j in the equality system (dense, length m_).
-  void ExtendedColumn(int j, std::vector<double>* out) const;
+  void Refactorize();  // FactorFromSet(basis_, strict) + value recompute.
+
+  // --- Iteration engines ---------------------------------------------------
+  // Primal simplex on the current (phase-dependent) objective.
+  LpStatus RunPrimal(bool phase1);
+  // Bounded-variable dual simplex from a dual-feasible basis. Returns
+  // kOptimal when primal feasibility is restored, kInfeasible when a violated
+  // row admits no entering column (proven empty), kIterationLimit when it
+  // gives up (caller falls back to a cold start; never changes the answer).
+  LpStatus RunDual();
+
+  // --- Pricing -------------------------------------------------------------
+  // Candidate-list partial pricing: re-price the current list, else harvest a
+  // fresh list with one full scan. Returns the entering variable or -1.
+  int PickEntering(const std::vector<double>& y, int* direction);
+  void RebuildCandidates(const std::vector<double>& y);
+  int PriceList(const std::vector<double>& y, int* direction);
+
+  // --- Helpers -------------------------------------------------------------
+  template <typename Fn>
+  void ForEachColumnEntry(int j, Fn&& fn) const {
+    if (j < n_) {
+      for (int k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+        fn(col_row_[k], col_val_[k]);
+      }
+    } else if (j < n_ + m_) {
+      fn(j - n_, 1.0);
+    } else {
+      fn(artificial_row_[j - n_ - m_], artificial_sign_[j - n_ - m_]);
+    }
+  }
   double ReducedCost(int j, const std::vector<double>& y) const;
+  void ComputeDuals(std::vector<double>* y);
+  bool PrimalFeasible() const;
+  // Flips nonbasic variables whose reduced cost has the wrong sign to their
+  // other (finite) bound; false when a flip target is infinite.
+  bool MakeDualFeasible(const std::vector<double>& y);
+  void ParkNonbasic(int j, BasisStatus preferred);
+  LpSolution Finish(LpStatus status);
 
   const LpModel& model_;
   SimplexOptions options_;
@@ -43,329 +97,638 @@ class SimplexSolver {
   int total_ = 0;          // structural + slack + artificial
   int num_artificials_ = 0;
 
+  // Compressed-sparse-column structural matrix.
+  std::vector<int> col_start_;
+  std::vector<int> col_row_;
+  std::vector<double> col_val_;
+
   std::vector<double> lower_, upper_, obj_;        // extended, length total_
-  std::vector<std::vector<LpTerm>> columns_;       // structural columns (row, coeff)
   std::vector<double> rhs_;                        // row right-hand sides
-  std::vector<int> slack_row_;                     // slack var -> its row
   std::vector<int> artificial_row_;                // artificial var -> its row
   std::vector<double> artificial_sign_;            // +-1 coefficient of artificial
 
   std::vector<int> basis_;                         // row -> basic var
-  std::vector<VarStatus> status_;                  // extended var statuses
+  std::vector<BasisStatus> status_;                // extended var statuses
   std::vector<double> value_;                      // extended var values
-  std::vector<std::vector<double>> binv_;          // dense basis inverse (m_ x m_)
 
+  // Product-form basis inverse: B⁻¹ = T_K … T_1 where each eta T applies
+  //   x[p] /= pivot_value;  x[i] -= v_i * x[p]  (off-pivot entries v_i).
+  struct Eta {
+    int pivot_row;
+    double pivot_value;
+    int begin, end;  // Off-pivot entries in the shared pools below.
+  };
+  std::vector<Eta> etas_;
+  std::vector<int> eta_rows_;
+  std::vector<double> eta_vals_;
+
+  // Scratch (allocated once in BuildCore).
+  std::vector<double> y_, alpha_, rho_, work_;
+  std::vector<int> cand_;  // Partial-pricing candidate list (indices only —
+                           // reduced costs are always re-priced fresh).
+
+  LpStats stats_;
   int iterations_ = 0;
   int max_iterations_ = 0;
   int degenerate_streak_ = 0;
-  double last_objective_ = -std::numeric_limits<double>::infinity();
+  int pivots_since_refactor_ = 0;
 };
-
-void SimplexSolver::ExtendedColumn(int j, std::vector<double>* out) const {
-  std::fill(out->begin(), out->end(), 0.0);
-  if (j < n_) {
-    for (const LpTerm& t : columns_[j]) {
-      (*out)[t.var] = t.coeff;  // t.var reused as the row index here.
-    }
-  } else if (j < n_ + m_) {
-    (*out)[slack_row_[j - n_]] = 1.0;
-  } else {
-    (*out)[artificial_row_[j - n_ - m_]] = artificial_sign_[j - n_ - m_];
-  }
-}
 
 double SimplexSolver::ReducedCost(int j, const std::vector<double>& y) const {
   double d = obj_[j];
-  if (j < n_) {
-    for (const LpTerm& t : columns_[j]) {
-      d -= y[t.var] * t.coeff;
-    }
-  } else if (j < n_ + m_) {
-    d -= y[slack_row_[j - n_]];
-  } else {
-    d -= y[artificial_row_[j - n_ - m_]] * artificial_sign_[j - n_ - m_];
-  }
+  ForEachColumnEntry(j, [&](int r, double v) { d -= y[r] * v; });
   return d;
 }
 
-void SimplexSolver::BuildStandardForm() {
-  // Structural columns indexed by variable; LpTerm.var holds the row index.
-  columns_.assign(n_, {});
-  rhs_.resize(m_);
+void SimplexSolver::BuildCore() {
+  // CSC structural columns.
+  col_start_.assign(static_cast<size_t>(n_) + 1, 0);
   for (int r = 0; r < m_; ++r) {
-    const LpRow& row = model_.row(r);
-    rhs_[r] = row.rhs;
-    for (const LpTerm& t : row.terms) {
-      columns_[t.var].push_back(LpTerm{r, t.coeff});
+    for (const LpTerm& t : model_.row(r).terms) {
+      ++col_start_[static_cast<size_t>(t.var) + 1];
+    }
+  }
+  for (int j = 0; j < n_; ++j) {
+    col_start_[static_cast<size_t>(j) + 1] += col_start_[static_cast<size_t>(j)];
+  }
+  col_row_.resize(static_cast<size_t>(col_start_[static_cast<size_t>(n_)]));
+  col_val_.resize(col_row_.size());
+  {
+    std::vector<int> fill(col_start_.begin(), col_start_.end() - 1);
+    for (int r = 0; r < m_; ++r) {
+      for (const LpTerm& t : model_.row(r).terms) {
+        const int k = fill[static_cast<size_t>(t.var)]++;
+        col_row_[static_cast<size_t>(k)] = r;
+        col_val_[static_cast<size_t>(k)] = t.coeff;
+      }
     }
   }
 
-  lower_.assign(n_, 0.0);
-  upper_.assign(n_, 0.0);
-  obj_.assign(n_, 0.0);
-  for (int j = 0; j < n_; ++j) {
-    lower_[j] = model_.lower(j);
-    upper_[j] = model_.upper(j);
-    obj_[j] = model_.objective(j);
-    TS_CHECK_MSG(lower_[j] > -kLpInfinity || upper_[j] < kLpInfinity,
-                 "variable " << j << " must have a finite bound");
+  rhs_.resize(static_cast<size_t>(m_));
+  for (int r = 0; r < m_; ++r) {
+    rhs_[static_cast<size_t>(r)] = model_.row(r).rhs;
   }
 
+  lower_.assign(static_cast<size_t>(n_), 0.0);
+  upper_.assign(static_cast<size_t>(n_), 0.0);
+  obj_.assign(static_cast<size_t>(n_), 0.0);
+  for (int j = 0; j < n_; ++j) {
+    lower_[static_cast<size_t>(j)] = model_.lower(j);
+    upper_[static_cast<size_t>(j)] = model_.upper(j);
+    obj_[static_cast<size_t>(j)] = model_.objective(j);
+    TS_CHECK_MSG(lower_[static_cast<size_t>(j)] > -kLpInfinity ||
+                     upper_[static_cast<size_t>(j)] < kLpInfinity,
+                 "variable " << j << " must have a finite bound");
+  }
   // Slack variables: row sense becomes a bound on the slack.
-  slack_row_.resize(m_);
   for (int r = 0; r < m_; ++r) {
-    slack_row_[r] = r;
     const RowSense sense = model_.row(r).sense;
     double lo = 0.0;
     double up = 0.0;
     if (sense == RowSense::kLessEqual) {
-      lo = 0.0;
       up = kLpInfinity;
     } else if (sense == RowSense::kGreaterEqual) {
       lo = -kLpInfinity;
-      up = 0.0;
     }
     lower_.push_back(lo);
     upper_.push_back(up);
     obj_.push_back(0.0);
   }
+  total_ = n_ + m_;
+
+  y_.resize(static_cast<size_t>(m_));
+  alpha_.resize(static_cast<size_t>(m_));
+  rho_.resize(static_cast<size_t>(m_));
+  work_.resize(static_cast<size_t>(m_));
+}
+
+void SimplexSolver::Ftran(std::vector<double>* x) {
+  ++stats_.ftran;
+  for (const Eta& e : etas_) {
+    double t = (*x)[static_cast<size_t>(e.pivot_row)];
+    if (t == 0.0) {
+      continue;  // Sparse skip: untouched pivot rows cost nothing.
+    }
+    t /= e.pivot_value;
+    (*x)[static_cast<size_t>(e.pivot_row)] = t;
+    for (int k = e.begin; k < e.end; ++k) {
+      (*x)[static_cast<size_t>(eta_rows_[static_cast<size_t>(k)])] -=
+          eta_vals_[static_cast<size_t>(k)] * t;
+    }
+  }
+}
+
+void SimplexSolver::Btran(std::vector<double>* y) {
+  ++stats_.btran;
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = (*y)[static_cast<size_t>(it->pivot_row)];
+    for (int k = it->begin; k < it->end; ++k) {
+      acc -= eta_vals_[static_cast<size_t>(k)] *
+             (*y)[static_cast<size_t>(eta_rows_[static_cast<size_t>(k)])];
+    }
+    (*y)[static_cast<size_t>(it->pivot_row)] = acc / it->pivot_value;
+  }
+}
+
+void SimplexSolver::AppendEta(const std::vector<double>& column, int pivot_row) {
+  Eta e;
+  e.pivot_row = pivot_row;
+  e.pivot_value = column[static_cast<size_t>(pivot_row)];
+  e.begin = static_cast<int>(eta_rows_.size());
+  for (int r = 0; r < m_; ++r) {
+    const double v = column[static_cast<size_t>(r)];
+    if (r != pivot_row && v != 0.0) {
+      eta_rows_.push_back(r);
+      eta_vals_.push_back(v);
+    }
+  }
+  e.end = static_cast<int>(eta_rows_.size());
+  etas_.push_back(e);
+}
+
+void SimplexSolver::ParkNonbasic(int j, BasisStatus preferred) {
+  // Rest at the preferred bound when finite, else the other one.
+  if (preferred == BasisStatus::kAtLower && lower_[static_cast<size_t>(j)] > -kLpInfinity) {
+    status_[static_cast<size_t>(j)] = BasisStatus::kAtLower;
+    value_[static_cast<size_t>(j)] = lower_[static_cast<size_t>(j)];
+  } else if (upper_[static_cast<size_t>(j)] < kLpInfinity) {
+    status_[static_cast<size_t>(j)] = BasisStatus::kAtUpper;
+    value_[static_cast<size_t>(j)] = upper_[static_cast<size_t>(j)];
+  } else {
+    status_[static_cast<size_t>(j)] = BasisStatus::kAtLower;
+    value_[static_cast<size_t>(j)] = lower_[static_cast<size_t>(j)];
+  }
+}
+
+bool SimplexSolver::FactorFromSet(std::vector<int> proposed, bool strict) {
+  ++stats_.refactorizations;
+  // Strict mode must be able to back out: a numerically near-singular basis
+  // (legal — pivot magnitudes are only bounded below by kPivotTol) fails
+  // reinversion, and the run then simply keeps its current eta file.
+  std::vector<Eta> saved_etas;
+  std::vector<int> saved_rows;
+  std::vector<double> saved_vals;
+  if (strict) {
+    saved_etas = std::move(etas_);
+    saved_rows = std::move(eta_rows_);
+    saved_vals = std::move(eta_vals_);
+  }
+  const auto restore = [&]() {
+    etas_ = std::move(saved_etas);
+    eta_rows_ = std::move(saved_rows);
+    eta_vals_ = std::move(saved_vals);
+  };
+  etas_.clear();
+  eta_rows_.clear();
+  eta_vals_.clear();
+  pivots_since_refactor_ = 0;
+
+  // Reinversion order: sparsest columns first (slacks and artificials are
+  // unit columns and pivot with zero fill; scheduler bases are then nearly
+  // triangular). Deterministic tie-break on variable id.
+  const auto nnz = [&](int j) {
+    return j < n_ ? col_start_[static_cast<size_t>(j) + 1] - col_start_[static_cast<size_t>(j)]
+                  : 1;
+  };
+  std::sort(proposed.begin(), proposed.end(),
+            [&](int a, int b) { return nnz(a) != nnz(b) ? nnz(a) < nnz(b) : a < b; });
+
+  std::vector<char> row_pivoted(static_cast<size_t>(m_), 0);
+  std::vector<char> used(static_cast<size_t>(total_), 0);
+  std::vector<int> new_basis(static_cast<size_t>(m_), -1);
+  std::vector<double> col(static_cast<size_t>(m_));
+  std::vector<int> demoted;
+  for (int j : proposed) {
+    if (used[static_cast<size_t>(j)]) {
+      if (strict) {
+        restore();
+        return false;
+      }
+      demoted.push_back(j);
+      continue;
+    }
+    std::fill(col.begin(), col.end(), 0.0);
+    ForEachColumnEntry(j, [&](int r, double v) { col[static_cast<size_t>(r)] = v; });
+    Ftran(&col);
+    int pivot = -1;
+    double best = 1e-10;
+    for (int r = 0; r < m_; ++r) {
+      if (!row_pivoted[static_cast<size_t>(r)] &&
+          std::fabs(col[static_cast<size_t>(r)]) > best) {
+        best = std::fabs(col[static_cast<size_t>(r)]);
+        pivot = r;
+      }
+    }
+    if (pivot < 0) {
+      if (strict) {
+        restore();
+        return false;
+      }
+      demoted.push_back(j);
+      continue;
+    }
+    AppendEta(col, pivot);
+    row_pivoted[static_cast<size_t>(pivot)] = 1;
+    new_basis[static_cast<size_t>(pivot)] = j;
+    used[static_cast<size_t>(j)] = 1;
+  }
+  // Complete any unpivoted rows with their own slack (always independent of
+  // the already-pivoted set unless numerically degenerate — then give up and
+  // let the caller reset to the identity slack basis).
+  for (int r = 0; r < m_; ++r) {
+    if (row_pivoted[static_cast<size_t>(r)]) {
+      continue;
+    }
+    if (strict) {
+      restore();
+      return false;
+    }
+    const int sv = n_ + r;
+    if (used[static_cast<size_t>(sv)]) {
+      return false;
+    }
+    std::fill(col.begin(), col.end(), 0.0);
+    col[static_cast<size_t>(r)] = 1.0;
+    Ftran(&col);
+    if (std::fabs(col[static_cast<size_t>(r)]) <= 1e-10) {
+      return false;
+    }
+    AppendEta(col, r);
+    row_pivoted[static_cast<size_t>(r)] = 1;
+    new_basis[static_cast<size_t>(r)] = sv;
+    used[static_cast<size_t>(sv)] = 1;
+  }
+  for (int j : demoted) {
+    if (!used[static_cast<size_t>(j)]) {
+      ParkNonbasic(j, BasisStatus::kAtLower);
+    }
+  }
+  basis_ = std::move(new_basis);
+  for (int r = 0; r < m_; ++r) {
+    status_[static_cast<size_t>(basis_[static_cast<size_t>(r)])] = BasisStatus::kBasic;
+  }
+  return true;
+}
+
+void SimplexSolver::ResetToSlackBasis() {
+  etas_.clear();
+  eta_rows_.clear();
+  eta_vals_.clear();
+  pivots_since_refactor_ = 0;
+  for (int j = 0; j < total_; ++j) {
+    if (status_[static_cast<size_t>(j)] == BasisStatus::kBasic) {
+      ParkNonbasic(j, BasisStatus::kAtLower);
+    }
+  }
+  basis_.assign(static_cast<size_t>(m_), -1);
+  for (int r = 0; r < m_; ++r) {
+    basis_[static_cast<size_t>(r)] = n_ + r;
+    status_[static_cast<size_t>(n_ + r)] = BasisStatus::kBasic;
+  }
+}
+
+void SimplexSolver::Refactorize() {
+  // Opportunistic: if the basis is too ill-conditioned to reinvert, keep the
+  // existing (restored) eta file and try again after the next interval. The
+  // eta file is always a valid representation — reinversion only compacts it.
+  if (FactorFromSet(basis_, /*strict=*/true)) {
+    RecomputeBasicValues();
+  }
+}
+
+void SimplexSolver::RecomputeBasicValues() {
+  // w = b - A_N x_N, then x_B = B⁻¹ w via FTRAN.
+  work_ = rhs_;
+  for (int j = 0; j < total_; ++j) {
+    if (status_[static_cast<size_t>(j)] == BasisStatus::kBasic ||
+        value_[static_cast<size_t>(j)] == 0.0) {
+      continue;
+    }
+    const double xj = value_[static_cast<size_t>(j)];
+    ForEachColumnEntry(j, [&](int r, double v) { work_[static_cast<size_t>(r)] -= v * xj; });
+  }
+  Ftran(&work_);
+  for (int r = 0; r < m_; ++r) {
+    value_[static_cast<size_t>(basis_[static_cast<size_t>(r)])] = work_[static_cast<size_t>(r)];
+  }
+}
+
+void SimplexSolver::ComputeDuals(std::vector<double>* y) {
+  for (int r = 0; r < m_; ++r) {
+    (*y)[static_cast<size_t>(r)] = obj_[static_cast<size_t>(basis_[static_cast<size_t>(r)])];
+  }
+  Btran(y);
+}
+
+bool SimplexSolver::PrimalFeasible() const {
+  for (int r = 0; r < m_; ++r) {
+    const int bv = basis_[static_cast<size_t>(r)];
+    const double v = value_[static_cast<size_t>(bv)];
+    if (v < lower_[static_cast<size_t>(bv)] - options_.feasibility_tol ||
+        v > upper_[static_cast<size_t>(bv)] + options_.feasibility_tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SimplexSolver::MakeDualFeasible(const std::vector<double>& y) {
+  for (int j = 0; j < total_; ++j) {
+    if (status_[static_cast<size_t>(j)] == BasisStatus::kBasic ||
+        lower_[static_cast<size_t>(j)] == upper_[static_cast<size_t>(j)]) {
+      continue;
+    }
+    const double d = ReducedCost(j, y);
+    if (status_[static_cast<size_t>(j)] == BasisStatus::kAtLower &&
+        d > options_.optimality_tol) {
+      if (upper_[static_cast<size_t>(j)] >= kLpInfinity) {
+        return false;
+      }
+      status_[static_cast<size_t>(j)] = BasisStatus::kAtUpper;
+      value_[static_cast<size_t>(j)] = upper_[static_cast<size_t>(j)];
+    } else if (status_[static_cast<size_t>(j)] == BasisStatus::kAtUpper &&
+               d < -options_.optimality_tol) {
+      if (lower_[static_cast<size_t>(j)] <= -kLpInfinity) {
+        return false;
+      }
+      status_[static_cast<size_t>(j)] = BasisStatus::kAtLower;
+      value_[static_cast<size_t>(j)] = lower_[static_cast<size_t>(j)];
+    }
+  }
+  return true;
+}
+
+void SimplexSolver::ColdStart() {
+  // Discard any artificials and warm-start state from a failed install.
+  lower_.resize(static_cast<size_t>(n_ + m_));
+  upper_.resize(static_cast<size_t>(n_ + m_));
+  obj_.resize(static_cast<size_t>(n_ + m_));
+  artificial_row_.clear();
+  artificial_sign_.clear();
+  num_artificials_ = 0;
+  total_ = n_ + m_;
 
   // Initial nonbasic placement for structural vars: the finite bound nearest
   // zero (scheduler variables have lower bound 0, so this is their lower).
-  total_ = n_ + m_;
-  status_.assign(total_, VarStatus::kAtLower);
-  value_.assign(total_, 0.0);
+  status_.assign(static_cast<size_t>(total_), BasisStatus::kAtLower);
+  value_.assign(static_cast<size_t>(total_), 0.0);
   for (int j = 0; j < n_; ++j) {
-    if (lower_[j] > -kLpInfinity) {
-      status_[j] = VarStatus::kAtLower;
-      value_[j] = lower_[j];
-    } else {
-      status_[j] = VarStatus::kAtUpper;
-      value_[j] = upper_[j];
-    }
+    ParkNonbasic(j, BasisStatus::kAtLower);
   }
 
   // Residual of each row with all structural vars at their initial bound.
   std::vector<double> residual = rhs_;
   for (int j = 0; j < n_; ++j) {
-    if (value_[j] != 0.0) {
-      for (const LpTerm& t : columns_[j]) {
-        residual[t.var] -= t.coeff * value_[j];
-      }
+    const double xj = value_[static_cast<size_t>(j)];
+    if (xj != 0.0) {
+      ForEachColumnEntry(
+          j, [&](int r, double v) { residual[static_cast<size_t>(r)] -= v * xj; });
     }
   }
 
   // Slack starts basic when the residual fits its bounds; otherwise the slack
   // is parked at the bound nearest the residual and an artificial carries the
   // remaining infeasibility.
-  basis_.assign(m_, -1);
+  basis_.assign(static_cast<size_t>(m_), -1);
   for (int r = 0; r < m_; ++r) {
     const int sv = n_ + r;
-    if (residual[r] >= lower_[sv] - options_.feasibility_tol &&
-        residual[r] <= upper_[sv] + options_.feasibility_tol) {
-      basis_[r] = sv;
-      status_[sv] = VarStatus::kBasic;
-      value_[sv] = residual[r];
+    const double res = residual[static_cast<size_t>(r)];
+    if (res >= lower_[static_cast<size_t>(sv)] - options_.feasibility_tol &&
+        res <= upper_[static_cast<size_t>(sv)] + options_.feasibility_tol) {
+      basis_[static_cast<size_t>(r)] = sv;
+      status_[static_cast<size_t>(sv)] = BasisStatus::kBasic;
+      value_[static_cast<size_t>(sv)] = res;
       continue;
     }
-    const double parked = residual[r] < lower_[sv] ? lower_[sv] : upper_[sv];
-    status_[sv] = residual[r] < lower_[sv] ? VarStatus::kAtLower : VarStatus::kAtUpper;
-    value_[sv] = parked;
-    const double gap = residual[r] - parked;
-    const int av = total_ + num_artificials_;
+    const bool below = res < lower_[static_cast<size_t>(sv)];
+    const double parked = below ? lower_[static_cast<size_t>(sv)] : upper_[static_cast<size_t>(sv)];
+    status_[static_cast<size_t>(sv)] = below ? BasisStatus::kAtLower : BasisStatus::kAtUpper;
+    value_[static_cast<size_t>(sv)] = parked;
+    const double gap = res - parked;
+    const int av = n_ + m_ + num_artificials_;
     artificial_row_.push_back(r);
     artificial_sign_.push_back(gap >= 0.0 ? 1.0 : -1.0);
     lower_.push_back(0.0);
     upper_.push_back(kLpInfinity);
     obj_.push_back(0.0);
-    status_.push_back(VarStatus::kBasic);
+    status_.push_back(BasisStatus::kBasic);
     value_.push_back(std::fabs(gap));
-    basis_[r] = av;
+    basis_[static_cast<size_t>(r)] = av;
     ++num_artificials_;
   }
-  total_ += num_artificials_;
+  total_ = n_ + m_ + num_artificials_;
 
+  cand_.clear();
+  degenerate_streak_ = 0;
   Refactorize();
-  RecomputeBasicValues();
 }
 
-void SimplexSolver::Refactorize() {
-  // Gauss-Jordan inversion of the basis matrix with partial pivoting.
-  std::vector<std::vector<double>> b(m_, std::vector<double>(m_, 0.0));
-  std::vector<double> col(m_);
-  for (int r = 0; r < m_; ++r) {
-    ExtendedColumn(basis_[r], &col);
-    for (int i = 0; i < m_; ++i) {
-      b[i][r] = col[i];
-    }
+bool SimplexSolver::TryWarmStart() {
+  const LpBasis& b = options_.start_basis;
+  if (static_cast<int>(b.status.size()) != n_ + m_) {
+    return false;  // Different model shape; the hint is meaningless.
   }
-  binv_.assign(m_, std::vector<double>(m_, 0.0));
-  for (int i = 0; i < m_; ++i) {
-    binv_[i][i] = 1.0;
-  }
-  for (int c = 0; c < m_; ++c) {
-    int pivot = c;
-    for (int r = c + 1; r < m_; ++r) {
-      if (std::fabs(b[r][c]) > std::fabs(b[pivot][c])) {
-        pivot = r;
-      }
-    }
-    TS_CHECK_MSG(std::fabs(b[pivot][c]) > 1e-12, "singular basis during refactorization");
-    std::swap(b[c], b[pivot]);
-    std::swap(binv_[c], binv_[pivot]);
-    const double inv = 1.0 / b[c][c];
-    for (int k = 0; k < m_; ++k) {
-      b[c][k] *= inv;
-      binv_[c][k] *= inv;
-    }
-    for (int r = 0; r < m_; ++r) {
-      if (r == c) {
-        continue;
-      }
-      const double factor = b[r][c];
-      if (factor == 0.0) {
-        continue;
-      }
-      for (int k = 0; k < m_; ++k) {
-        b[r][k] -= factor * b[c][k];
-        binv_[r][k] -= factor * binv_[c][k];
-      }
-    }
-  }
-}
-
-void SimplexSolver::RecomputeBasicValues() {
-  // w = b - A_N x_N, then x_B = binv * w.
-  std::vector<double> w = rhs_;
-  std::vector<double> col(m_);
+  total_ = n_ + m_;
+  num_artificials_ = 0;
+  status_.assign(static_cast<size_t>(total_), BasisStatus::kAtLower);
+  value_.assign(static_cast<size_t>(total_), 0.0);
+  std::vector<int> proposed;
+  proposed.reserve(static_cast<size_t>(m_));
   for (int j = 0; j < total_; ++j) {
-    if (status_[j] == VarStatus::kBasic || value_[j] == 0.0) {
+    const BasisStatus s = b.status[static_cast<size_t>(j)];
+    if (s == BasisStatus::kBasic) {
+      status_[static_cast<size_t>(j)] = BasisStatus::kBasic;
+      proposed.push_back(j);
+    } else {
+      // Statuses are symbolic, so "at lower" snaps to the *current* bound —
+      // which is how a parent basis stays valid after branching tightens the
+      // child's box.
+      ParkNonbasic(j, s);
+    }
+  }
+  basis_.assign(static_cast<size_t>(m_), -1);
+  if (!FactorFromSet(std::move(proposed), /*strict=*/false)) {
+    ResetToSlackBasis();
+  }
+  RecomputeBasicValues();
+  cand_.clear();
+  degenerate_streak_ = 0;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Pricing
+// ---------------------------------------------------------------------------
+
+void SimplexSolver::RebuildCandidates(const std::vector<double>& y) {
+  struct Scored {
+    double score;
+    int j;
+  };
+  std::vector<Scored> scored;
+  for (int j = 0; j < total_; ++j) {
+    if (status_[static_cast<size_t>(j)] == BasisStatus::kBasic ||
+        lower_[static_cast<size_t>(j)] == upper_[static_cast<size_t>(j)]) {
       continue;
     }
-    ExtendedColumn(j, &col);
-    for (int r = 0; r < m_; ++r) {
-      if (col[r] != 0.0) {
-        w[r] -= col[r] * value_[j];
-      }
+    const double d = ReducedCost(j, y);
+    const bool favorable =
+        (status_[static_cast<size_t>(j)] == BasisStatus::kAtLower &&
+         d > options_.optimality_tol) ||
+        (status_[static_cast<size_t>(j)] == BasisStatus::kAtUpper &&
+         d < -options_.optimality_tol);
+    if (favorable) {
+      scored.push_back(Scored{std::fabs(d), j});
     }
   }
-  for (int r = 0; r < m_; ++r) {
-    double v = 0.0;
-    for (int k = 0; k < m_; ++k) {
-      v += binv_[r][k] * w[k];
-    }
-    value_[basis_[r]] = v;
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.score != b.score ? a.score > b.score : a.j < b.j;
+  });
+  const size_t cap = static_cast<size_t>(
+      std::clamp(total_ / 8, 8, 64));
+  if (scored.size() > cap) {
+    scored.resize(cap);
+  }
+  cand_.clear();
+  for (const Scored& s : scored) {
+    cand_.push_back(s.j);
   }
 }
 
-LpStatus SimplexSolver::RunPhase() {
-  std::vector<double> y(m_);
-  std::vector<double> alpha(m_);
-  int pivots_since_refactor = 0;
+int SimplexSolver::PriceList(const std::vector<double>& y, int* direction) {
+  int pick = -1;
+  int dir = +1;
+  double best = options_.optimality_tol;
+  size_t keep = 0;
+  for (const int j : cand_) {
+    if (status_[static_cast<size_t>(j)] == BasisStatus::kBasic ||
+        lower_[static_cast<size_t>(j)] == upper_[static_cast<size_t>(j)]) {
+      continue;  // Entered the basis or got fixed; drop from the list.
+    }
+    const double d = ReducedCost(j, y);
+    int dj = 0;
+    if (status_[static_cast<size_t>(j)] == BasisStatus::kAtLower &&
+        d > options_.optimality_tol) {
+      dj = +1;
+    } else if (status_[static_cast<size_t>(j)] == BasisStatus::kAtUpper &&
+               d < -options_.optimality_tol) {
+      dj = -1;
+    }
+    if (dj == 0) {
+      continue;  // No longer favorable; drop.
+    }
+    cand_[keep++] = j;
+    if (std::fabs(d) > best) {
+      best = std::fabs(d);
+      pick = j;
+      dir = dj;
+    }
+  }
+  cand_.resize(keep);
+  if (pick >= 0) {
+    *direction = dir;
+  }
+  return pick;
+}
 
+int SimplexSolver::PickEntering(const std::vector<double>& y, int* direction) {
+  const int from_list = PriceList(y, direction);
+  if (from_list >= 0) {
+    return from_list;
+  }
+  RebuildCandidates(y);
+  if (cand_.empty()) {
+    return -1;  // Full scan found nothing favorable: optimal.
+  }
+  return PriceList(y, direction);
+}
+
+// ---------------------------------------------------------------------------
+// Primal simplex
+// ---------------------------------------------------------------------------
+
+LpStatus SimplexSolver::RunPrimal(bool phase1) {
   while (true) {
     if (iterations_ >= max_iterations_) {
       return LpStatus::kIterationLimit;
     }
-    ++iterations_;
+    ComputeDuals(&y_);
 
-    // Pricing: y = c_B binv.
-    for (int r = 0; r < m_; ++r) {
-      y[r] = 0.0;
-    }
-    for (int r = 0; r < m_; ++r) {
-      const double cb = obj_[basis_[r]];
-      if (cb == 0.0) {
-        continue;
-      }
-      for (int k = 0; k < m_; ++k) {
-        y[k] += cb * binv_[r][k];
-      }
-    }
-
-    // Entering variable: Dantzig normally, Bland under a degeneracy streak.
+    // Entering variable: candidate-list Dantzig normally, Bland's-rule full
+    // scan under a degeneracy streak (guarantees termination).
     const bool bland = degenerate_streak_ > 2 * (m_ + 8);
     int entering = -1;
-    double best_score = options_.optimality_tol;
     int direction = +1;  // +1: increase from lower; -1: decrease from upper.
-    for (int j = 0; j < total_; ++j) {
-      if (status_[j] == VarStatus::kBasic) {
-        continue;
+    if (bland) {
+      for (int j = 0; j < total_ && entering < 0; ++j) {
+        if (status_[static_cast<size_t>(j)] == BasisStatus::kBasic ||
+            lower_[static_cast<size_t>(j)] == upper_[static_cast<size_t>(j)]) {
+          continue;
+        }
+        const double d = ReducedCost(j, y_);
+        if (status_[static_cast<size_t>(j)] == BasisStatus::kAtLower &&
+            d > options_.optimality_tol) {
+          entering = j;
+          direction = +1;
+        } else if (status_[static_cast<size_t>(j)] == BasisStatus::kAtUpper &&
+                   d < -options_.optimality_tol) {
+          entering = j;
+          direction = -1;
+        }
       }
-      if (lower_[j] == upper_[j]) {
-        continue;  // Fixed (e.g. retired artificials).
-      }
-      const double d = ReducedCost(j, y);
-      int dir = 0;
-      if (status_[j] == VarStatus::kAtLower && d > options_.optimality_tol) {
-        dir = +1;
-      } else if (status_[j] == VarStatus::kAtUpper && d < -options_.optimality_tol) {
-        dir = -1;
-      }
-      if (dir == 0) {
-        continue;
-      }
-      if (bland) {
-        entering = j;
-        direction = dir;
-        break;
-      }
-      if (std::fabs(d) > best_score) {
-        best_score = std::fabs(d);
-        entering = j;
-        direction = dir;
-      }
+    } else {
+      entering = PickEntering(y_, &direction);
     }
     if (entering < 0) {
       return LpStatus::kOptimal;
     }
-
-    ExtendedColumn(entering, &alpha);
-    // alpha := binv * column(entering).
-    {
-      std::vector<double> tmp(m_, 0.0);
-      for (int r = 0; r < m_; ++r) {
-        double v = 0.0;
-        for (int k = 0; k < m_; ++k) {
-          v += binv_[r][k] * alpha[k];
-        }
-        tmp[r] = v;
-      }
-      alpha.swap(tmp);
+    ++iterations_;
+    if (phase1) {
+      ++stats_.phase1_iterations;
+    } else {
+      ++stats_.phase2_iterations;
     }
+
+    // alpha = B⁻¹ a_entering.
+    std::fill(alpha_.begin(), alpha_.end(), 0.0);
+    ForEachColumnEntry(entering,
+                       [&](int r, double v) { alpha_[static_cast<size_t>(r)] = v; });
+    Ftran(&alpha_);
 
     // Ratio test. Moving the entering variable by delta in `direction`
     // changes basic variable r by -direction * alpha[r] * delta.
-    double limit = upper_[entering] - lower_[entering];  // Bound-flip span.
+    double limit = upper_[static_cast<size_t>(entering)] -
+                   lower_[static_cast<size_t>(entering)];  // Bound-flip span.
     int leaving_row = -1;
     double leaving_target = 0.0;  // Bound the leaving variable lands on.
     for (int r = 0; r < m_; ++r) {
-      const double rate = -static_cast<double>(direction) * alpha[r];
+      const double rate = -static_cast<double>(direction) * alpha_[static_cast<size_t>(r)];
       if (std::fabs(rate) < kPivotTol) {
         continue;
       }
-      const int bv = basis_[r];
+      const int bv = basis_[static_cast<size_t>(r)];
       double ratio;
       double target;
       if (rate < 0.0) {
         // Basic value decreases toward its lower bound.
-        if (lower_[bv] <= -kLpInfinity) {
+        if (lower_[static_cast<size_t>(bv)] <= -kLpInfinity) {
           continue;
         }
-        ratio = (value_[bv] - lower_[bv]) / (-rate);
-        target = lower_[bv];
+        ratio = (value_[static_cast<size_t>(bv)] - lower_[static_cast<size_t>(bv)]) / (-rate);
+        target = lower_[static_cast<size_t>(bv)];
       } else {
-        if (upper_[bv] >= kLpInfinity) {
+        if (upper_[static_cast<size_t>(bv)] >= kLpInfinity) {
           continue;
         }
-        ratio = (upper_[bv] - value_[bv]) / rate;
-        target = upper_[bv];
+        ratio = (upper_[static_cast<size_t>(bv)] - value_[static_cast<size_t>(bv)]) / rate;
+        target = upper_[static_cast<size_t>(bv)];
       }
       ratio = std::max(ratio, 0.0);
       const bool better =
           ratio < limit - 1e-12 ||
           (leaving_row >= 0 && ratio < limit + 1e-12 &&
-           std::fabs(alpha[r]) > std::fabs(alpha[leaving_row]));
+           std::fabs(alpha_[static_cast<size_t>(r)]) >
+               std::fabs(alpha_[static_cast<size_t>(leaving_row)]));
       if (better) {
         limit = ratio;
         leaving_row = r;
@@ -385,48 +748,214 @@ LpStatus SimplexSolver::RunPhase() {
     }
 
     if (leaving_row < 0) {
-      // Bound flip: the entering variable runs to its other bound.
-      status_[entering] =
-          status_[entering] == VarStatus::kAtLower ? VarStatus::kAtUpper : VarStatus::kAtLower;
-      value_[entering] =
-          status_[entering] == VarStatus::kAtLower ? lower_[entering] : upper_[entering];
-      RecomputeBasicValues();
+      // Bound flip: the entering variable runs to its other bound. Basic
+      // values move by -direction * alpha * span (incremental, no solve).
+      const double span = step;
+      status_[static_cast<size_t>(entering)] =
+          status_[static_cast<size_t>(entering)] == BasisStatus::kAtLower
+              ? BasisStatus::kAtUpper
+              : BasisStatus::kAtLower;
+      value_[static_cast<size_t>(entering)] =
+          status_[static_cast<size_t>(entering)] == BasisStatus::kAtLower
+              ? lower_[static_cast<size_t>(entering)]
+              : upper_[static_cast<size_t>(entering)];
+      for (int r = 0; r < m_; ++r) {
+        const double a = alpha_[static_cast<size_t>(r)];
+        if (a != 0.0) {
+          value_[static_cast<size_t>(basis_[static_cast<size_t>(r)])] -=
+              static_cast<double>(direction) * span * a;
+        }
+      }
       continue;
     }
 
-    // Pivot: entering becomes basic, leaving goes to the bound it hit.
-    const int leaving = basis_[leaving_row];
-    status_[leaving] =
-        leaving_target == lower_[leaving] ? VarStatus::kAtLower : VarStatus::kAtUpper;
-    value_[leaving] = leaving_target;
-    basis_[leaving_row] = entering;
-    status_[entering] = VarStatus::kBasic;
-
-    // Update binv: standard elementary row transformation.
-    const double pivot_val = alpha[leaving_row];
-    TS_CHECK_MSG(std::fabs(pivot_val) > kPivotTol, "numerically zero pivot");
-    for (int k = 0; k < m_; ++k) {
-      binv_[leaving_row][k] /= pivot_val;
-    }
+    // Pivot: entering becomes basic, leaving goes to the bound it hit. Basic
+    // values update incrementally; the eta file gains one column.
+    const int leaving = basis_[static_cast<size_t>(leaving_row)];
+    const double entering_value =
+        value_[static_cast<size_t>(entering)] + static_cast<double>(direction) * step;
     for (int r = 0; r < m_; ++r) {
       if (r == leaving_row) {
         continue;
       }
-      const double factor = alpha[r];
-      if (factor == 0.0) {
-        continue;
+      const double a = alpha_[static_cast<size_t>(r)];
+      if (a != 0.0) {
+        value_[static_cast<size_t>(basis_[static_cast<size_t>(r)])] -=
+            static_cast<double>(direction) * step * a;
       }
-      for (int k = 0; k < m_; ++k) {
-        binv_[r][k] -= factor * binv_[leaving_row][k];
-      }
+    }
+    status_[static_cast<size_t>(leaving)] =
+        leaving_target == lower_[static_cast<size_t>(leaving)] ? BasisStatus::kAtLower
+                                                               : BasisStatus::kAtUpper;
+    value_[static_cast<size_t>(leaving)] = leaving_target;
+    basis_[static_cast<size_t>(leaving_row)] = entering;
+    status_[static_cast<size_t>(entering)] = BasisStatus::kBasic;
+    value_[static_cast<size_t>(entering)] = entering_value;
+
+    TS_CHECK_MSG(std::fabs(alpha_[static_cast<size_t>(leaving_row)]) > kPivotTol,
+                 "numerically zero pivot");
+    AppendEta(alpha_, leaving_row);
+    if (++pivots_since_refactor_ >= kRefactorInterval) {
+      Refactorize();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dual simplex
+// ---------------------------------------------------------------------------
+
+LpStatus SimplexSolver::RunDual() {
+  // Safety cap: a dual re-optimization that has not converged in O(m) pivots
+  // is degenerate or numerically stuck; the caller cold-starts instead (same
+  // answer, just slower), so giving up is always safe.
+  const int max_dual = 3 * m_ + 200;
+  int dual_pivots = 0;
+  while (true) {
+    if (iterations_ >= max_iterations_) {
+      return LpStatus::kIterationLimit;
+    }
+    if (dual_pivots >= max_dual) {
+      return LpStatus::kIterationLimit;
     }
 
-    if (++pivots_since_refactor >= 64) {
-      Refactorize();
-      pivots_since_refactor = 0;
+    // Leaving row: the basic variable with the largest bound violation
+    // (tie-break: smallest row index — deterministic).
+    int lrow = -1;
+    double viol = options_.feasibility_tol;
+    bool below = false;
+    for (int r = 0; r < m_; ++r) {
+      const int bv = basis_[static_cast<size_t>(r)];
+      const double v = value_[static_cast<size_t>(bv)];
+      const double lo = lower_[static_cast<size_t>(bv)];
+      const double up = upper_[static_cast<size_t>(bv)];
+      if (lo > -kLpInfinity && lo - v > viol) {
+        viol = lo - v;
+        lrow = r;
+        below = true;
+      } else if (up < kLpInfinity && v - up > viol) {
+        viol = v - up;
+        lrow = r;
+        below = false;
+      }
     }
-    RecomputeBasicValues();
+    if (lrow < 0) {
+      return LpStatus::kOptimal;  // Primal feasibility restored.
+    }
+    ++iterations_;
+    ++stats_.dual_iterations;
+    ++dual_pivots;
+
+    // rho = eᵣᵀ B⁻¹ (the pivot row of the basis inverse).
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+    rho_[static_cast<size_t>(lrow)] = 1.0;
+    Btran(&rho_);
+    ComputeDuals(&y_);
+
+    // Dual ratio test: among sign-eligible nonbasic columns, enter the one
+    // whose reduced cost hits zero first (smallest |d|/|alpha_r|); ties go to
+    // the larger pivot magnitude, then the smaller index.
+    int entering = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    double best_mag = 0.0;
+    for (int j = 0; j < total_; ++j) {
+      if (status_[static_cast<size_t>(j)] == BasisStatus::kBasic ||
+          lower_[static_cast<size_t>(j)] == upper_[static_cast<size_t>(j)]) {
+        continue;
+      }
+      double arj = 0.0;
+      ForEachColumnEntry(j, [&](int r, double v) { arj += rho_[static_cast<size_t>(r)] * v; });
+      if (std::fabs(arj) <= kPivotTol) {
+        continue;
+      }
+      const bool at_lower = status_[static_cast<size_t>(j)] == BasisStatus::kAtLower;
+      // x_basic changes by -alpha_r * dx_j; the violated variable must move
+      // toward its bound, and the nonbasic can only move off its own bound.
+      const bool eligible = below ? (at_lower ? arj < 0.0 : arj > 0.0)
+                                  : (at_lower ? arj > 0.0 : arj < 0.0);
+      if (!eligible) {
+        continue;
+      }
+      const double d = ReducedCost(j, y_);
+      const double slack = std::max(0.0, at_lower ? -d : d);  // Dual headroom.
+      const double ratio = slack / std::fabs(arj);
+      const bool wins =
+          ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 &&
+           (entering < 0 || std::fabs(arj) > best_mag + 1e-12 ||
+            (std::fabs(arj) > best_mag - 1e-12 && j < entering)));
+      if (wins) {
+        entering = j;
+        best_ratio = ratio;
+        best_mag = std::fabs(arj);
+      }
+    }
+    if (entering < 0) {
+      // No column can repair the violated row: the (child) LP is empty.
+      return LpStatus::kInfeasible;
+    }
+
+    std::fill(alpha_.begin(), alpha_.end(), 0.0);
+    ForEachColumnEntry(entering,
+                       [&](int r, double v) { alpha_[static_cast<size_t>(r)] = v; });
+    Ftran(&alpha_);
+    const double are = alpha_[static_cast<size_t>(lrow)];
+    if (std::fabs(are) <= kPivotTol) {
+      return LpStatus::kIterationLimit;  // Numerical disagreement; cold-start.
+    }
+
+    const int leaving = basis_[static_cast<size_t>(lrow)];
+    const double target = below ? lower_[static_cast<size_t>(leaving)]
+                                : upper_[static_cast<size_t>(leaving)];
+    // Drive the leaving variable exactly onto its violated bound.
+    const double dxj = (value_[static_cast<size_t>(leaving)] - target) / are;
+    for (int r = 0; r < m_; ++r) {
+      if (r == lrow) {
+        continue;
+      }
+      const double a = alpha_[static_cast<size_t>(r)];
+      if (a != 0.0) {
+        value_[static_cast<size_t>(basis_[static_cast<size_t>(r)])] -= a * dxj;
+      }
+    }
+    const double entering_value = value_[static_cast<size_t>(entering)] + dxj;
+    status_[static_cast<size_t>(leaving)] =
+        below ? BasisStatus::kAtLower : BasisStatus::kAtUpper;
+    value_[static_cast<size_t>(leaving)] = target;
+    basis_[static_cast<size_t>(lrow)] = entering;
+    status_[static_cast<size_t>(entering)] = BasisStatus::kBasic;
+    value_[static_cast<size_t>(entering)] = entering_value;
+    AppendEta(alpha_, lrow);
+    if (++pivots_since_refactor_ >= kRefactorInterval) {
+      Refactorize();
+    }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+LpSolution SimplexSolver::Finish(LpStatus status) {
+  LpSolution result;
+  result.status = status;
+  result.iterations = iterations_;
+  if (status == LpStatus::kOptimal || status == LpStatus::kIterationLimit) {
+    RecomputeBasicValues();  // Squash incremental drift before export.
+    result.values.resize(static_cast<size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      // Clamp tiny numerical overshoot back into the box.
+      result.values[static_cast<size_t>(j)] =
+          std::clamp(value_[static_cast<size_t>(j)], model_.lower(j), model_.upper(j));
+    }
+    result.objective = model_.ObjectiveValue(result.values);
+    result.basis.status.resize(static_cast<size_t>(n_ + m_));
+    for (int j = 0; j < n_ + m_; ++j) {
+      result.basis.status[static_cast<size_t>(j)] = status_[static_cast<size_t>(j)];
+    }
+  }
+  result.stats = stats_;
+  return result;
 }
 
 LpSolution SimplexSolver::Solve() {
@@ -435,7 +964,8 @@ LpSolution SimplexSolver::Solve() {
     // Pure bound problem: each variable sits at whichever bound its objective
     // prefers.
     result.status = LpStatus::kOptimal;
-    result.values.resize(n_);
+    result.values.resize(static_cast<size_t>(n_));
+    result.basis.status.resize(static_cast<size_t>(n_));
     for (int j = 0; j < n_; ++j) {
       const double c = model_.objective(j);
       double v;
@@ -449,64 +979,89 @@ LpSolution SimplexSolver::Solve() {
       if (v >= kLpInfinity || v <= -kLpInfinity) {
         result.status = LpStatus::kUnbounded;
         result.values.clear();
+        result.basis.status.clear();
         return result;
       }
-      result.values[j] = v;
+      result.values[static_cast<size_t>(j)] = v;
+      result.basis.status[static_cast<size_t>(j)] =
+          v == model_.upper(j) ? BasisStatus::kAtUpper : BasisStatus::kAtLower;
       result.objective += c * v;
     }
     return result;
   }
 
-  BuildStandardForm();
+  BuildCore();
   max_iterations_ = options_.max_iterations > 0 ? options_.max_iterations
-                                                : 200 * (total_ + m_) + 2000;
+                                                : 200 * (n_ + 2 * m_) + 2000;
 
+  // Warm path: install the hint; if it lands primal feasible Phase 1 is
+  // skipped outright, if it lands dual feasible the dual simplex re-optimizes
+  // in a few pivots (the branch-and-bound child case). Anything else falls
+  // through to a cold start — a warm start can change the pivot count, never
+  // the answer.
+  if (!options_.start_basis.empty() && TryWarmStart()) {
+    stats_.warm_basis_used = true;
+    if (PrimalFeasible()) {
+      return Finish(RunPrimal(/*phase1=*/false));
+    }
+    ComputeDuals(&y_);
+    if (MakeDualFeasible(y_)) {
+      RecomputeBasicValues();  // Bound flips moved nonbasic values.
+      const LpStatus dual = RunDual();
+      if (dual == LpStatus::kInfeasible) {
+        result.status = LpStatus::kInfeasible;
+        result.iterations = iterations_;
+        result.stats = stats_;
+        return result;
+      }
+      if (dual == LpStatus::kOptimal) {
+        // Certify: dual pivots preserved dual feasibility, so this is
+        // normally zero extra pivots.
+        return Finish(RunPrimal(/*phase1=*/false));
+      }
+      // Dual gave up (degeneracy/numerics): cold-start below.
+    }
+    stats_.warm_basis_used = false;
+  }
+
+  ColdStart();
   if (num_artificials_ > 0) {
     // Phase 1: drive artificial infeasibility to zero (max -sum(artificials)).
     std::vector<double> real_obj = obj_;
     for (int j = 0; j < total_; ++j) {
-      obj_[j] = j >= n_ + m_ ? -1.0 : 0.0;
+      obj_[static_cast<size_t>(j)] = j >= n_ + m_ ? -1.0 : 0.0;
     }
-    const LpStatus phase1 = RunPhase();
+    const LpStatus phase1 = RunPrimal(/*phase1=*/true);
     double infeasibility = 0.0;
     for (int j = n_ + m_; j < total_; ++j) {
-      infeasibility += value_[j];
+      infeasibility += value_[static_cast<size_t>(j)];
     }
     if (phase1 == LpStatus::kIterationLimit) {
       result.status = LpStatus::kIterationLimit;
       result.iterations = iterations_;
+      result.stats = stats_;
       return result;
     }
     if (infeasibility > 1e-6) {
       result.status = LpStatus::kInfeasible;
       result.iterations = iterations_;
+      result.stats = stats_;
       return result;
     }
     // Retire artificials: pin them to zero so Phase 2 cannot resurrect them.
     for (int j = n_ + m_; j < total_; ++j) {
-      lower_[j] = 0.0;
-      upper_[j] = 0.0;
-      if (status_[j] != VarStatus::kBasic) {
-        status_[j] = VarStatus::kAtLower;
-        value_[j] = 0.0;
+      lower_[static_cast<size_t>(j)] = 0.0;
+      upper_[static_cast<size_t>(j)] = 0.0;
+      if (status_[static_cast<size_t>(j)] != BasisStatus::kBasic) {
+        status_[static_cast<size_t>(j)] = BasisStatus::kAtLower;
+        value_[static_cast<size_t>(j)] = 0.0;
       }
     }
     obj_ = real_obj;
     degenerate_streak_ = 0;
+    cand_.clear();
   }
-
-  const LpStatus phase2 = RunPhase();
-  result.status = phase2;
-  result.iterations = iterations_;
-  if (phase2 == LpStatus::kOptimal || phase2 == LpStatus::kIterationLimit) {
-    result.values.resize(n_);
-    for (int j = 0; j < n_; ++j) {
-      // Clamp tiny numerical overshoot back into the box.
-      result.values[j] = std::clamp(value_[j], model_.lower(j), model_.upper(j));
-    }
-    result.objective = model_.ObjectiveValue(result.values);
-  }
-  return result;
+  return Finish(RunPrimal(/*phase1=*/false));
 }
 
 }  // namespace
@@ -522,12 +1077,22 @@ LpSolution SolveLp(const LpModel& model, const SimplexOptions& options) {
     if (!pre.proven_unbounded) {
       SimplexOptions reduced_options = options;
       reduced_options.presolve = false;
+      // A start basis rides through the reductions (statuses of surviving
+      // variables and rows); the simplex repairs whatever the eliminations
+      // knocked out of the basic set.
+      if (!options.start_basis.empty()) {
+        reduced_options.start_basis =
+            pre.MapBasisToReduced(options.start_basis, model.num_variables(),
+                                  model.num_rows());
+      }
       SimplexSolver solver(pre.reduced, reduced_options);
       LpSolution reduced = solver.Solve();
       if (reduced.status == LpStatus::kOptimal ||
           reduced.status == LpStatus::kIterationLimit) {
         reduced.values = pre.ExpandSolution(reduced.values);
         reduced.objective = model.ObjectiveValue(reduced.values);
+        reduced.basis =
+            pre.MapBasisToFull(reduced.basis, model.num_variables(), model.num_rows());
       }
       return reduced;
     }

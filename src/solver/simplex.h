@@ -1,23 +1,40 @@
-// Bounded-variable two-phase primal simplex.
+// Sparse revised simplex for bounded variables (primal two-phase + dual).
 //
 // Solves   max cᵀx   s.t.  rows (≤ / ≥ / =),  l ≤ x ≤ u.
 //
 // This is the LP engine underneath the branch-and-bound MILP solver that
 // replaces the external solver of the paper (§4.3, "solved by an external
-// MILP solver"). Design notes:
-//   - every row gets a slack variable with bounds encoding its sense; rows
-//     whose initial slack violates those bounds get a Phase-1 artificial,
-//   - nonbasic variables rest at a finite bound (every model variable must
-//     have at least one finite bound — scheduler indicators live in [0, 1]),
-//   - the dense basis inverse is updated per pivot and refactorized
-//     periodically; basic values are recomputed from scratch each iteration
-//     so numerical drift self-corrects,
-//   - Dantzig pricing with a Bland's-rule fallback after a degeneracy streak
-//     guarantees termination.
+// MILP solver"). Scheduler MILPs are extremely sparse — each 0/1 option
+// variable touches one demand row plus a handful of expected-capacity rows —
+// and consecutive branch-and-bound nodes differ by a single bound change, so
+// the engine is built around that structure:
+//   - the constraint matrix is held in compressed-sparse-column form; every
+//     row gets a slack variable with bounds encoding its sense,
+//   - the basis inverse is a product-form eta file: reinversion triangularizes
+//     the basis column pattern (slack/singleton columns pivot first) and each
+//     simplex pivot appends one sparse eta, giving O(nnz) FTRAN/BTRAN instead
+//     of the O(m²)-per-pivot dense inverse; periodic refactorization bounds
+//     eta growth and self-corrects numerical drift,
+//   - primal pricing uses a candidate list (partial pricing): a full reduced-
+//     cost scan harvests the best candidates, subsequent pivots re-price only
+//     the list until it runs dry; a Bland's-rule full scan takes over after a
+//     degeneracy streak to guarantee termination,
+//   - a basis (variable statuses over structural + slack variables) can be
+//     exported from a solved LP and imported as a starting point: a primal-
+//     feasible import skips Phase 1 outright, a dual-feasible import
+//     re-optimizes with the bounded-variable dual simplex (the branch-and-
+//     bound child case: the parent's optimal basis stays dual feasible under
+//     a bound change), and anything else falls back to a cold start, so a
+//     warm start can never change the *answer*, only the pivot count.
+//
+// Determinism: every choice (pricing, ratio-test tie-breaks, reinversion
+// order, repair) is a pure function of the model and options — never of
+// wall clock or thread count.
 
 #ifndef SRC_SOLVER_SIMPLEX_H_
 #define SRC_SOLVER_SIMPLEX_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/solver/lp_model.h"
@@ -31,12 +48,42 @@ enum class LpStatus {
   kIterationLimit,
 };
 
+// Status of one variable relative to a basis. Nonbasic statuses are symbolic
+// ("at the current lower bound"), so a basis remains meaningful after the
+// bounds themselves move — exactly what branch-and-bound does to children.
+enum class BasisStatus : uint8_t { kBasic, kAtLower, kAtUpper };
+
+// A simplex basis over the structural variables followed by the slack
+// variables (num_variables + num_rows entries). Imports are best-effort: a
+// stale or dimension-mismatched basis is repaired or discarded, never trusted
+// into a wrong answer.
+struct LpBasis {
+  std::vector<BasisStatus> status;
+  bool empty() const { return status.empty(); }
+};
+
+// Work counters for one SolveLp call (micro_solver reports these).
+struct LpStats {
+  int phase1_iterations = 0;  // Primal Phase-1 pivots (artificial cleanup).
+  int phase2_iterations = 0;  // Primal Phase-2 pivots.
+  int dual_iterations = 0;    // Dual simplex pivots (warm re-optimization).
+  int64_t ftran = 0;          // Forward basis solves B⁻¹a.
+  int64_t btran = 0;          // Backward basis solves yᵀB⁻¹.
+  int refactorizations = 0;   // Eta-file reinversions.
+  bool warm_basis_used = false;  // The start basis survived install+repair.
+};
+
 struct LpSolution {
   LpStatus status = LpStatus::kInfeasible;
   double objective = 0.0;
   // Structural variable values (empty unless kOptimal / kIterationLimit).
   std::vector<double> values;
+  // Total simplex pivots (phase 1 + phase 2 + dual).
   int iterations = 0;
+  // Final basis (empty unless kOptimal / kIterationLimit); reusable as
+  // SimplexOptions::start_basis for a nearby model.
+  LpBasis basis;
+  LpStats stats;
 };
 
 struct SimplexOptions {
@@ -48,7 +95,11 @@ struct SimplexOptions {
   double feasibility_tol = 1e-7;
   // Run presolve reductions first (solver/presolve.h); branch-and-bound
   // nodes benefit most (their bound fixings eliminate variables outright).
+  // A start basis is mapped through the reductions (see presolve.h).
   bool presolve = true;
+  // Starting basis hint (e.g. the parent node's optimal basis). Empty means
+  // cold start. Never changes the returned solution, only the pivot count.
+  LpBasis start_basis;
 };
 
 // Solves the LP relaxation of `model` (integrality is ignored).

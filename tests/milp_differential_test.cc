@@ -196,5 +196,72 @@ TEST(MilpDifferentialTest, WarmStartReturnedIdenticallyAcrossThreadCounts) {
   }
 }
 
+// Basis warm-starting is a pure accelerator: across the same 200 random 0/1
+// programs, warm and cold runs must agree on status and objective, and —
+// because the continuous random objective coefficients make the binary
+// optimum unique almost surely — on the exact solution vector. (Node counts
+// are NOT compared: a warm LP may surface a different optimal vertex of a
+// degenerate relaxation and legitimately reorder the tree.)
+TEST(MilpDifferentialTest, BasisWarmstartNeverChangesTheAnswer) {
+  constexpr int kPrograms = 200;
+  int warm_nodes_total = 0;
+  for (int p = 0; p < kPrograms; ++p) {
+    Rng rng(1000 + static_cast<uint64_t>(p));
+    std::vector<int> int_vars;
+    const LpModel model = RandomBinaryProgram(rng, &int_vars);
+
+    MilpOptions warm_options;  // basis_warmstart defaults on.
+    MilpOptions cold_options;
+    cold_options.basis_warmstart = false;
+
+    MilpSolver warm_solver(model, int_vars);
+    const MilpSolution warm = warm_solver.Solve(warm_options);
+    MilpSolver cold_solver(model, int_vars);
+    const MilpSolution cold = cold_solver.Solve(cold_options);
+
+    ASSERT_EQ(warm.status, cold.status) << "program " << p;
+    if (warm.status == MilpStatus::kInfeasible) {
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(warm.objective, cold.objective) << "program " << p;
+    EXPECT_EQ(warm.values, cold.values) << "program " << p;
+    EXPECT_TRUE(model.IsFeasible(warm.values)) << "program " << p;
+    EXPECT_EQ(cold.warm_started_nodes, 0) << "program " << p;
+    warm_nodes_total += warm.warm_started_nodes;
+  }
+  // The sweep must actually exercise basis reuse, not just trivially agree.
+  EXPECT_GT(warm_nodes_total, 0);
+}
+
+// Basis warm-starting composes with thread-count determinism: warm runs at 1
+// and 4 threads are exactly identical (values, node counts, trajectories).
+TEST(MilpDifferentialTest, BasisWarmstartIsThreadCountInvariant) {
+  ThreadPool pool(4);
+  for (int p = 0; p < 60; ++p) {
+    Rng rng(1000 + static_cast<uint64_t>(p));
+    std::vector<int> int_vars;
+    const LpModel model = RandomBinaryProgram(rng, &int_vars);
+
+    MilpOptions serial;  // basis_warmstart defaults on.
+    serial.num_threads = 1;
+    MilpOptions parallel = serial;
+    parallel.pool = &pool;
+
+    MilpSolver solver1(model, int_vars);
+    const MilpSolution s1 = solver1.Solve(serial);
+    MilpSolver solver4(model, int_vars);
+    const MilpSolution s4 = solver4.Solve(parallel);
+
+    EXPECT_EQ(s1.status, s4.status) << "program " << p;
+    EXPECT_EQ(s1.nodes_explored, s4.nodes_explored) << "program " << p;
+    EXPECT_EQ(s1.lp_iterations, s4.lp_iterations) << "program " << p;
+    EXPECT_EQ(s1.warm_started_nodes, s4.warm_started_nodes) << "program " << p;
+    if (s1.status != MilpStatus::kInfeasible) {
+      EXPECT_DOUBLE_EQ(s1.objective, s4.objective) << "program " << p;
+      EXPECT_EQ(s1.values, s4.values) << "program " << p;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace threesigma

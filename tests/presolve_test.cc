@@ -151,5 +151,113 @@ TEST(PresolveTest, MilpWithPresolvedNodesMatchesBruteForce) {
   }
 }
 
+TEST(PresolveTest, RandomizedDifferentialWithFullyFixedRows) {
+  // Adversarial generator aimed at the reduction edge cases: a high fixing
+  // rate so some rows end up with EVERY variable fixed by bounds (the row
+  // reduces to a pure consistency check — sometimes an infeasible one),
+  // equality rows, and negative coefficients. Presolve-on and presolve-off
+  // must agree on status and objective on all of it.
+  Rng rng(606);
+  int fully_fixed_rows_seen = 0;
+  int infeasible_seen = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    LpModel m;
+    const int n = static_cast<int>(rng.UniformInt(2, 9));
+    std::vector<bool> fixed(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const double lo = rng.Uniform(0.0, 1.5);
+      fixed[static_cast<size_t>(i)] = rng.Bernoulli(0.45);
+      const double up = fixed[static_cast<size_t>(i)] ? lo : lo + rng.Uniform(0.1, 2.0);
+      m.AddVariable(lo, up, rng.Uniform(-3.0, 3.0));
+    }
+    const int rows = static_cast<int>(rng.UniformInt(1, 6));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<LpTerm> terms;
+      bool all_fixed = true;
+      for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.6)) {
+          terms.push_back({i, rng.Uniform(-1.5, 2.5)});
+          all_fixed = all_fixed && fixed[static_cast<size_t>(i)];
+        }
+      }
+      if (terms.empty()) {
+        terms.push_back({0, 1.0});
+        all_fixed = fixed[0];
+      }
+      if (all_fixed) {
+        ++fully_fixed_rows_seen;
+      }
+      const double roll = rng.Uniform(0.0, 1.0);
+      if (roll < 0.15) {
+        // Equality rows through an activity the bounds can often reach.
+        m.AddRow(RowSense::kEqual, rng.Uniform(0.0, 3.0), std::move(terms));
+      } else if (roll < 0.35) {
+        m.AddRow(RowSense::kGreaterEqual, rng.Uniform(-1.0, 2.5), std::move(terms));
+      } else {
+        m.AddRow(RowSense::kLessEqual, rng.Uniform(0.0, 5.0), std::move(terms));
+      }
+    }
+    SimplexOptions with;
+    with.presolve = true;
+    SimplexOptions without;
+    without.presolve = false;
+    const LpSolution a = SolveLp(m, with);
+    const LpSolution b = SolveLp(m, without);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.status == LpStatus::kInfeasible) {
+      ++infeasible_seen;
+      continue;
+    }
+    if (a.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-5) << "trial " << trial;
+      EXPECT_TRUE(m.IsFeasible(a.values, 1e-5)) << "trial " << trial;
+      EXPECT_TRUE(m.IsFeasible(b.values, 1e-5)) << "trial " << trial;
+    }
+  }
+  // The generator must actually hit the edge cases this test is about.
+  EXPECT_GT(fully_fixed_rows_seen, 0);
+  EXPECT_GT(infeasible_seen, 0);
+}
+
+TEST(PresolveTest, BasisMapsRoundTripAcrossReductions) {
+  // MapBasisToReduced / MapBasisToFull: statuses of surviving entries pass
+  // through unchanged, eliminated variables rest at their assigned bound, and
+  // removed rows come back with basic slacks.
+  LpModel m;
+  const int a = m.AddVariable(0.0, 1.0, 2.0);   // Survives.
+  const int b = m.AddVariable(0.7, 0.7, 1.0);   // Fixed: eliminated.
+  const int c = m.AddVariable(0.0, 3.0, -1.0);  // Row-free: eliminated at 0.
+  m.AddRow(RowSense::kLessEqual, 1.5, {{a, 1.0}, {b, 1.0}});  // Survives: a <= 0.8.
+  m.AddRow(RowSense::kLessEqual, 9.0, {{a, 1.0}});            // Redundant.
+  const PresolveResult pre = Presolve(m);
+  ASSERT_EQ(pre.reduced.num_variables(), 1);
+  ASSERT_EQ(pre.reduced.num_rows(), 1);
+  ASSERT_EQ(pre.row_map.size(), 1u);
+  EXPECT_EQ(pre.row_map[0], 0);
+
+  LpBasis full;
+  full.status.assign(5, BasisStatus::kAtLower);  // 3 vars + 2 slacks.
+  full.status[static_cast<size_t>(a)] = BasisStatus::kBasic;
+  full.status[3] = BasisStatus::kAtUpper;  // Slack of surviving row 0.
+  const LpBasis reduced = pre.MapBasisToReduced(full, 3, 2);
+  ASSERT_EQ(reduced.status.size(), 2u);  // 1 var + 1 row.
+  EXPECT_EQ(reduced.status[0], BasisStatus::kBasic);
+  EXPECT_EQ(reduced.status[1], BasisStatus::kAtUpper);
+
+  const LpBasis back = pre.MapBasisToFull(reduced, 3, 2);
+  ASSERT_EQ(back.status.size(), 5u);
+  EXPECT_EQ(back.status[static_cast<size_t>(a)], BasisStatus::kBasic);
+  EXPECT_EQ(back.status[static_cast<size_t>(b)], BasisStatus::kAtLower);
+  EXPECT_EQ(back.status[static_cast<size_t>(c)], BasisStatus::kAtLower);
+  EXPECT_EQ(back.status[3], BasisStatus::kAtUpper);  // Surviving row's slack.
+  EXPECT_EQ(back.status[4], BasisStatus::kBasic);    // Removed row's slack.
+
+  // Dimension mismatches are rejected, not mangled.
+  LpBasis wrong;
+  wrong.status.assign(4, BasisStatus::kAtLower);
+  EXPECT_TRUE(pre.MapBasisToReduced(wrong, 3, 2).empty());
+  EXPECT_TRUE(pre.MapBasisToFull(wrong, 3, 2).empty());
+}
+
 }  // namespace
 }  // namespace threesigma

@@ -495,6 +495,248 @@ TEST(SimplexTest, LargerLpStaysFeasibleAndOptimal) {
   EXPECT_GT(sol.objective, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Row coalescing (LpModel::AddRow)
+// ---------------------------------------------------------------------------
+
+TEST(LpModelTest, DuplicateTermsCoalesced) {
+  LpModel m;
+  const int x = m.AddVariable(0.0, 1.0, 1.0);
+  const int y = m.AddVariable(0.0, 1.0, 1.0);
+  // x appears three times: 2 + 3 - 1 = 4; first-occurrence order is kept.
+  const int r = m.AddRow(RowSense::kLessEqual, 5.0,
+                         {{x, 2.0}, {y, 1.5}, {x, 3.0}, {x, -1.0}});
+  ASSERT_EQ(m.row(r).terms.size(), 2u);
+  EXPECT_EQ(m.row(r).terms[0].var, x);
+  EXPECT_DOUBLE_EQ(m.row(r).terms[0].coeff, 4.0);
+  EXPECT_EQ(m.row(r).terms[1].var, y);
+  EXPECT_DOUBLE_EQ(m.row(r).terms[1].coeff, 1.5);
+}
+
+TEST(LpModelTest, DuplicateTermsCancellingToZeroDropped) {
+  LpModel m;
+  const int x = m.AddVariable(0.0, 1.0, 1.0);
+  const int y = m.AddVariable(0.0, 1.0, 1.0);
+  const int r = m.AddRow(RowSense::kLessEqual, 5.0, {{x, 2.0}, {y, 1.0}, {x, -2.0}});
+  ASSERT_EQ(m.row(r).terms.size(), 1u);
+  EXPECT_EQ(m.row(r).terms[0].var, y);
+}
+
+TEST(LpModelTest, CoalescedRowSolvesLikeExplicitRow) {
+  // The duplicate-term row must behave exactly like its coalesced equivalent
+  // through the solver.
+  LpModel dup;
+  const int x = dup.AddVariable(0.0, 5.0, 1.0);
+  dup.AddRow(RowSense::kLessEqual, 6.0, {{x, 1.0}, {x, 1.0}});  // => 2x <= 6.
+  LpModel plain;
+  const int px = plain.AddVariable(0.0, 5.0, 1.0);
+  plain.AddRow(RowSense::kLessEqual, 6.0, {{px, 2.0}});
+  const LpSolution a = SolveLp(dup);
+  const LpSolution b = SolveLp(plain);
+  ASSERT_EQ(a.status, LpStatus::kOptimal);
+  ASSERT_EQ(b.status, LpStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+  EXPECT_NEAR(a.values[x], 3.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Basis export / import (warm starts)
+// ---------------------------------------------------------------------------
+
+TEST(SimplexTest, OwnBasisResolvesWithZeroPivots) {
+  // Re-solving an LP from its own optimal basis must take no pivots at all:
+  // the install lands primal feasible and pricing finds nothing favorable.
+  Rng rng(606);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpModel m;
+    const int n = static_cast<int>(rng.UniformInt(2, 10));
+    for (int i = 0; i < n; ++i) {
+      m.AddVariable(0.0, rng.Uniform(0.5, 3.0), rng.Uniform(-4.0, 5.0));
+    }
+    const int rows = static_cast<int>(rng.UniformInt(1, 6));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<LpTerm> terms;
+      for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.6)) {
+          terms.push_back({i, rng.Uniform(0.0, 3.0)});
+        }
+      }
+      m.AddRow(RowSense::kLessEqual, rng.Uniform(0.5, 6.0), std::move(terms));
+    }
+    SimplexOptions cold_options;
+    cold_options.presolve = false;  // Keep the exported basis full-space.
+    const LpSolution cold = SolveLp(m, cold_options);
+    ASSERT_EQ(cold.status, LpStatus::kOptimal) << "trial " << trial;
+    ASSERT_FALSE(cold.basis.empty());
+
+    SimplexOptions warm_options = cold_options;
+    warm_options.start_basis = cold.basis;
+    const LpSolution warm = SolveLp(m, warm_options);
+    ASSERT_EQ(warm.status, LpStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-7) << "trial " << trial;
+    EXPECT_TRUE(warm.stats.warm_basis_used) << "trial " << trial;
+    EXPECT_EQ(warm.iterations, 0) << "trial " << trial;
+    EXPECT_EQ(warm.stats.phase1_iterations, 0) << "trial " << trial;
+  }
+}
+
+TEST(SimplexTest, ParentBasisReoptimizesAfterBoundFix) {
+  // The branch-and-bound child pattern: tighten one variable's bounds (fix a
+  // 0/1 indicator), restart from the parent's basis, and land on the same
+  // optimum a cold solve finds — with zero Phase-1 work.
+  Rng rng(707);
+  for (int trial = 0; trial < 30; ++trial) {
+    LpModel m;
+    const int n = static_cast<int>(rng.UniformInt(4, 12));
+    for (int i = 0; i < n; ++i) {
+      m.AddVariable(0.0, 1.0, rng.Uniform(-2.0, 6.0));
+    }
+    const int rows = static_cast<int>(rng.UniformInt(2, 7));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<LpTerm> terms;
+      for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.5)) {
+          terms.push_back({i, rng.Uniform(0.1, 3.0)});
+        }
+      }
+      m.AddRow(RowSense::kLessEqual, rng.Uniform(1.0, 5.0), std::move(terms));
+    }
+    SimplexOptions options;
+    options.presolve = false;
+    const LpSolution parent = SolveLp(m, options);
+    ASSERT_EQ(parent.status, LpStatus::kOptimal) << "trial " << trial;
+
+    // Fix one variable the way branching does.
+    const int fixed = static_cast<int>(rng.UniformInt(0, static_cast<uint64_t>(n - 1)));
+    const double side = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    m.SetVariableBounds(fixed, side, side);
+
+    const LpSolution cold = SolveLp(m, options);
+    SimplexOptions warm_options = options;
+    warm_options.start_basis = parent.basis;
+    const LpSolution warm = SolveLp(m, warm_options);
+
+    ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+    if (cold.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective, cold.objective, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(m.IsFeasible(warm.values, 1e-5)) << "trial " << trial;
+      EXPECT_EQ(warm.stats.phase1_iterations, 0) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SimplexTest, ForeignBasisNeverChangesAnswer) {
+  // A basis from a completely unrelated model of the same shape must be
+  // repaired or discarded — never trusted into a wrong answer.
+  Rng rng(909);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 6;
+    const int rows = 4;
+    const auto make_model = [&]() {
+      LpModel m;
+      for (int i = 0; i < n; ++i) {
+        m.AddVariable(0.0, rng.Uniform(0.5, 2.0), rng.Uniform(-3.0, 4.0));
+      }
+      for (int r = 0; r < rows; ++r) {
+        std::vector<LpTerm> terms;
+        for (int i = 0; i < n; ++i) {
+          if (rng.Bernoulli(0.6)) {
+            terms.push_back({i, rng.Uniform(0.1, 2.0)});
+          }
+        }
+        m.AddRow(RowSense::kLessEqual, rng.Uniform(0.5, 4.0), std::move(terms));
+      }
+      return m;
+    };
+    const LpModel donor = make_model();
+    const LpModel target = make_model();
+    SimplexOptions options;
+    options.presolve = false;
+    const LpSolution donor_sol = SolveLp(donor, options);
+    ASSERT_EQ(donor_sol.status, LpStatus::kOptimal);
+
+    const LpSolution cold = SolveLp(target, options);
+    SimplexOptions warm_options = options;
+    warm_options.start_basis = donor_sol.basis;
+    const LpSolution warm = SolveLp(target, warm_options);
+    ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-6) << "trial " << trial;
+    EXPECT_TRUE(target.IsFeasible(warm.values, 1e-5)) << "trial " << trial;
+  }
+}
+
+TEST(SimplexTest, BasisSurvivesPresolveRoundTrip) {
+  // With presolve on, the exported basis is in the ORIGINAL space and must
+  // re-import cleanly through the reduction of a subsequent solve.
+  LpModel m;
+  const int a = m.AddVariable(0.0, 1.0, 2.0);
+  const int b = m.AddVariable(0.5, 0.5, 1.0);  // Fixed: presolve eliminates.
+  const int c = m.AddVariable(0.0, 2.0, 3.0);
+  m.AddRow(RowSense::kLessEqual, 2.0, {{a, 1.0}, {b, 1.0}, {c, 1.0}});
+  m.AddRow(RowSense::kLessEqual, 50.0, {{a, 1.0}, {c, 1.0}});  // Redundant.
+  const LpSolution first = SolveLp(m);
+  ASSERT_EQ(first.status, LpStatus::kOptimal);
+  ASSERT_EQ(first.basis.status.size(),
+            static_cast<size_t>(m.num_variables() + m.num_rows()));
+  SimplexOptions options;
+  options.start_basis = first.basis;
+  const LpSolution second = SolveLp(m, options);
+  ASSERT_EQ(second.status, LpStatus::kOptimal);
+  EXPECT_NEAR(second.objective, first.objective, 1e-9);
+  EXPECT_TRUE(second.stats.warm_basis_used);
+  EXPECT_EQ(second.iterations, 0);
+}
+
+TEST(MilpTest, BasisWarmstartSlashesLpIterations) {
+  // Scheduler-shaped B&B stream: with parent-basis warm starts, total LP
+  // pivots across the tree must drop sharply and phase-1 work must all but
+  // vanish (children re-optimize dually instead of rebuilding feasibility).
+  Rng rng(515);
+  LpModel m;
+  std::vector<int> ints;
+  std::vector<std::vector<LpTerm>> capacity(8);
+  for (int j = 0; j < 24; ++j) {
+    std::vector<LpTerm> demand;
+    for (int o = 0; o < 3; ++o) {
+      const int var = m.AddVariable(0.0, 1.0, rng.Uniform(0.5, 8.0));
+      ints.push_back(var);
+      demand.push_back({var, 1.0});
+      for (int c = 0; c < 8; ++c) {
+        if (rng.Bernoulli(0.4)) {
+          capacity[static_cast<size_t>(c)].push_back({var, rng.Uniform(0.5, 3.0)});
+        }
+      }
+    }
+    m.AddRow(RowSense::kLessEqual, 1.0, std::move(demand));
+  }
+  for (auto& terms : capacity) {
+    m.AddRow(RowSense::kLessEqual, rng.Uniform(4.0, 10.0), std::move(terms));
+  }
+  MilpOptions warm_options;
+  warm_options.max_nodes = 60;
+  MilpOptions cold_options = warm_options;
+  cold_options.basis_warmstart = false;
+
+  MilpSolver warm_solver(m, ints);
+  const MilpSolution warm = warm_solver.Solve(warm_options);
+  MilpSolver cold_solver(m, ints);
+  const MilpSolution cold = cold_solver.Solve(cold_options);
+
+  ASSERT_NE(warm.status, MilpStatus::kInfeasible);
+  ASSERT_NE(cold.status, MilpStatus::kInfeasible);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-6);
+  EXPECT_GT(warm.warm_started_nodes, 0);
+  EXPECT_EQ(cold.warm_started_nodes, 0);
+  ASSERT_GT(cold.lp_iterations, 0);
+  // The acceptance bar for the whole PR: >= 3x fewer simplex pivots.
+  EXPECT_LE(warm.lp_iterations * 3, cold.lp_iterations)
+      << "warm=" << warm.lp_iterations << " cold=" << cold.lp_iterations;
+  // Warm nodes re-optimize dually; no phase-1 feasibility rebuild anywhere.
+  EXPECT_EQ(warm.lp_phase1_iterations, 0);
+  EXPECT_GT(warm.lp_dual_iterations, 0);
+  EXPECT_GE(warm.warm_started_nodes, warm.nodes_explored - 2);
+}
+
 TEST(MilpTest, NodeBudgetReturnsIncumbent) {
   Rng rng(777);
   LpModel m;
