@@ -1,0 +1,123 @@
+// Snapshot codec micro-benchmarks: serialize (write) and restore (read)
+// throughput for a realistic mid-run checkpoint, plus raw CRC speed.
+//
+// Reported counters:
+//   bytes_per_second  — snapshot MB/s for the operation under test
+//   snapshot_bytes    — full checkpoint size
+//   bytes_per_job     — checkpoint size amortized over workload jobs
+//
+// CI uploads the JSON as BENCH_snapshot.json to track the trajectory across
+// commits (wall-clock on shared runners is noisy; the size counters are
+// deterministic).
+
+#include <memory>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/experiment.h"
+#include "src/snapshot/snapshot_io.h"
+
+namespace threesigma {
+namespace {
+
+// A mid-run 3Sigma system under chaos: trained predictor histories, live
+// jobs, a populated event queue, warm-started scheduler state — the
+// checkpoint payload a production run would carry.
+struct Fixture {
+  ExperimentConfig config;
+  GeneratedWorkload workload;
+  SystemInstance instance;
+  std::unique_ptr<Simulator> sim;
+  std::string buffer;
+
+  Fixture() {
+    config.cluster = ClusterConfig::Uniform(4, 16);
+    config.workload.duration = Minutes(20.0);
+    config.workload.load = 1.3;
+    config.workload.model_sample_jobs = 800;
+    config.workload.pretrain_jobs = 2000;
+    config.workload.seed = 7;
+    config.sim.cycle_period = 10.0;
+    config.sim.seed = 7;
+    config.sched.cycle_period = config.sim.cycle_period;
+    config.sched.solver_time_limit_seconds = 0.0;
+    config.sim.faults.node_mttf = 2000.0;
+    config.sim.faults.task_kill_prob = 0.03;
+    workload = GenerateWorkload(config.cluster, config.workload);
+    instance = MakeSystem(SystemKind::kThreeSigma, config.cluster, config.sched);
+    for (const JobSpec& job : workload.pretrain) {
+      instance.predictor->RecordCompletion(job.features, job.true_runtime);
+    }
+    sim = std::make_unique<Simulator>(config.cluster, instance.scheduler.get(), workload.jobs,
+                                      config.sim);
+    for (int i = 0; i < 30 && sim->Step(); ++i) {
+    }
+    buffer = sim->SaveStateToBuffer();
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_SnapshotWrite(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string buffer = f.sim->SaveStateToBuffer();
+    bytes = buffer.size();
+    benchmark::DoNotOptimize(buffer);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_job"] =
+      static_cast<double>(bytes) / static_cast<double>(f.workload.jobs.size());
+}
+BENCHMARK(BM_SnapshotWrite)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotRead(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  // Restore into a separate, identically configured system so the fixture
+  // simulator is never perturbed.
+  SystemInstance target =
+      MakeSystem(SystemKind::kThreeSigma, f.config.cluster, f.config.sched);
+  Simulator sim(f.config.cluster, target.scheduler.get(), {}, f.config.sim);
+  for (auto _ : state) {
+    std::string error;
+    const bool ok = sim.TryRestoreStateFromBuffer(f.buffer, &error);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(f.buffer.size()) * state.iterations());
+  state.counters["snapshot_bytes"] = static_cast<double>(f.buffer.size());
+  state.counters["bytes_per_job"] =
+      static_cast<double>(f.buffer.size()) / static_cast<double>(f.workload.jobs.size());
+}
+BENCHMARK(BM_SnapshotRead)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotCrc32(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    const uint32_t crc = Crc32(f.buffer.data(), f.buffer.size());
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(f.buffer.size()) * state.iterations());
+}
+BENCHMARK(BM_SnapshotCrc32)->Unit(benchmark::kMicrosecond);
+
+void BM_SnapshotSectionDiff(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    const std::vector<std::string> diff =
+        DiffSnapshotSections(f.buffer, f.buffer, {"timing"});
+    benchmark::DoNotOptimize(diff);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(f.buffer.size()) * 2 * state.iterations());
+}
+BENCHMARK(BM_SnapshotSectionDiff)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace threesigma
+
+BENCHMARK_MAIN();

@@ -78,6 +78,10 @@ int main(int argc, char** argv) {
   double fault_straggler_factor = 3.0;
   double fault_stall_prob = 0.0;
   int64_t fault_seed = 1;
+  int64_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  std::string resume_from;
+  int64_t max_cycles = 0;
 
   FlagParser parser(
       "run_experiment — drive 3Sigma and its baselines over a workload.\n"
@@ -120,7 +124,18 @@ int main(int argc, char** argv) {
                  "maximum straggler runtime inflation factor")
       .AddDouble("fault-stall-prob", &fault_stall_prob,
                  "probability a scheduling cycle is stalled (scheduler hiccup)")
-      .AddInt("fault-seed", &fault_seed, "fault-injection RNG seed (independent of --seed)");
+      .AddInt("fault-seed", &fault_seed, "fault-injection RNG seed (independent of --seed)")
+      .AddInt("checkpoint-every", &checkpoint_every,
+              "write <checkpoint-dir>/checkpoint_<cycle>.snap every N scheduling "
+              "cycles (0 = off; the directory must exist)")
+      .AddString("checkpoint-dir", &checkpoint_dir, "where checkpoints are written")
+      .AddString("resume-from", &resume_from,
+                 "resume from this checkpoint file instead of starting fresh; "
+                 "--systems must name exactly the one system that wrote it "
+                 "(cluster, workload, and fault state come from the snapshot)")
+      .AddInt("max-cycles", &max_cycles,
+              "stop each run after N scheduling cycles (0 = no limit; with "
+              "checkpointing on, this emulates a kill at a known cycle)");
   if (!parser.Parse(argc, argv)) {
     return parser.exit_code();
   }
@@ -145,10 +160,50 @@ int main(int argc, char** argv) {
   config.sim.faults.straggler_factor = fault_straggler_factor;
   config.sim.faults.cycle_stall_prob = fault_stall_prob;
   config.sim.faults.seed = static_cast<uint64_t>(fault_seed);
+  config.sim.checkpoint_every = checkpoint_every;
+  config.sim.checkpoint_dir = checkpoint_dir;
+  config.sim.max_cycles = max_cycles;
   config.sched.cycle_period = cycle;
   config.sched.solver_threads = static_cast<int>(solver_threads);
   config.sched.capacity_cache = capacity_cache;
   config.sched.solver_basis_warmstart = solver_basis_warmstart;
+
+  if (!resume_from.empty()) {
+    SystemKind kind;
+    if (systems_csv.find(',') != std::string::npos || !ParseSystem(systems_csv, &kind)) {
+      std::cerr << "--resume-from requires --systems to name exactly one system\n";
+      return 1;
+    }
+    SimResult result;
+    std::string error;
+    if (!ResumeSystem(kind, resume_from, config.sched, config.sim, &result, &error)) {
+      std::cerr << "cannot resume from '" << resume_from << "': " << error << "\n";
+      return 1;
+    }
+    const RunMetrics m = ComputeMetrics(result, systems_csv);
+    std::cout << "Resumed " << systems_csv << " from " << resume_from << ": "
+              << result.cycles.size() << " cycles total, " << result.jobs.size() << " jobs\n";
+    TablePrinter table({"system", "SLO miss %", "goodput (M-hr)", "BE lat mean/p90 (s)",
+                        "preempts", "mean cycle (ms)"});
+    table.AddRow({m.system, TablePrinter::Fmt(m.slo_miss_rate_percent, 1),
+                  TablePrinter::Fmt(m.goodput_machine_hours, 1),
+                  TablePrinter::Fmt(m.mean_be_latency_seconds, 0) + " / " +
+                      TablePrinter::Fmt(m.p90_be_latency_seconds, 0),
+                  std::to_string(m.preemptions),
+                  TablePrinter::Fmt(m.mean_cycle_seconds * 1000.0, 1)});
+    table.Print(std::cout);
+    if (!jobs_csv_out.empty()) {
+      std::ofstream jobs_csv(jobs_csv_out);
+      jobs_csv << "# system=" << systems_csv << "\n";
+      WriteJobRecordsCsv(jobs_csv, result.jobs);
+    }
+    if (!metrics_csv_out.empty()) {
+      std::ofstream out(metrics_csv_out);
+      WriteRunMetricsCsv(out, {m});
+      std::cout << "\nWrote metrics CSV to " << metrics_csv_out << "\n";
+    }
+    return 0;
+  }
 
   GeneratedWorkload workload;
   if (!swf_path.empty() || !trace_csv_path.empty()) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/snapshot/snapshot_io.h"
+
 namespace threesigma {
 
 bool JobSpec::PrefersGroup(int group_id) const {
@@ -21,6 +23,44 @@ double JobSpec::DeadlineSlackPercent() const {
     return 0.0;
   }
   return (deadline - submit_time - true_runtime) / true_runtime * 100.0;
+}
+
+void JobSpec::SaveState(SnapshotWriter& writer) const {
+  writer.WriteVarI64(id);
+  writer.WriteString(name);
+  writer.WriteString(user);
+  writer.WriteU8(static_cast<uint8_t>(type));
+  writer.WriteDouble(submit_time);
+  writer.WriteDouble(true_runtime);
+  writer.WriteVarI64(num_tasks);
+  writer.WriteDouble(deadline);
+  writer.WriteIntVec(preferred_groups);
+  writer.WriteDouble(nonpreferred_slowdown);
+  utility.SaveState(writer);
+  writer.WriteVarU64(features.size());
+  for (const std::string& f : features) {
+    writer.WriteString(f);
+  }
+}
+
+void JobSpec::RestoreState(SnapshotReader& reader) {
+  id = reader.ReadVarI64();
+  name = reader.ReadString();
+  user = reader.ReadString();
+  type = static_cast<JobType>(reader.ReadU8());
+  submit_time = reader.ReadDouble();
+  true_runtime = reader.ReadDouble();
+  num_tasks = static_cast<int>(reader.ReadVarI64());
+  deadline = reader.ReadDouble();
+  preferred_groups = reader.ReadIntVec();
+  nonpreferred_slowdown = reader.ReadDouble();
+  utility.RestoreState(reader);
+  const uint64_t n = reader.ReadVarU64();
+  features.clear();
+  features.reserve(reader.ok() ? n : 0);
+  for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+    features.push_back(reader.ReadString());
+  }
 }
 
 }  // namespace threesigma

@@ -19,6 +19,9 @@
 
 namespace threesigma {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 using JobId = int64_t;
 
 enum class JobType {
@@ -63,6 +66,10 @@ struct JobSpec {
   // The deadline slack definition of §5:
   //   (deadline - submit - runtime) / runtime * 100.
   double DeadlineSlackPercent() const;
+
+  // Snapshot codec hooks: raw payload, composable into a parent section.
+  void SaveState(SnapshotWriter& writer) const;
+  void RestoreState(SnapshotReader& reader);
 };
 
 }  // namespace threesigma

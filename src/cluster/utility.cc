@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
 
@@ -64,6 +65,22 @@ UtilityFunction UtilityFunction::WithOverestimateDecay(Duration decay_window) co
     return *this;
   }
   return SloStepWithDecay(value_, deadline_, decay_window);
+}
+
+void UtilityFunction::SaveState(SnapshotWriter& writer) const {
+  writer.WriteU8(static_cast<uint8_t>(kind_));
+  writer.WriteDouble(value_);
+  writer.WriteDouble(deadline_);
+  writer.WriteDouble(start_);
+  writer.WriteDouble(window_);
+}
+
+void UtilityFunction::RestoreState(SnapshotReader& reader) {
+  kind_ = static_cast<Kind>(reader.ReadU8());
+  value_ = reader.ReadDouble();
+  deadline_ = reader.ReadDouble();
+  start_ = reader.ReadDouble();
+  window_ = reader.ReadDouble();
 }
 
 }  // namespace threesigma

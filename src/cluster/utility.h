@@ -16,6 +16,9 @@
 
 namespace threesigma {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class UtilityFunction {
  public:
   // Step utility: `value` if completed by `deadline`, else 0 (Fig. 3a).
@@ -38,6 +41,10 @@ class UtilityFunction {
   Time deadline() const { return deadline_; }
   bool is_step() const { return kind_ == Kind::kStep || kind_ == Kind::kStepDecay; }
   bool has_decay_extension() const { return kind_ == Kind::kStepDecay; }
+
+  // Snapshot codec hooks: raw payload, composable into a parent section.
+  void SaveState(SnapshotWriter& writer) const;
+  void RestoreState(SnapshotReader& reader);
 
  private:
   enum class Kind { kStep, kStepDecay, kLinear };

@@ -1,8 +1,10 @@
 #include "src/common/rng.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "src/common/check.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
 
@@ -87,6 +89,32 @@ Rng Rng::Fork() {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return Rng(z ^ (z >> 31));
+}
+
+std::string Rng::SerializeState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::DeserializeState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) {
+    return false;
+  }
+  engine_ = restored;
+  return true;
+}
+
+void Rng::SaveState(SnapshotWriter& writer) const { writer.WriteString(SerializeState()); }
+
+void Rng::RestoreState(SnapshotReader& reader) {
+  const std::string state = reader.ReadString();
+  if (reader.ok()) {
+    TS_CHECK_MSG(DeserializeState(state), "corrupt RNG state in snapshot");
+  }
 }
 
 }  // namespace threesigma

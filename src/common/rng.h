@@ -12,9 +12,13 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace threesigma {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 class Rng {
  public:
@@ -47,6 +51,19 @@ class Rng {
   Rng Fork();
 
   std::mt19937_64& engine() { return engine_; }
+
+  // Raw engine state as text (the mt19937_64 iostream format: 312 words +
+  // position counter). Restoring it makes the next draw equal what the saved
+  // stream would have drawn — distributions are constructed per call, so the
+  // engine is the *entire* stream state.
+  std::string SerializeState() const;
+  // Returns false (leaving the stream untouched) if `state` does not parse.
+  bool DeserializeState(const std::string& state);
+
+  // Snapshot codec hooks: raw payload (no section), composable into a parent
+  // module's section.
+  void SaveState(SnapshotWriter& writer) const;
+  void RestoreState(SnapshotReader& reader);
 
  private:
   std::mt19937_64 engine_;

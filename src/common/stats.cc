@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
 
@@ -51,6 +52,24 @@ RunningStats RunningStats::Restore(size_t count, double mean, double m2, double 
   return rs;
 }
 
+void RunningStats::SaveState(SnapshotWriter& writer) const {
+  writer.WriteVarU64(count_);
+  writer.WriteDouble(mean_);
+  writer.WriteDouble(m2_);
+  writer.WriteDouble(min_);
+  writer.WriteDouble(max_);
+  writer.WriteDouble(sum_);
+}
+
+void RunningStats::RestoreState(SnapshotReader& reader) {
+  count_ = reader.ReadVarU64();
+  mean_ = reader.ReadDouble();
+  m2_ = reader.ReadDouble();
+  min_ = reader.ReadDouble();
+  max_ = reader.ReadDouble();
+  sum_ = reader.ReadDouble();
+}
+
 EwmaEstimator EwmaEstimator::Restore(double alpha, bool seeded, double value) {
   EwmaEstimator e(alpha);
   e.seeded_ = seeded;
@@ -66,6 +85,30 @@ RecentWindow RecentWindow::Restore(size_t capacity, size_t next,
   w.next_ = next;
   w.values_ = std::move(values);
   return w;
+}
+
+void EwmaEstimator::SaveState(SnapshotWriter& writer) const {
+  writer.WriteDouble(alpha_);
+  writer.WriteBool(seeded_);
+  writer.WriteDouble(value_);
+}
+
+void EwmaEstimator::RestoreState(SnapshotReader& reader) {
+  alpha_ = reader.ReadDouble();
+  seeded_ = reader.ReadBool();
+  value_ = reader.ReadDouble();
+}
+
+void RecentWindow::SaveState(SnapshotWriter& writer) const {
+  writer.WriteVarU64(capacity_);
+  writer.WriteVarU64(next_);
+  writer.WriteDoubleVec(values_);
+}
+
+void RecentWindow::RestoreState(SnapshotReader& reader) {
+  capacity_ = reader.ReadVarU64();
+  next_ = reader.ReadVarU64();
+  values_ = reader.ReadDoubleVec();
 }
 
 void EwmaEstimator::Add(double x) {

@@ -13,6 +13,9 @@
 
 namespace threesigma {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 // Welford's online algorithm: mean/variance in O(1) memory.
 class RunningStats {
  public:
@@ -35,6 +38,10 @@ class RunningStats {
   double max() const { return max_; }
   double sum() const { return sum_; }
 
+  // Snapshot codec hooks: raw payload, composable into a parent section.
+  void SaveState(SnapshotWriter& writer) const;
+  void RestoreState(SnapshotReader& reader);
+
  private:
   size_t count_ = 0;
   double mean_ = 0.0;
@@ -55,6 +62,9 @@ class EwmaEstimator {
   double value() const { return value_; }
   double alpha() const { return alpha_; }
   static EwmaEstimator Restore(double alpha, bool seeded, double value);
+
+  void SaveState(SnapshotWriter& writer) const;
+  void RestoreState(SnapshotReader& reader);
 
  private:
   double alpha_;
@@ -78,6 +88,9 @@ class RecentWindow {
   size_t next() const { return next_; }
   const std::vector<double>& values() const { return values_; }
   static RecentWindow Restore(size_t capacity, size_t next, std::vector<double> values);
+
+  void SaveState(SnapshotWriter& writer) const;
+  void RestoreState(SnapshotReader& reader);
 
  private:
   size_t capacity_;

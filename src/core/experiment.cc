@@ -51,4 +51,25 @@ SimResult SimulateSystem(SystemKind kind, const ExperimentConfig& config,
   return Simulate(instance, config, workload, /*pretrain=*/true);
 }
 
+bool ResumeSystem(SystemKind kind, const std::string& checkpoint_path,
+                  const DistSchedulerConfig& sched, const SimOptions& local,
+                  SimResult* result, std::string* error) {
+  CheckpointInfo info;
+  if (!Simulator::PeekCheckpoint(checkpoint_path, &info, error)) {
+    return false;
+  }
+  SystemInstance instance = MakeSystem(kind, info.cluster, sched);
+  SimOptions options = info.options;
+  options.checkpoint_every = local.checkpoint_every;
+  options.checkpoint_dir = local.checkpoint_dir;
+  options.max_cycles = local.max_cycles;
+  // The snapshot's workload section replaces this empty placeholder.
+  Simulator sim(info.cluster, instance.scheduler.get(), {}, options);
+  if (!sim.TryResumeFrom(checkpoint_path, error)) {
+    return false;
+  }
+  *result = sim.Run();
+  return true;
+}
+
 }  // namespace threesigma

@@ -45,6 +45,17 @@ std::vector<RunMetrics> RunSystems(const std::vector<SystemKind>& kinds,
 SimResult SimulateSystem(SystemKind kind, const ExperimentConfig& config,
                          const GeneratedWorkload& workload);
 
+// Resumes a checkpoint written by a `kind` system run and simulates the
+// remainder to completion. The cluster shape, workload position, and
+// simulation options all come from the snapshot; `sched` must describe the
+// same scheduler configuration as the checkpointing run (snapshots carry
+// state, not construction parameters). Only the local-run knobs
+// (checkpoint_every / checkpoint_dir / max_cycles) of `local` are honored.
+// Returns false with `*error` set on a missing/corrupt snapshot.
+bool ResumeSystem(SystemKind kind, const std::string& checkpoint_path,
+                  const DistSchedulerConfig& sched, const SimOptions& local,
+                  SimResult* result, std::string* error = nullptr);
+
 }  // namespace threesigma
 
 #endif  // SRC_CORE_EXPERIMENT_H_

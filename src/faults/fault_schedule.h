@@ -30,6 +30,9 @@
 
 namespace threesigma {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 enum class FaultKind {
   kNodeDown,  // `count` nodes of `group` crash (capacity shrinks).
   kNodeUp,    // `count` nodes of `group` finish repair (capacity returns).
@@ -106,6 +109,13 @@ class FaultSchedule {
   // Deterministic per-cycle draw: true if scheduling cycle `ordinal` is lost
   // to a stalled scheduler; `*stall` is how long the stall lasts.
   bool CycleStall(int64_t ordinal, Duration* stall) const;
+
+  // Snapshot codec hooks: raw payload (options + materialized event list),
+  // composable into a parent section. Hash draws carry no stream state, so
+  // the schedule restores verbatim with no "position" beyond the caller's
+  // cycle ordinal.
+  void SaveState(SnapshotWriter& writer) const;
+  void RestoreState(SnapshotReader& reader);
 
  private:
   FaultOptions options_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
 
@@ -221,6 +222,26 @@ EmpiricalDistribution EmpiricalDistribution::Shifted(double delta) const {
     a.value = std::max(a.value + delta, 0.0);
   }
   return FromAtoms(std::move(out));
+}
+
+void EmpiricalDistribution::SaveState(SnapshotWriter& writer) const {
+  writer.WriteVarU64(atoms_.size());
+  for (const Atom& a : atoms_) {
+    writer.WriteDouble(a.value);
+    writer.WriteDouble(a.probability);
+  }
+}
+
+void EmpiricalDistribution::RestoreState(SnapshotReader& reader) {
+  const uint64_t n = reader.ReadVarU64();
+  atoms_.clear();
+  atoms_.reserve(reader.ok() ? n : 0);
+  for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+    Atom a;
+    a.value = reader.ReadDouble();
+    a.probability = reader.ReadDouble();
+    atoms_.push_back(a);
+  }
 }
 
 }  // namespace threesigma

@@ -20,6 +20,9 @@
 
 namespace threesigma {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class EmpiricalDistribution {
  public:
   struct Atom {
@@ -77,6 +80,11 @@ class EmpiricalDistribution {
   EmpiricalDistribution Scaled(double factor) const;
   // Returns a copy with every atom shifted by `delta` (values clamped >= 0).
   EmpiricalDistribution Shifted(double delta) const;
+
+  // Snapshot codec hooks. RestoreState adopts the atoms verbatim — no
+  // renormalization — so a restored distribution is bit-identical.
+  void SaveState(SnapshotWriter& writer) const;
+  void RestoreState(SnapshotReader& reader);
 
  private:
   static EmpiricalDistribution FromAtoms(std::vector<Atom> atoms);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
 
@@ -152,6 +153,34 @@ double StreamHistogram::Quantile(double q) const {
     }
   }
   return 0.5 * (lo + hi);
+}
+
+void StreamHistogram::SaveState(SnapshotWriter& writer) const {
+  writer.WriteVarU64(max_bins_);
+  writer.WriteDouble(total_count_);
+  writer.WriteDouble(min_);
+  writer.WriteDouble(max_);
+  writer.WriteVarU64(bins_.size());
+  for (const Bin& b : bins_) {
+    writer.WriteDouble(b.centroid);
+    writer.WriteDouble(b.count);
+  }
+}
+
+void StreamHistogram::RestoreState(SnapshotReader& reader) {
+  max_bins_ = reader.ReadVarU64();
+  total_count_ = reader.ReadDouble();
+  min_ = reader.ReadDouble();
+  max_ = reader.ReadDouble();
+  const uint64_t n = reader.ReadVarU64();
+  bins_.clear();
+  bins_.reserve(reader.ok() ? n : 0);
+  for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+    Bin b;
+    b.centroid = reader.ReadDouble();
+    b.count = reader.ReadDouble();
+    bins_.push_back(b);
+  }
 }
 
 }  // namespace threesigma

@@ -17,6 +17,9 @@
 
 namespace threesigma {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class StreamHistogram {
  public:
   struct Bin {
@@ -49,6 +52,10 @@ class StreamHistogram {
   size_t bin_count() const { return bins_.size(); }
   size_t max_bins() const { return max_bins_; }
   const std::vector<Bin>& bins() const { return bins_; }
+
+  // Snapshot codec hooks: raw payload, composable into a parent section.
+  void SaveState(SnapshotWriter& writer) const;
+  void RestoreState(SnapshotReader& reader);
 
  private:
   // Inserts a pre-weighted bin keeping the centroid order, then shrinks back

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
 
@@ -148,6 +149,37 @@ double TDigest::CdfAtMost(double value) const {
     prev_mean = c.mean;
   }
   return 1.0;
+}
+
+void TDigest::SaveState(SnapshotWriter& writer) const {
+  Compress();  // Canonicalize: saved state never carries a pending buffer.
+  writer.WriteDouble(compression_);
+  writer.WriteDouble(min_);
+  writer.WriteDouble(max_);
+  writer.WriteDouble(total_weight_);
+  writer.WriteVarU64(centroids_.size());
+  for (const Centroid& c : centroids_) {
+    writer.WriteDouble(c.mean);
+    writer.WriteDouble(c.weight);
+  }
+}
+
+void TDigest::RestoreState(SnapshotReader& reader) {
+  compression_ = reader.ReadDouble();
+  min_ = reader.ReadDouble();
+  max_ = reader.ReadDouble();
+  total_weight_ = reader.ReadDouble();
+  const uint64_t n = reader.ReadVarU64();
+  centroids_.clear();
+  centroids_.reserve(reader.ok() ? n : 0);
+  for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+    Centroid c;
+    c.mean = reader.ReadDouble();
+    c.weight = reader.ReadDouble();
+    centroids_.push_back(c);
+  }
+  buffer_.clear();
+  buffered_weight_ = 0.0;
 }
 
 }  // namespace threesigma

@@ -16,6 +16,9 @@
 
 namespace threesigma {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class TDigest {
  public:
   struct Centroid {
@@ -41,6 +44,12 @@ class TDigest {
   // Compresses the buffer and returns the centroid list.
   const std::vector<Centroid>& centroids() const;
   size_t centroid_count() const { return centroids().size(); }
+
+  // Snapshot codec hooks. SaveState compresses the buffer first so the saved
+  // state is canonical; a restored digest therefore answers every query
+  // identically to the saved one.
+  void SaveState(SnapshotWriter& writer) const;
+  void RestoreState(SnapshotReader& reader);
 
  private:
   // Scale function k(q) and its inverse control per-centroid capacity.

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "src/common/check.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
 
@@ -172,6 +173,36 @@ bool FeatureHistory::LoadFrom(std::istream& is) {
   nmae_ = nmae;
   count_ = avg_count;
   return true;
+}
+
+void FeatureHistory::SaveState(SnapshotWriter& writer) const {
+  writer.WriteVarU64(count_);
+  histogram_.SaveState(writer);
+  average_.SaveState(writer);
+  rolling_.SaveState(writer);
+  recent_.SaveState(writer);
+  for (const NmaeAccumulator& acc : nmae_) {
+    writer.WriteDouble(acc.abs_error);
+    writer.WriteDouble(acc.actual_sum);
+    writer.WriteVarU64(acc.samples);
+  }
+}
+
+void FeatureHistory::RestoreState(SnapshotReader& reader) {
+  count_ = reader.ReadVarU64();
+  histogram_.RestoreState(reader);
+  average_.RestoreState(reader);
+  rolling_.RestoreState(reader);
+  recent_.RestoreState(reader);
+  for (NmaeAccumulator& acc : nmae_) {
+    acc.abs_error = reader.ReadDouble();
+    acc.actual_sum = reader.ReadDouble();
+    acc.samples = reader.ReadVarU64();
+  }
+  // The options are implied by the restored components.
+  options_.max_histogram_bins = histogram_.max_bins();
+  options_.rolling_alpha = rolling_.alpha();
+  options_.recent_window = recent_.capacity();
 }
 
 ExpertKind FeatureHistory::BestExpert() const {

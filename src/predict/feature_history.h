@@ -24,6 +24,9 @@
 
 namespace threesigma {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 enum class ExpertKind {
   kAverage = 0,
   kMedian = 1,
@@ -69,10 +72,15 @@ class FeatureHistory {
   const StreamHistogram& histogram() const { return histogram_; }
 
   // Persistence (predict/predictor_io.h): exact text round-trip of all
-  // streaming state.
+  // streaming state. Legacy v1 format, kept so old predictor files load.
   void SaveTo(std::ostream& os) const;
   // Returns false on malformed input.
   bool LoadFrom(std::istream& is);
+
+  // Snapshot codec hooks (the v2 binary format): exact round-trip of the
+  // same streaming state, composable into a parent section.
+  void SaveState(SnapshotWriter& writer) const;
+  void RestoreState(SnapshotReader& reader);
 
  private:
   struct NmaeAccumulator {

@@ -1,10 +1,34 @@
 #include "src/predict/predictor.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
+namespace {
+
+// Every predictor's payload starts with its kind tag; restoring through a
+// differently-configured predictor graph is a hard error, not silent drift.
+void CheckKindTag(SnapshotReader& reader, const char* expected) {
+  const std::string tag = reader.ReadString();
+  if (reader.ok()) {
+    TS_CHECK_MSG(tag == expected,
+                 "snapshot predictor kind '" << tag << "' does not match configured '"
+                                             << expected << "'");
+  }
+}
+
+}  // namespace
+
+void RuntimePredictor::SaveState(SnapshotWriter& writer) const {
+  writer.WriteString("stateless");
+}
+
+void RuntimePredictor::RestoreState(SnapshotReader& reader) {
+  CheckKindTag(reader, "stateless");
+}
 
 ThreeSigmaPredictor::ThreeSigmaPredictor(const ThreeSigmaPredictorOptions& options)
     : options_(options) {}
@@ -85,6 +109,36 @@ void ThreeSigmaPredictor::RecordCompletion(const JobFeatures& features, double r
   }
 }
 
+void ThreeSigmaPredictor::SaveState(SnapshotWriter& writer) const {
+  writer.WriteString("3sigma");
+  std::vector<const std::string*> keys;
+  keys.reserve(histories_.size());
+  for (const auto& [key, history] : histories_) {
+    keys.push_back(&key);
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  writer.WriteVarU64(keys.size());
+  for (const std::string* key : keys) {
+    writer.WriteString(*key);
+    histories_.at(*key).SaveState(writer);
+  }
+}
+
+void ThreeSigmaPredictor::RestoreState(SnapshotReader& reader) {
+  CheckKindTag(reader, "3sigma");
+  histories_.clear();
+  const uint64_t n = reader.ReadVarU64();
+  for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+    const std::string key = reader.ReadString();
+    FeatureHistory history(options_.history);
+    history.RestoreState(reader);
+    if (reader.ok()) {
+      histories_.insert_or_assign(key, std::move(history));
+    }
+  }
+}
+
 RuntimePrediction PerfectPredictor::Predict(const JobFeatures& /*features*/,
                                             double true_runtime) {
   RuntimePrediction result;
@@ -132,6 +186,31 @@ void SampleCapPredictor::RecordCompletion(const JobFeatures& features, double ru
   inner_->RecordCompletion(features, runtime);
 }
 
+void SampleCapPredictor::SaveState(SnapshotWriter& writer) const {
+  writer.WriteString("sample-cap");
+  writer.WriteVarI64(cap_);
+  std::vector<std::pair<std::string, int>> counts(counts_.begin(), counts_.end());
+  std::sort(counts.begin(), counts.end());
+  writer.WriteVarU64(counts.size());
+  for (const auto& [key, count] : counts) {
+    writer.WriteString(key);
+    writer.WriteVarI64(count);
+  }
+  inner_->SaveState(writer);
+}
+
+void SampleCapPredictor::RestoreState(SnapshotReader& reader) {
+  CheckKindTag(reader, "sample-cap");
+  cap_ = static_cast<int>(reader.ReadVarI64());
+  counts_.clear();
+  const uint64_t n = reader.ReadVarU64();
+  for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+    const std::string key = reader.ReadString();
+    counts_[key] = static_cast<int>(reader.ReadVarI64());
+  }
+  inner_->RestoreState(reader);
+}
+
 PaddedPointPredictor::PaddedPointPredictor(RuntimePredictor* inner, double padding_stddevs)
     : inner_(inner), padding_stddevs_(padding_stddevs) {
   TS_CHECK(inner != nullptr);
@@ -151,6 +230,18 @@ RuntimePrediction PaddedPointPredictor::Predict(const JobFeatures& features,
 
 void PaddedPointPredictor::RecordCompletion(const JobFeatures& features, double runtime) {
   inner_->RecordCompletion(features, runtime);
+}
+
+void PaddedPointPredictor::SaveState(SnapshotWriter& writer) const {
+  writer.WriteString("padded-point");
+  writer.WriteDouble(padding_stddevs_);
+  inner_->SaveState(writer);
+}
+
+void PaddedPointPredictor::RestoreState(SnapshotReader& reader) {
+  CheckKindTag(reader, "padded-point");
+  padding_stddevs_ = reader.ReadDouble();
+  inner_->RestoreState(reader);
 }
 
 SyntheticPredictor::SyntheticPredictor(double shift, double cov, uint64_t seed)
@@ -175,5 +266,19 @@ RuntimePrediction SyntheticPredictor::Predict(const JobFeatures& /*features*/,
 }
 
 void SyntheticPredictor::RecordCompletion(const JobFeatures& /*features*/, double /*runtime*/) {}
+
+void SyntheticPredictor::SaveState(SnapshotWriter& writer) const {
+  writer.WriteString("synthetic");
+  writer.WriteDouble(shift_);
+  writer.WriteDouble(cov_);
+  rng_.SaveState(writer);
+}
+
+void SyntheticPredictor::RestoreState(SnapshotReader& reader) {
+  CheckKindTag(reader, "synthetic");
+  shift_ = reader.ReadDouble();
+  cov_ = reader.ReadDouble();
+  rng_.RestoreState(reader);
+}
 
 }  // namespace threesigma

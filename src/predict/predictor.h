@@ -23,6 +23,9 @@
 
 namespace threesigma {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 class RuntimePredictor {
  public:
   virtual ~RuntimePredictor() = default;
@@ -34,6 +37,13 @@ class RuntimePredictor {
 
   // Feeds a completed job's runtime back into the history (step 4 of Fig. 4).
   virtual void RecordCompletion(const JobFeatures& features, double runtime) = 0;
+
+  // Snapshot codec hooks: raw payload within the caller's section, prefixed
+  // by a kind tag so a mismatched predictor configuration fails loudly on
+  // restore rather than silently misreading the payload. Wrappers recurse to
+  // their inner predictor. The default is for stateless predictors.
+  virtual void SaveState(SnapshotWriter& writer) const;
+  virtual void RestoreState(SnapshotReader& reader);
 };
 
 struct ThreeSigmaPredictorOptions {
@@ -64,6 +74,12 @@ class ThreeSigmaPredictor : public RuntimePredictor {
   void RestoreHistory(const std::string& feature, FeatureHistory history);
   void ClearHistories() { histories_.clear(); }
 
+  // Serializes every feature history (sorted by key for determinism).
+  // RestoreState replaces all histories wholesale, so pre-training done
+  // before a resume cannot double-count.
+  void SaveState(SnapshotWriter& writer) const override;
+  void RestoreState(SnapshotReader& reader) override;
+
  private:
   ThreeSigmaPredictorOptions options_;
   std::unordered_map<std::string, FeatureHistory> histories_;
@@ -88,6 +104,9 @@ class SampleCapPredictor : public RuntimePredictor {
   RuntimePrediction Predict(const JobFeatures& features, double true_runtime) override;
   void RecordCompletion(const JobFeatures& features, double runtime) override;
 
+  void SaveState(SnapshotWriter& writer) const override;
+  void RestoreState(SnapshotReader& reader) override;
+
  private:
   RuntimePredictor* inner_;
   int cap_;
@@ -107,6 +126,9 @@ class PaddedPointPredictor : public RuntimePredictor {
   RuntimePrediction Predict(const JobFeatures& features, double true_runtime) override;
   void RecordCompletion(const JobFeatures& features, double runtime) override;
 
+  void SaveState(SnapshotWriter& writer) const override;
+  void RestoreState(SnapshotReader& reader) override;
+
  private:
   RuntimePredictor* inner_;
   double padding_stddevs_;
@@ -121,6 +143,9 @@ class SyntheticPredictor : public RuntimePredictor {
 
   RuntimePrediction Predict(const JobFeatures& features, double true_runtime) override;
   void RecordCompletion(const JobFeatures& features, double runtime) override;
+
+  void SaveState(SnapshotWriter& writer) const override;
+  void RestoreState(SnapshotReader& reader) override;
 
  private:
   double shift_;

@@ -4,8 +4,12 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/snapshot/snapshot_io.h"
+
 namespace threesigma {
 namespace {
+
+constexpr uint32_t kPredictorSectionVersion = 2;
 
 // Feature keys may contain spaces; percent-escape space/percent/newline.
 std::string EscapeKey(const std::string& key) {
@@ -48,16 +52,11 @@ bool UnescapeKey(const std::string& in, std::string* out) {
 
 }  // namespace
 
-void SavePredictor(std::ostream& os, const ThreeSigmaPredictor& predictor) {
-  os << "threesigma-predictor v1\n";
-  os << "features " << predictor.histories().size() << "\n";
-  for (const auto& [key, history] : predictor.histories()) {
-    os << "feature " << EscapeKey(key) << " " << history.count() << "\n";
-    history.SaveTo(os);
-  }
-}
+namespace {
 
-bool LoadPredictor(std::istream& is, ThreeSigmaPredictor* predictor) {
+// The legacy v1 text reader, kept so predictor files written before the
+// binary codec still load.
+bool LoadPredictorTextV1(std::istream& is, ThreeSigmaPredictor* predictor) {
   std::string magic;
   std::string version;
   if (!(is >> magic >> version) || magic != "threesigma-predictor" || version != "v1") {
@@ -89,6 +88,44 @@ bool LoadPredictor(std::istream& is, ThreeSigmaPredictor* predictor) {
     predictor->RestoreHistory(key, std::move(history));
   }
   return true;
+}
+
+}  // namespace
+
+void SavePredictor(std::ostream& os, const ThreeSigmaPredictor& predictor) {
+  SnapshotWriter writer;
+  writer.BeginSection("predict", kPredictorSectionVersion);
+  predictor.SaveState(writer);
+  writer.EndSection();
+  const std::string buffer = writer.Finish();
+  os.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+}
+
+void SavePredictorTextV1(std::ostream& os, const ThreeSigmaPredictor& predictor) {
+  os << "threesigma-predictor v1\n";
+  os << "features " << predictor.histories().size() << "\n";
+  for (const auto& [key, history] : predictor.histories()) {
+    os << "feature " << EscapeKey(key) << " " << history.count() << "\n";
+    history.SaveTo(os);
+  }
+}
+
+bool LoadPredictor(std::istream& is, ThreeSigmaPredictor* predictor) {
+  // Sniff the magic: binary v2 containers start with "3SGSNAP1", the legacy
+  // text format with "threesigma-predictor".
+  std::string buffer((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  if (buffer.rfind("threesigma-predictor", 0) == 0) {
+    std::istringstream text(buffer);
+    return LoadPredictorTextV1(text, predictor);
+  }
+  SnapshotReader reader(std::move(buffer));
+  uint32_t version = 0;
+  if (!reader.BeginSection("predict", &version) || version != kPredictorSectionVersion) {
+    return false;
+  }
+  predictor->RestoreState(reader);
+  reader.EndSection();
+  return reader.ok();
 }
 
 }  // namespace threesigma

@@ -4,17 +4,16 @@
 // on everything before each experiment window); losing it on restart would
 // reset every estimate to cold-start. SavePredictor/LoadPredictor serialize
 // the full per-feature state — streaming histogram bins, the four experts'
-// accumulators, and NMAE scores — to a line-oriented text format that
-// round-trips exactly.
+// accumulators, and NMAE scores — exactly.
 //
-// Format (one logical record per feature):
-//   threesigma-predictor v1
-//   feature <url-escaped-key> <count>
-//   hist <max_bins> <min> <max> <bin_count> {<centroid> <count>}...
-//   avg <count> <mean> <m2> <min> <max> <sum>
-//   ewma <alpha> <seeded> <value>
-//   recent <capacity> <next> <size> {<value>}...
-//   nmae <abs_error> <actual_sum> <samples>   (x4, expert enum order)
+// v2 (current): a snapshot container (snapshot/snapshot_io.h, magic
+// "3SGSNAP1") holding one "predict" section whose payload is
+// ThreeSigmaPredictor::SaveState — the same bytes a full run checkpoint
+// embeds, so there is exactly one serialization framework.
+//
+// v1 (legacy, read-only): the original line-oriented text format
+// ("threesigma-predictor v1" header, one record per feature). LoadPredictor
+// sniffs the leading magic and accepts both.
 
 #ifndef SRC_PREDICT_PREDICTOR_IO_H_
 #define SRC_PREDICT_PREDICTOR_IO_H_
@@ -25,10 +24,16 @@
 
 namespace threesigma {
 
+// Writes the current (v2 binary) format.
 void SavePredictor(std::ostream& os, const ThreeSigmaPredictor& predictor);
 
-// Replaces `predictor`'s state with the stream's contents. Returns false on
-// malformed input (predictor state is unspecified then).
+// Writes the legacy v1 text format. Exists so the v1 read path stays
+// exercised by tests; new files should use SavePredictor.
+void SavePredictorTextV1(std::ostream& os, const ThreeSigmaPredictor& predictor);
+
+// Replaces `predictor`'s state with the stream's contents; accepts both the
+// v2 binary and the legacy v1 text format. Returns false on malformed input
+// (predictor state is unspecified then).
 bool LoadPredictor(std::istream& is, ThreeSigmaPredictor* predictor);
 
 }  // namespace threesigma

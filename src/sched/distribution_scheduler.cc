@@ -698,4 +698,119 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   return result;
 }
 
+void DistributionScheduler::SaveState(SnapshotWriter& writer) const {
+  writer.BeginSection("sched", 1);
+  writer.WriteString("3sigma-sched");
+  writer.WriteVarU64(jobs_.size());
+  for (const auto& [id, info] : jobs_) {
+    info.spec.SaveState(writer);
+    info.sched_dist.SaveState(writer);
+    writer.WriteDouble(info.point_estimate);
+    writer.WriteBool(info.oe_enabled);
+    info.effective_utility.SaveState(writer);
+    writer.WriteVarI64(info.attempts);
+    writer.WriteVarU64(info.record_features.size());
+    for (const std::string& f : info.record_features) {
+      writer.WriteString(f);
+    }
+    writer.WriteBool(info.running);
+    writer.WriteVarI64(info.group);
+    writer.WriteDouble(info.start_time);
+    writer.WriteVarI64(info.underest_level);
+    writer.WriteDouble(info.underest_finish);
+    writer.WriteVarI64(info.planned_group);
+    writer.WriteDouble(info.planned_start);
+    writer.WriteDoubleVec(info.cached_survival);
+    writer.WriteDouble(info.survival_valid_until);
+    writer.WriteBool(info.capacity_applied);
+  }
+  writer.WriteVarU64(pending_.size());
+  for (JobId id : pending_) {
+    writer.WriteVarI64(id);
+  }
+  writer.WriteBool(dirty_);
+  writer.WriteDouble(last_solve_);
+  writer.WriteVarU64(consumed_.size());
+  for (const std::vector<double>& row : consumed_) {
+    writer.WriteDoubleVec(row);
+  }
+  writer.WriteVarI64(cache_hits_);
+  writer.WriteVarI64(cache_misses_);
+  writer.WriteVarI64(solves_since_rebuild_);
+  writer.WriteVarU64(last_root_basis_.status.size());
+  for (BasisStatus s : last_root_basis_.status) {
+    writer.WriteU8(static_cast<uint8_t>(s));
+  }
+  writer.EndSection();
+
+  writer.BeginSection("predict", 1);
+  predictor_->SaveState(writer);
+  writer.EndSection();
+}
+
+void DistributionScheduler::RestoreState(SnapshotReader& reader) {
+  reader.BeginSection("sched");
+  const std::string tag = reader.ReadString();
+  if (reader.ok()) {
+    TS_CHECK_MSG(tag == "3sigma-sched", "snapshot scheduler kind mismatch");
+  }
+  jobs_.clear();
+  const uint64_t num_jobs = reader.ReadVarU64();
+  for (uint64_t i = 0; reader.ok() && i < num_jobs; ++i) {
+    JobInfo info;
+    info.spec.RestoreState(reader);
+    info.sched_dist.RestoreState(reader);
+    info.point_estimate = reader.ReadDouble();
+    info.oe_enabled = reader.ReadBool();
+    info.effective_utility.RestoreState(reader);
+    info.attempts = static_cast<int>(reader.ReadVarI64());
+    const uint64_t num_features = reader.ReadVarU64();
+    info.record_features.clear();
+    for (uint64_t f = 0; reader.ok() && f < num_features; ++f) {
+      info.record_features.push_back(reader.ReadString());
+    }
+    info.running = reader.ReadBool();
+    info.group = static_cast<int>(reader.ReadVarI64());
+    info.start_time = reader.ReadDouble();
+    info.underest_level = static_cast<int>(reader.ReadVarI64());
+    info.underest_finish = reader.ReadDouble();
+    info.planned_group = static_cast<int>(reader.ReadVarI64());
+    info.planned_start = reader.ReadDouble();
+    info.cached_survival = reader.ReadDoubleVec();
+    info.survival_valid_until = reader.ReadDouble();
+    info.capacity_applied = reader.ReadBool();
+    if (reader.ok()) {
+      jobs_[info.spec.id] = std::move(info);
+    }
+  }
+  pending_.clear();
+  const uint64_t num_pending = reader.ReadVarU64();
+  for (uint64_t i = 0; reader.ok() && i < num_pending; ++i) {
+    pending_.push_back(reader.ReadVarI64());
+  }
+  dirty_ = reader.ReadBool();
+  last_solve_ = reader.ReadDouble();
+  const uint64_t num_groups = reader.ReadVarU64();
+  if (reader.ok()) {
+    TS_CHECK_MSG(num_groups == consumed_.size(),
+                 "snapshot cluster shape does not match this scheduler");
+    for (std::vector<double>& row : consumed_) {
+      row = reader.ReadDoubleVec();
+    }
+  }
+  cache_hits_ = reader.ReadVarI64();
+  cache_misses_ = reader.ReadVarI64();
+  solves_since_rebuild_ = static_cast<int>(reader.ReadVarI64());
+  const uint64_t basis_size = reader.ReadVarU64();
+  last_root_basis_.status.clear();
+  for (uint64_t i = 0; reader.ok() && i < basis_size; ++i) {
+    last_root_basis_.status.push_back(static_cast<BasisStatus>(reader.ReadU8()));
+  }
+  reader.EndSection();
+
+  reader.BeginSection("predict");
+  predictor_->RestoreState(reader);
+  reader.EndSection();
+}
+
 }  // namespace threesigma

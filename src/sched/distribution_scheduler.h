@@ -137,6 +137,15 @@ class DistributionScheduler : public Scheduler {
   CycleResult RunCycle(Time now, const ClusterStateView& state) override;
   std::string name() const override { return config_.name; }
 
+  // Checkpointing: serializes the full scheduler state (job table with
+  // conditioned distributions and cached survival vectors, pending order,
+  // solve-skip state, consumed_ rows, cache counters, last_root_basis_) into
+  // a "sched" section, then the predictor into a "predict" section.
+  // RestoreState requires a scheduler constructed with the same config and
+  // predictor graph; the cluster shape is validated via consumed_ geometry.
+  void SaveState(SnapshotWriter& writer) const override;
+  void RestoreState(SnapshotReader& reader) override;
+
   // Diagnostics.
   int pending_count() const { return static_cast<int>(pending_.size()); }
   const DistSchedulerConfig& config() const { return config_; }

@@ -34,6 +34,9 @@ class PrioScheduler : public Scheduler {
   CycleResult RunCycle(Time now, const ClusterStateView& state) override;
   std::string name() const override { return config_.name; }
 
+  void SaveState(SnapshotWriter& writer) const override;
+  void RestoreState(SnapshotReader& reader) override;
+
  private:
   const ClusterConfig& cluster_;
   PrioSchedulerConfig config_;

@@ -14,7 +14,9 @@
 
 #include "src/cluster/cluster.h"
 #include "src/cluster/job.h"
+#include "src/common/check.h"
 #include "src/common/units.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
 
@@ -120,6 +122,25 @@ class Scheduler {
   virtual CycleResult RunCycle(Time now, const ClusterStateView& state) = 0;
 
   virtual std::string name() const = 0;
+
+  // Checkpoint hooks. Called between sections (schedulers open their own
+  // "sched" — and, where applicable, "predict" — sections so replay_diff can
+  // attribute a state divergence to the scheduler vs. the predictor). The
+  // payload starts with a kind tag so restoring through a differently-
+  // configured scheduler fails loudly. Defaults cover stateless schedulers.
+  virtual void SaveState(SnapshotWriter& writer) const {
+    writer.BeginSection("sched", 1);
+    writer.WriteString("stateless");
+    writer.EndSection();
+  }
+  virtual void RestoreState(SnapshotReader& reader) {
+    reader.BeginSection("sched");
+    const std::string tag = reader.ReadString();
+    if (reader.ok()) {
+      TS_CHECK_MSG(tag == "stateless", "snapshot scheduler kind mismatch");
+    }
+    reader.EndSection();
+  }
 };
 
 }  // namespace threesigma

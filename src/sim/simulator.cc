@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <queue>
+#include <utility>
 
 #include "src/common/check.h"
 
@@ -33,6 +33,137 @@ struct Event {
   }
 };
 
+constexpr uint32_t kSnapshotVersion = 1;
+
+void SaveSimOptions(SnapshotWriter& writer, const SimOptions& o) {
+  writer.WriteDouble(o.cycle_period);
+  writer.WriteDouble(o.reactive_min_gap);
+  writer.WriteU8(static_cast<uint8_t>(o.fidelity));
+  writer.WriteDouble(o.drain_limit);
+  writer.WriteU64(o.seed);
+  writer.WriteDouble(o.runtime_jitter_stddev);
+  writer.WriteDouble(o.launch_overhead_max);
+  writer.WriteDouble(o.heartbeat);
+  writer.WriteBool(o.preemption_resumes);
+  writer.WriteDouble(o.faults.node_mttf);
+  writer.WriteDouble(o.faults.node_mttr);
+  writer.WriteDouble(o.faults.task_kill_prob);
+  writer.WriteDouble(o.faults.straggler_prob);
+  writer.WriteDouble(o.faults.straggler_factor);
+  writer.WriteDouble(o.faults.cycle_stall_prob);
+  writer.WriteDouble(o.faults.cycle_stall);
+  writer.WriteU64(o.faults.seed);
+  writer.WriteVarU64(o.fault_events.size());
+  for (const FaultEvent& e : o.fault_events) {
+    writer.WriteDouble(e.time);
+    writer.WriteU8(static_cast<uint8_t>(e.kind));
+    writer.WriteVarI64(e.group);
+    writer.WriteVarI64(e.count);
+  }
+  writer.WriteVarI64(o.checkpoint_every);
+  writer.WriteString(o.checkpoint_dir);
+  writer.WriteVarI64(o.max_cycles);
+}
+
+void RestoreSimOptions(SnapshotReader& reader, SimOptions* o) {
+  o->cycle_period = reader.ReadDouble();
+  o->reactive_min_gap = reader.ReadDouble();
+  o->fidelity = static_cast<SimFidelity>(reader.ReadU8());
+  o->drain_limit = reader.ReadDouble();
+  o->seed = reader.ReadU64();
+  o->runtime_jitter_stddev = reader.ReadDouble();
+  o->launch_overhead_max = reader.ReadDouble();
+  o->heartbeat = reader.ReadDouble();
+  o->preemption_resumes = reader.ReadBool();
+  o->faults.node_mttf = reader.ReadDouble();
+  o->faults.node_mttr = reader.ReadDouble();
+  o->faults.task_kill_prob = reader.ReadDouble();
+  o->faults.straggler_prob = reader.ReadDouble();
+  o->faults.straggler_factor = reader.ReadDouble();
+  o->faults.cycle_stall_prob = reader.ReadDouble();
+  o->faults.cycle_stall = reader.ReadDouble();
+  o->faults.seed = reader.ReadU64();
+  const uint64_t num_events = reader.ReadVarU64();
+  o->fault_events.clear();
+  for (uint64_t i = 0; reader.ok() && i < num_events; ++i) {
+    FaultEvent e;
+    e.time = reader.ReadDouble();
+    e.kind = static_cast<FaultKind>(reader.ReadU8());
+    e.group = static_cast<int>(reader.ReadVarI64());
+    e.count = static_cast<int>(reader.ReadVarI64());
+    o->fault_events.push_back(e);
+  }
+  o->checkpoint_every = reader.ReadVarI64();
+  o->checkpoint_dir = reader.ReadString();
+  o->max_cycles = reader.ReadVarI64();
+}
+
+void SaveCluster(SnapshotWriter& writer, const ClusterConfig& cluster) {
+  writer.WriteVarU64(static_cast<uint64_t>(cluster.num_groups()));
+  for (const NodeGroup& g : cluster.groups()) {
+    writer.WriteVarI64(g.id);
+    writer.WriteString(g.name);
+    writer.WriteVarI64(g.node_count);
+  }
+}
+
+ClusterConfig RestoreCluster(SnapshotReader& reader) {
+  const uint64_t n = reader.ReadVarU64();
+  std::vector<NodeGroup> groups;
+  groups.reserve(reader.ok() ? n : 0);
+  for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+    NodeGroup g;
+    g.id = static_cast<int>(reader.ReadVarI64());
+    g.name = reader.ReadString();
+    g.node_count = static_cast<int>(reader.ReadVarI64());
+    groups.push_back(std::move(g));
+  }
+  if (!reader.ok()) {
+    return ClusterConfig();
+  }
+  return ClusterConfig(std::move(groups));
+}
+
+void SaveJobRecord(SnapshotWriter& writer, const JobRecord& rec) {
+  rec.spec.SaveState(writer);
+  writer.WriteU8(static_cast<uint8_t>(rec.status));
+  writer.WriteDouble(rec.start_time);
+  writer.WriteDouble(rec.finish_time);
+  writer.WriteVarI64(rec.group);
+  writer.WriteVarI64(rec.preemptions);
+  writer.WriteVarI64(rec.fault_kills);
+  writer.WriteDouble(rec.completed_work);
+  writer.WriteVarU64(rec.runs.size());
+  for (const JobRun& run : rec.runs) {
+    writer.WriteVarI64(run.group);
+    writer.WriteDouble(run.start);
+    writer.WriteDouble(run.end);
+    writer.WriteBool(run.completed);
+  }
+}
+
+void RestoreJobRecord(SnapshotReader& reader, JobRecord* rec) {
+  rec->spec.RestoreState(reader);
+  rec->status = static_cast<JobStatus>(reader.ReadU8());
+  rec->start_time = reader.ReadDouble();
+  rec->finish_time = reader.ReadDouble();
+  rec->group = static_cast<int>(reader.ReadVarI64());
+  rec->preemptions = static_cast<int>(reader.ReadVarI64());
+  rec->fault_kills = static_cast<int>(reader.ReadVarI64());
+  rec->completed_work = reader.ReadDouble();
+  const uint64_t num_runs = reader.ReadVarU64();
+  rec->runs.clear();
+  rec->runs.reserve(reader.ok() ? num_runs : 0);
+  for (uint64_t i = 0; reader.ok() && i < num_runs; ++i) {
+    JobRun run;
+    run.group = static_cast<int>(reader.ReadVarI64());
+    run.start = reader.ReadDouble();
+    run.end = reader.ReadDouble();
+    run.completed = reader.ReadBool();
+    rec->runs.push_back(run);
+  }
+}
+
 }  // namespace
 
 bool JobRecord::MissedDeadline() const {
@@ -45,20 +176,12 @@ bool JobRecord::MissedDeadline() const {
   return finish_time > spec.deadline;
 }
 
-Simulator::Simulator(const ClusterConfig& cluster, Scheduler* scheduler,
-                     std::vector<JobSpec> workload, SimOptions options)
-    : cluster_(cluster), scheduler_(scheduler), workload_(std::move(workload)),
-      options_(options) {
-  TS_CHECK(scheduler_ != nullptr);
-}
-
-SimResult Simulator::Run() {
-  SimResult result;
-  Rng rng(options_.seed);
-
-  std::sort(workload_.begin(), workload_.end(),
-            [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
-
+// All mutable run state, so a run can pause between events, serialize, and
+// resume. The event queue is an explicit binary min-heap (push_heap/pop_heap
+// over operator>, a total order on (time, seq)) instead of a
+// std::priority_queue precisely so the underlying array can be serialized and
+// restored verbatim — identical array, identical pop order.
+struct Simulator::RunState {
   struct LiveJob {
     JobRecord record;
     int run_epoch = 0;
@@ -66,49 +189,21 @@ SimResult Simulator::Run() {
     double progress = 0.0;           // Completed fraction (resume mode only).
     double executed_seconds = 0.0;   // Useful seconds from preempted runs.
   };
-  std::vector<LiveJob> jobs(workload_.size());
+
+  SimResult result;
+  Rng rng{1};
+  std::vector<LiveJob> jobs;
   std::map<JobId, size_t> index_by_id;
-  for (size_t i = 0; i < workload_.size(); ++i) {
-    jobs[i].record.spec = workload_[i];
-    TS_CHECK_MSG(index_by_id.emplace(workload_[i].id, i).second,
-                 "duplicate job id " << workload_[i].id);
-    TS_CHECK_MSG(workload_[i].num_tasks <= cluster_.max_group_size(),
-                 "job " << workload_[i].id << " larger than any group");
-  }
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  std::vector<Event> queue;  // Heap order (min on top via operator>).
   uint64_t seq = 0;
-  for (size_t i = 0; i < workload_.size(); ++i) {
-    queue.push(Event{workload_[i].submit_time, seq++, EventKind::kArrival, i, 0});
-  }
-
   std::vector<int> free_nodes;
-  free_nodes.reserve(static_cast<size_t>(cluster_.num_groups()));
-  for (const NodeGroup& g : cluster_.groups()) {
-    free_nodes.push_back(g.node_count);
-  }
-
-  int live_jobs = static_cast<int>(workload_.size());
-  const Time last_arrival = workload_.empty() ? 0.0 : workload_.back().submit_time;
-  const Time hard_stop = last_arrival + options_.drain_limit;
-
-  // Fault schedule: pre-materialized node churn (every event is fixed before
-  // the first cycle, so traces are byte-reproducible at any solver thread
-  // count) plus hash-draw kill/straggler/stall processes.
-  const FaultSchedule fault_schedule =
-      options_.fault_events.empty()
-          ? FaultSchedule::Sample(cluster_, options_.faults, hard_stop)
-          : FaultSchedule::Replay(options_.fault_events, options_.faults);
-  const bool chaos = !fault_schedule.empty();
+  int live_jobs = 0;
+  Time hard_stop = 0.0;
+  FaultSchedule fault_schedule;
+  bool chaos = false;
   // down[g]: crashed nodes per group. Invariant after every event batch:
   // free_nodes[g] >= down[g] (crashed nodes are never counted as placeable).
-  std::vector<int> down(static_cast<size_t>(cluster_.num_groups()), 0);
-  for (size_t i = 0; i < fault_schedule.node_events().size(); ++i) {
-    const FaultEvent& ev = fault_schedule.node_events()[i];
-    if (ev.time <= hard_stop) {
-      queue.push(Event{ev.time, seq++, EventKind::kNodeFault, i, 0});
-    }
-  }
+  std::vector<int> down;
   int total_down = 0;
   double down_integral = 0.0;  // Node-seconds of crashed capacity.
   Time last_down_change = 0.0;
@@ -116,16 +211,96 @@ SimResult Simulator::Run() {
   Time now = 0.0;
   Time next_cycle_at = -1.0;  // < 0: none scheduled.
   Time last_cycle_at = -1e18;
+  bool drained = false;  // No event can ever append another cycle.
+
+  void PushEvent(Event ev) {
+    queue.push_back(ev);
+    std::push_heap(queue.begin(), queue.end(), std::greater<Event>());
+  }
+  Event PopEvent() {
+    std::pop_heap(queue.begin(), queue.end(), std::greater<Event>());
+    const Event ev = queue.back();
+    queue.pop_back();
+    return ev;
+  }
+};
+
+Simulator::Simulator(const ClusterConfig& cluster, Scheduler* scheduler,
+                     std::vector<JobSpec> workload, SimOptions options)
+    : cluster_(cluster), scheduler_(scheduler), workload_(std::move(workload)),
+      options_(std::move(options)) {
+  TS_CHECK(scheduler_ != nullptr);
+}
+
+Simulator::~Simulator() = default;
+
+uint64_t Simulator::cycles_completed() const {
+  return state_ == nullptr ? 0 : state_->result.cycles.size();
+}
+
+void Simulator::EnsureStarted() {
+  if (state_ != nullptr) {
+    return;
+  }
+  state_ = std::make_unique<RunState>();
+  RunState& s = *state_;
+  s.rng = Rng(options_.seed);
+
+  std::sort(workload_.begin(), workload_.end(),
+            [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+
+  s.jobs.resize(workload_.size());
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    s.jobs[i].record.spec = workload_[i];
+    TS_CHECK_MSG(s.index_by_id.emplace(workload_[i].id, i).second,
+                 "duplicate job id " << workload_[i].id);
+    TS_CHECK_MSG(workload_[i].num_tasks <= cluster_.max_group_size(),
+                 "job " << workload_[i].id << " larger than any group");
+  }
+
+  for (size_t i = 0; i < workload_.size(); ++i) {
+    s.PushEvent(Event{workload_[i].submit_time, s.seq++, EventKind::kArrival, i, 0});
+  }
+
+  s.free_nodes.reserve(static_cast<size_t>(cluster_.num_groups()));
+  for (const NodeGroup& g : cluster_.groups()) {
+    s.free_nodes.push_back(g.node_count);
+  }
+
+  s.live_jobs = static_cast<int>(workload_.size());
+  const Time last_arrival = workload_.empty() ? 0.0 : workload_.back().submit_time;
+  s.hard_stop = last_arrival + options_.drain_limit;
+
+  // Fault schedule: pre-materialized node churn (every event is fixed before
+  // the first cycle, so traces are byte-reproducible at any solver thread
+  // count) plus hash-draw kill/straggler/stall processes.
+  s.fault_schedule = options_.fault_events.empty()
+                         ? FaultSchedule::Sample(cluster_, options_.faults, s.hard_stop)
+                         : FaultSchedule::Replay(options_.fault_events, options_.faults);
+  s.chaos = !s.fault_schedule.empty();
+  s.down.assign(static_cast<size_t>(cluster_.num_groups()), 0);
+  for (size_t i = 0; i < s.fault_schedule.node_events().size(); ++i) {
+    const FaultEvent& ev = s.fault_schedule.node_events()[i];
+    if (ev.time <= s.hard_stop) {
+      s.PushEvent(Event{ev.time, s.seq++, EventKind::kNodeFault, i, 0});
+    }
+  }
+}
+
+bool Simulator::ProcessEvent() {
+  RunState& s = *state_;
+  SimResult& result = s.result;
+  const size_t cycles_before = result.cycles.size();
 
   const auto schedule_cycle = [&](Time at) {
-    if (live_jobs == 0 || at > hard_stop) {
+    if (s.live_jobs == 0 || at > s.hard_stop) {
       return;
     }
-    if (next_cycle_at >= 0.0 && next_cycle_at <= at + 1e-9) {
+    if (s.next_cycle_at >= 0.0 && s.next_cycle_at <= at + 1e-9) {
       return;  // An earlier (or equal) cycle is already queued.
     }
-    queue.push(Event{at, seq++, EventKind::kCycle, 0, 0});
-    next_cycle_at = at;
+    s.PushEvent(Event{at, s.seq++, EventKind::kCycle, 0, 0});
+    s.next_cycle_at = at;
   };
   // Arrivals/completions request a prompt reaction, rate-limited to the
   // reactive gap so event storms do not degenerate into per-event solves.
@@ -134,19 +309,19 @@ SimResult Simulator::Run() {
   const auto schedule_reactive_cycle = [&]() {
     const Duration gap =
         options_.reactive_min_gap > 0.0 ? options_.reactive_min_gap : options_.cycle_period;
-    schedule_cycle(std::max(now, last_cycle_at + gap));
+    schedule_cycle(std::max(s.now, s.last_cycle_at + gap));
   };
 
   const auto finish_job = [&](size_t idx, Time at) {
-    LiveJob& job = jobs[idx];
+    RunState::LiveJob& job = s.jobs[idx];
     JobRecord& rec = job.record;
     TS_CHECK(rec.status == JobStatus::kRunning);
     rec.status = JobStatus::kCompleted;
     rec.finish_time = at;
     rec.completed_work = rec.spec.num_tasks * (job.executed_seconds + (at - rec.start_time));
     rec.runs.push_back(JobRun{rec.group, rec.start_time, at, true});
-    free_nodes[rec.group] += rec.spec.num_tasks;
-    --live_jobs;
+    s.free_nodes[rec.group] += rec.spec.num_tasks;
+    --s.live_jobs;
     scheduler_->OnJobFinished(rec.spec.id, at, at - rec.start_time);
   };
 
@@ -156,11 +331,11 @@ SimResult Simulator::Run() {
   // migration-resume mode only previously banked (checkpointed) progress
   // survives — and the elapsed occupancy becomes rework.
   const auto fault_kill_job = [&](size_t idx, Time at) {
-    LiveJob& job = jobs[idx];
+    RunState::LiveJob& job = s.jobs[idx];
     JobRecord& rec = job.record;
     TS_CHECK(rec.status == JobStatus::kRunning);
     rec.status = JobStatus::kPending;
-    free_nodes[rec.group] += rec.spec.num_tasks;
+    s.free_nodes[rec.group] += rec.spec.num_tasks;
     rec.runs.push_back(JobRun{rec.group, rec.start_time, at, false});
     result.rework_node_seconds += rec.spec.num_tasks * (at - rec.start_time);
     rec.group = -1;
@@ -179,248 +354,647 @@ SimResult Simulator::Run() {
     const size_t g = static_cast<size_t>(fault.group);
     TS_CHECK_MSG(fault.group >= 0 && fault.group < cluster_.num_groups(),
                  "fault event targets unknown group " << fault.group);
-    down_integral += static_cast<double>(total_down) * (at - last_down_change);
-    last_down_change = at;
+    s.down_integral += static_cast<double>(s.total_down) * (at - s.last_down_change);
+    s.last_down_change = at;
     const int delta = fault.kind == FaultKind::kNodeDown ? fault.count : -fault.count;
     const int new_down =
-        std::min(std::max(down[g] + delta, 0), cluster_.group(fault.group).node_count);
-    total_down += new_down - down[g];
-    down[g] = new_down;
-    while (free_nodes[g] < down[g]) {
+        std::min(std::max(s.down[g] + delta, 0), cluster_.group(fault.group).node_count);
+    s.total_down += new_down - s.down[g];
+    s.down[g] = new_down;
+    while (s.free_nodes[g] < s.down[g]) {
       // Crashed nodes were occupied: evict victims until they are vacated.
-      size_t victim = jobs.size();
-      for (size_t i = 0; i < jobs.size(); ++i) {
-        const JobRecord& rec = jobs[i].record;
+      size_t victim = s.jobs.size();
+      for (size_t i = 0; i < s.jobs.size(); ++i) {
+        const JobRecord& rec = s.jobs[i].record;
         if (rec.status != JobStatus::kRunning || rec.group != fault.group) {
           continue;
         }
-        if (victim == jobs.size() || rec.start_time > jobs[victim].record.start_time ||
-            (rec.start_time == jobs[victim].record.start_time &&
-             rec.spec.id > jobs[victim].record.spec.id)) {
+        if (victim == s.jobs.size() ||
+            rec.start_time > s.jobs[victim].record.start_time ||
+            (rec.start_time == s.jobs[victim].record.start_time &&
+             rec.spec.id > s.jobs[victim].record.spec.id)) {
           victim = i;
         }
       }
-      TS_CHECK_MSG(victim < jobs.size(), "crashed nodes occupied but no running job found");
+      TS_CHECK_MSG(victim < s.jobs.size(), "crashed nodes occupied but no running job found");
       fault_kill_job(victim, at);
     }
     ++result.fault_node_events;
     result.fault_events.push_back(fault);
     scheduler_->OnCapacityChanged(fault.group,
-                                  cluster_.group(fault.group).node_count - down[g], at);
+                                  cluster_.group(fault.group).node_count - s.down[g], at);
   };
 
-  while (!queue.empty()) {
-    const Event ev = queue.top();
-    queue.pop();
-    if (ev.time > hard_stop) {
-      now = hard_stop;
+  const Event ev = s.PopEvent();
+  if (ev.time > s.hard_stop) {
+    s.now = s.hard_stop;
+    s.drained = true;
+    return false;
+  }
+  TS_CHECK_GE(ev.time, s.now);  // The event clock is monotone.
+  s.now = ev.time;
+
+  switch (ev.kind) {
+    case EventKind::kArrival: {
+      RunState::LiveJob& job = s.jobs[ev.job_index];
+      scheduler_->OnJobArrival(job.record.spec, s.now);
+      schedule_reactive_cycle();
       break;
     }
-    TS_CHECK_GE(ev.time, now);  // The event clock is monotone.
-    now = ev.time;
-
-    switch (ev.kind) {
-      case EventKind::kArrival: {
-        LiveJob& job = jobs[ev.job_index];
-        scheduler_->OnJobArrival(job.record.spec, now);
-        schedule_reactive_cycle();
+    case EventKind::kCompletion: {
+      RunState::LiveJob& job = s.jobs[ev.job_index];
+      if (ev.run_epoch != job.run_epoch || job.record.status != JobStatus::kRunning) {
+        break;  // Stale completion from a preempted run.
+      }
+      finish_job(ev.job_index, s.now);
+      schedule_reactive_cycle();
+      break;
+    }
+    case EventKind::kNodeFault: {
+      apply_node_fault(s.fault_schedule.node_events()[ev.job_index], s.now);
+      schedule_reactive_cycle();
+      break;
+    }
+    case EventKind::kTaskKill: {
+      RunState::LiveJob& job = s.jobs[ev.job_index];
+      if (ev.run_epoch != job.run_epoch || job.record.status != JobStatus::kRunning) {
+        break;  // Stale kill: the run already completed or was preempted.
+      }
+      fault_kill_job(ev.job_index, s.now);
+      schedule_reactive_cycle();
+      break;
+    }
+    case EventKind::kCycle: {
+      if (std::fabs(ev.time - s.next_cycle_at) > 1e-9) {
+        break;  // Superseded by an earlier reactive cycle.
+      }
+      s.next_cycle_at = -1.0;
+      s.last_cycle_at = s.now;
+      if (s.live_jobs == 0) {
         break;
       }
-      case EventKind::kCompletion: {
-        LiveJob& job = jobs[ev.job_index];
-        if (ev.run_epoch != job.run_epoch || job.record.status != JobStatus::kRunning) {
-          break;  // Stale completion from a preempted run.
-        }
-        finish_job(ev.job_index, now);
-        schedule_reactive_cycle();
-        break;
-      }
-      case EventKind::kNodeFault: {
-        apply_node_fault(fault_schedule.node_events()[ev.job_index], now);
-        schedule_reactive_cycle();
-        break;
-      }
-      case EventKind::kTaskKill: {
-        LiveJob& job = jobs[ev.job_index];
-        if (ev.run_epoch != job.run_epoch || job.record.status != JobStatus::kRunning) {
-          break;  // Stale kill: the run already completed or was preempted.
-        }
-        fault_kill_job(ev.job_index, now);
-        schedule_reactive_cycle();
-        break;
-      }
-      case EventKind::kCycle: {
-        if (std::fabs(ev.time - next_cycle_at) > 1e-9) {
-          break;  // Superseded by an earlier reactive cycle.
-        }
-        next_cycle_at = -1.0;
-        last_cycle_at = now;
-        if (live_jobs == 0) {
+      if (s.chaos) {
+        Duration stall = 0.0;
+        if (s.fault_schedule.CycleStall(s.cycle_ordinal++, &stall)) {
+          // The scheduler process is stalled: this cycle is lost; the next
+          // chance to schedule comes once the stall clears.
+          ++result.stalled_cycles;
+          schedule_cycle(s.now + stall);
           break;
         }
-        if (chaos) {
-          Duration stall = 0.0;
-          if (fault_schedule.CycleStall(cycle_ordinal++, &stall)) {
-            // The scheduler process is stalled: this cycle is lost; the next
-            // chance to schedule comes once the stall clears.
-            ++result.stalled_cycles;
-            schedule_cycle(now + stall);
-            break;
-          }
-        }
-        // Build the scheduler's view.
-        ClusterStateView view;
-        view.cluster = &cluster_;
-        view.free_nodes = free_nodes;
-        view.available_nodes.reserve(static_cast<size_t>(cluster_.num_groups()));
-        for (int g = 0; g < cluster_.num_groups(); ++g) {
-          // Crashed nodes are neither free nor placeable.
-          view.free_nodes[static_cast<size_t>(g)] -= down[static_cast<size_t>(g)];
-          view.available_nodes.push_back(cluster_.group(g).node_count -
-                                         down[static_cast<size_t>(g)]);
-        }
-        int pending_count = 0;
-        for (const LiveJob& job : jobs) {
-          if (job.record.status == JobStatus::kRunning) {
-            view.running.push_back(RunningJobView{job.record.spec.id, job.record.group,
-                                                  job.record.start_time,
-                                                  job.record.spec.num_tasks,
-                                                  job.record.spec.type});
-          } else if (job.record.status == JobStatus::kPending) {
-            ++pending_count;
-          }
-        }
-        const int running_count = static_cast<int>(view.running.size());
-
-        const CycleResult decision = scheduler_->RunCycle(now, view);
-        result.cycles.push_back(CycleStats{now, decision.cycle_seconds,
-                                           decision.solver_seconds, decision.milp_variables,
-                                           decision.milp_rows, decision.milp_nodes,
-                                           pending_count, running_count,
-                                           decision.milp_max_queue_depth,
-                                           decision.milp_incumbent_improvements,
-                                           decision.capacity_cache_hits,
-                                           decision.capacity_cache_misses});
-
-        // 1. Preemptions free capacity first (slot-0 placements may rely on
-        //    the freed nodes).
-        for (JobId id : decision.preempt) {
-          const size_t idx = index_by_id.at(id);
-          LiveJob& job = jobs[idx];
-          if (job.record.status != JobStatus::kRunning) {
-            continue;  // Already finished in this same timestamp batch.
-          }
-          job.record.status = JobStatus::kPending;
-          free_nodes[job.record.group] += job.record.spec.num_tasks;
-          job.record.runs.push_back(
-              JobRun{job.record.group, job.record.start_time, now, false});
-          if (options_.preemption_resumes && job.actual_duration > 0.0) {
-            // Migration-style preemption banks the completed fraction.
-            const double run_fraction =
-                std::min((now - job.record.start_time) / job.actual_duration, 1.0);
-            job.progress += run_fraction * (1.0 - job.progress);
-            job.executed_seconds += now - job.record.start_time;
-          }
-          job.record.group = -1;
-          job.record.start_time = kNever;
-          ++job.record.preemptions;
-          ++job.run_epoch;
-          ++result.total_preemptions;
-          scheduler_->OnJobPreempted(id, now);
-        }
-        // 2. Abandonments retire jobs the scheduler will never run.
-        for (JobId id : decision.abandon) {
-          const size_t idx = index_by_id.at(id);
-          LiveJob& job = jobs[idx];
-          if (job.record.status != JobStatus::kPending) {
-            continue;
-          }
-          job.record.status = JobStatus::kAbandoned;
-          --live_jobs;
-        }
-        // 3. Starts.
-        for (const Placement& p : decision.start) {
-          const size_t idx = index_by_id.at(p.job);
-          LiveJob& job = jobs[idx];
-          JobRecord& rec = job.record;
-          if (rec.status != JobStatus::kPending || p.group < 0 ||
-              p.group >= cluster_.num_groups() ||
-              free_nodes[p.group] - down[static_cast<size_t>(p.group)] < rec.spec.num_tasks) {
-            ++result.rejected_placements;
-            continue;
-          }
-          rec.status = JobStatus::kRunning;
-          rec.group = p.group;
-          rec.start_time = now;
-          free_nodes[p.group] -= rec.spec.num_tasks;
-          ++job.run_epoch;
-
-          Duration duration = rec.spec.TrueRuntimeOn(p.group);
-          if (options_.preemption_resumes) {
-            duration *= 1.0 - job.progress;
-          }
-          if (chaos) {
-            // Straggler chaos: hash-drawn per (job, attempt), so the verdict
-            // does not depend on how many other draws preceded it.
-            duration *= fault_schedule.StragglerMultiplier(rec.spec.id, job.run_epoch);
-          }
-          if (options_.fidelity == SimFidelity::kHighFidelity) {
-            const double jitter =
-                std::max(0.5, rng.Normal(1.0, options_.runtime_jitter_stddev));
-            duration = duration * jitter + rng.Uniform(1.0, options_.launch_overhead_max);
-            // Completions surface at the next heartbeat.
-            const Time raw_finish = now + duration;
-            const Time beat = options_.heartbeat;
-            duration = std::ceil(raw_finish / beat) * beat - now;
-          }
-          duration = std::max(duration, 1e-3);
-          job.actual_duration = duration;
-          scheduler_->OnJobStarted(rec.spec.id, p.group, now);
-          queue.push(Event{now + duration, seq++, EventKind::kCompletion, idx, job.run_epoch});
-          if (chaos) {
-            double kill_fraction = 0.0;
-            if (fault_schedule.TaskKill(rec.spec.id, job.run_epoch, &kill_fraction)) {
-              // The kill lands strictly before the completion, which then
-              // goes stale via the epoch bump in fault_kill_job.
-              queue.push(Event{now + kill_fraction * duration, seq++, EventKind::kTaskKill,
-                               idx, job.run_epoch});
-            }
-          }
-        }
-
-        // Keep cycling while any job is pending or running.
-        if (live_jobs > 0) {
-          schedule_cycle(now + options_.cycle_period);
-        }
-        break;
       }
-    }
-    // With chaos on, pending fault events cannot affect anything once no job
-    // is live; stop rather than replaying churn against an empty cluster.
-    if (live_jobs == 0 && (queue.empty() || chaos)) {
+      // Build the scheduler's view.
+      ClusterStateView view;
+      view.cluster = &cluster_;
+      view.free_nodes = s.free_nodes;
+      view.available_nodes.reserve(static_cast<size_t>(cluster_.num_groups()));
+      for (int g = 0; g < cluster_.num_groups(); ++g) {
+        // Crashed nodes are neither free nor placeable.
+        view.free_nodes[static_cast<size_t>(g)] -= s.down[static_cast<size_t>(g)];
+        view.available_nodes.push_back(cluster_.group(g).node_count -
+                                       s.down[static_cast<size_t>(g)]);
+      }
+      int pending_count = 0;
+      for (const RunState::LiveJob& job : s.jobs) {
+        if (job.record.status == JobStatus::kRunning) {
+          view.running.push_back(RunningJobView{job.record.spec.id, job.record.group,
+                                                job.record.start_time,
+                                                job.record.spec.num_tasks,
+                                                job.record.spec.type});
+        } else if (job.record.status == JobStatus::kPending) {
+          ++pending_count;
+        }
+      }
+      const int running_count = static_cast<int>(view.running.size());
+
+      const CycleResult decision = scheduler_->RunCycle(s.now, view);
+      result.cycles.push_back(CycleStats{s.now, decision.cycle_seconds,
+                                         decision.solver_seconds, decision.milp_variables,
+                                         decision.milp_rows, decision.milp_nodes,
+                                         pending_count, running_count,
+                                         decision.milp_max_queue_depth,
+                                         decision.milp_incumbent_improvements,
+                                         decision.capacity_cache_hits,
+                                         decision.capacity_cache_misses});
+
+      // 1. Preemptions free capacity first (slot-0 placements may rely on
+      //    the freed nodes).
+      for (JobId id : decision.preempt) {
+        const size_t idx = s.index_by_id.at(id);
+        RunState::LiveJob& job = s.jobs[idx];
+        if (job.record.status != JobStatus::kRunning) {
+          continue;  // Already finished in this same timestamp batch.
+        }
+        job.record.status = JobStatus::kPending;
+        s.free_nodes[job.record.group] += job.record.spec.num_tasks;
+        job.record.runs.push_back(
+            JobRun{job.record.group, job.record.start_time, s.now, false});
+        if (options_.preemption_resumes && job.actual_duration > 0.0) {
+          // Migration-style preemption banks the completed fraction.
+          const double run_fraction =
+              std::min((s.now - job.record.start_time) / job.actual_duration, 1.0);
+          job.progress += run_fraction * (1.0 - job.progress);
+          job.executed_seconds += s.now - job.record.start_time;
+        }
+        job.record.group = -1;
+        job.record.start_time = kNever;
+        ++job.record.preemptions;
+        ++job.run_epoch;
+        ++result.total_preemptions;
+        scheduler_->OnJobPreempted(id, s.now);
+      }
+      // 2. Abandonments retire jobs the scheduler will never run.
+      for (JobId id : decision.abandon) {
+        const size_t idx = s.index_by_id.at(id);
+        RunState::LiveJob& job = s.jobs[idx];
+        if (job.record.status != JobStatus::kPending) {
+          continue;
+        }
+        job.record.status = JobStatus::kAbandoned;
+        --s.live_jobs;
+      }
+      // 3. Starts.
+      for (const Placement& p : decision.start) {
+        const size_t idx = s.index_by_id.at(p.job);
+        RunState::LiveJob& job = s.jobs[idx];
+        JobRecord& rec = job.record;
+        if (rec.status != JobStatus::kPending || p.group < 0 ||
+            p.group >= cluster_.num_groups() ||
+            s.free_nodes[p.group] - s.down[static_cast<size_t>(p.group)] <
+                rec.spec.num_tasks) {
+          ++result.rejected_placements;
+          continue;
+        }
+        rec.status = JobStatus::kRunning;
+        rec.group = p.group;
+        rec.start_time = s.now;
+        s.free_nodes[p.group] -= rec.spec.num_tasks;
+        ++job.run_epoch;
+
+        Duration duration = rec.spec.TrueRuntimeOn(p.group);
+        if (options_.preemption_resumes) {
+          duration *= 1.0 - job.progress;
+        }
+        if (s.chaos) {
+          // Straggler chaos: hash-drawn per (job, attempt), so the verdict
+          // does not depend on how many other draws preceded it.
+          duration *= s.fault_schedule.StragglerMultiplier(rec.spec.id, job.run_epoch);
+        }
+        if (options_.fidelity == SimFidelity::kHighFidelity) {
+          const double jitter =
+              std::max(0.5, s.rng.Normal(1.0, options_.runtime_jitter_stddev));
+          duration = duration * jitter + s.rng.Uniform(1.0, options_.launch_overhead_max);
+          // Completions surface at the next heartbeat.
+          const Time raw_finish = s.now + duration;
+          const Time beat = options_.heartbeat;
+          duration = std::ceil(raw_finish / beat) * beat - s.now;
+        }
+        duration = std::max(duration, 1e-3);
+        job.actual_duration = duration;
+        scheduler_->OnJobStarted(rec.spec.id, p.group, s.now);
+        s.PushEvent(
+            Event{s.now + duration, s.seq++, EventKind::kCompletion, idx, job.run_epoch});
+        if (s.chaos) {
+          double kill_fraction = 0.0;
+          if (s.fault_schedule.TaskKill(rec.spec.id, job.run_epoch, &kill_fraction)) {
+            // The kill lands strictly before the completion, which then
+            // goes stale via the epoch bump in fault_kill_job.
+            s.PushEvent(Event{s.now + kill_fraction * duration, s.seq++,
+                              EventKind::kTaskKill, idx, job.run_epoch});
+          }
+        }
+      }
+
+      // Keep cycling while any job is pending or running.
+      if (s.live_jobs > 0) {
+        schedule_cycle(s.now + options_.cycle_period);
+      }
       break;
     }
   }
-
-  down_integral += static_cast<double>(total_down) * (now - last_down_change);
-  result.available_node_seconds = static_cast<double>(cluster_.total_nodes()) * now - down_integral;
-  if (now > 0.0 && cluster_.total_nodes() > 0) {
-    result.node_downtime_fraction =
-        down_integral / (static_cast<double>(cluster_.total_nodes()) * now);
+  // With chaos on, pending fault events cannot affect anything once no job
+  // is live; stop rather than replaying churn against an empty cluster.
+  if (s.live_jobs == 0 && (s.queue.empty() || s.chaos)) {
+    s.drained = true;
   }
-  result.end_time = now;
-  result.jobs.reserve(jobs.size());
-  for (LiveJob& job : jobs) {
+  return result.cycles.size() > cycles_before;
+}
+
+bool Simulator::Step() {
+  EnsureStarted();
+  RunState& s = *state_;
+  while (!s.drained) {
+    if (s.queue.empty()) {
+      s.drained = true;
+      break;
+    }
+    if (ProcessEvent()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimResult Simulator::Finish() {
+  EnsureStarted();
+  RunState& s = *state_;
+  SimResult result = std::move(s.result);
+
+  s.down_integral += static_cast<double>(s.total_down) * (s.now - s.last_down_change);
+  result.available_node_seconds =
+      static_cast<double>(cluster_.total_nodes()) * s.now - s.down_integral;
+  if (s.now > 0.0 && cluster_.total_nodes() > 0) {
+    result.node_downtime_fraction =
+        s.down_integral / (static_cast<double>(cluster_.total_nodes()) * s.now);
+  }
+  result.end_time = s.now;
+  result.jobs.reserve(s.jobs.size());
+  for (RunState::LiveJob& job : s.jobs) {
     if (job.record.status == JobStatus::kRunning) {
       // Close the open run at the stop for occupancy provenance.
-      job.record.runs.push_back(JobRun{job.record.group, job.record.start_time, now, false});
+      job.record.runs.push_back(
+          JobRun{job.record.group, job.record.start_time, s.now, false});
     }
     if (job.record.status == JobStatus::kPending || job.record.status == JobStatus::kRunning) {
       job.record.status = JobStatus::kUnfinished;
     }
     result.jobs.push_back(std::move(job.record));
   }
+  state_.reset();
   return result;
+}
+
+SimResult Simulator::Run() {
+  EnsureStarted();
+  while (Step()) {
+    MaybeCheckpoint();
+    if (options_.max_cycles > 0 &&
+        cycles_completed() >= static_cast<uint64_t>(options_.max_cycles)) {
+      break;
+    }
+  }
+  return Finish();
+}
+
+void Simulator::MaybeCheckpoint() {
+  if (options_.checkpoint_every <= 0 || options_.checkpoint_dir.empty()) {
+    return;
+  }
+  const uint64_t cycle = cycles_completed();
+  if (cycle == 0 || cycle % static_cast<uint64_t>(options_.checkpoint_every) != 0) {
+    return;
+  }
+  const std::string path =
+      options_.checkpoint_dir + "/checkpoint_" + std::to_string(cycle) + ".snap";
+  std::string error;
+  TS_CHECK_MSG(WriteCheckpoint(path, &error), "checkpoint write failed: " << error);
+}
+
+void Simulator::DebugPerturbRng() {
+  EnsureStarted();
+  state_->rng.engine()();
+}
+
+std::string Simulator::SaveStateToBuffer() {
+  EnsureStarted();
+  RunState& s = *state_;
+  SnapshotWriter writer;
+
+  writer.BeginSection("meta", kSnapshotVersion);
+  writer.WriteVarU64(s.result.cycles.size());
+  writer.WriteDouble(s.now);
+  SaveCluster(writer, cluster_);
+  SaveSimOptions(writer, options_);
+  writer.EndSection();
+
+  writer.BeginSection("rng", kSnapshotVersion);
+  s.rng.SaveState(writer);
+  writer.EndSection();
+
+  // The full (sorted) workload doubles as the generator cursor: which jobs
+  // already arrived is implied by the event queue, and a resumed run never
+  // re-consults the generator.
+  writer.BeginSection("workload", kSnapshotVersion);
+  writer.WriteVarU64(workload_.size());
+  for (const JobSpec& spec : workload_) {
+    spec.SaveState(writer);
+  }
+  writer.EndSection();
+
+  writer.BeginSection("faults", kSnapshotVersion);
+  s.fault_schedule.SaveState(writer);
+  writer.WriteVarI64(s.cycle_ordinal);
+  writer.EndSection();
+
+  writer.BeginSection("sim", kSnapshotVersion);
+  writer.WriteDouble(s.now);
+  writer.WriteU64(s.seq);
+  writer.WriteDouble(s.hard_stop);
+  writer.WriteDouble(s.next_cycle_at);
+  writer.WriteDouble(s.last_cycle_at);
+  writer.WriteVarI64(s.live_jobs);
+  writer.WriteBool(s.drained);
+  writer.WriteIntVec(s.free_nodes);
+  writer.WriteIntVec(s.down);
+  writer.WriteVarI64(s.total_down);
+  writer.WriteDouble(s.down_integral);
+  writer.WriteDouble(s.last_down_change);
+  writer.WriteVarU64(s.queue.size());
+  for (const Event& e : s.queue) {
+    writer.WriteDouble(e.time);
+    writer.WriteU64(e.seq);
+    writer.WriteU8(static_cast<uint8_t>(e.kind));
+    writer.WriteVarU64(e.job_index);
+    writer.WriteVarI64(e.run_epoch);
+  }
+  writer.WriteVarU64(s.jobs.size());
+  for (const RunState::LiveJob& job : s.jobs) {
+    SaveJobRecord(writer, job.record);
+    writer.WriteVarI64(job.run_epoch);
+    writer.WriteDouble(job.actual_duration);
+    writer.WriteDouble(job.progress);
+    writer.WriteDouble(job.executed_seconds);
+  }
+  writer.EndSection();
+
+  // Deterministic accumulated results. Per-cycle wall-clock timings go in
+  // their own "timing" section so replay_diff can ignore the only
+  // non-reproducible state.
+  writer.BeginSection("metrics", kSnapshotVersion);
+  writer.WriteVarI64(s.result.rejected_placements);
+  writer.WriteVarI64(s.result.total_preemptions);
+  writer.WriteVarI64(s.result.tasks_killed_by_faults);
+  writer.WriteVarI64(s.result.fault_node_events);
+  writer.WriteVarI64(s.result.stalled_cycles);
+  writer.WriteDouble(s.result.rework_node_seconds);
+  writer.WriteVarU64(s.result.fault_events.size());
+  for (const FaultEvent& e : s.result.fault_events) {
+    writer.WriteDouble(e.time);
+    writer.WriteU8(static_cast<uint8_t>(e.kind));
+    writer.WriteVarI64(e.group);
+    writer.WriteVarI64(e.count);
+  }
+  writer.WriteVarU64(s.result.cycles.size());
+  for (const CycleStats& c : s.result.cycles) {
+    writer.WriteDouble(c.time);
+    writer.WriteVarI64(c.milp_variables);
+    writer.WriteVarI64(c.milp_rows);
+    writer.WriteVarI64(c.milp_nodes);
+    writer.WriteVarI64(c.pending);
+    writer.WriteVarI64(c.running_jobs);
+    writer.WriteVarI64(c.milp_max_queue_depth);
+    writer.WriteVarI64(c.milp_incumbent_improvements);
+    writer.WriteVarI64(c.capacity_cache_hits);
+    writer.WriteVarI64(c.capacity_cache_misses);
+  }
+  writer.EndSection();
+
+  writer.BeginSection("timing", kSnapshotVersion);
+  writer.WriteVarU64(s.result.cycles.size());
+  for (const CycleStats& c : s.result.cycles) {
+    writer.WriteDouble(c.cycle_seconds);
+    writer.WriteDouble(c.solver_seconds);
+  }
+  writer.EndSection();
+
+  // The scheduler appends its own "sched" (and, where applicable, "predict")
+  // sections.
+  scheduler_->SaveState(writer);
+  return writer.Finish();
+}
+
+bool Simulator::WriteCheckpoint(const std::string& path, std::string* error) {
+  return WriteFileAtomic(path, SaveStateToBuffer(), error);
+}
+
+bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+
+  SnapshotReader reader(buffer);
+  if (!reader.ok()) {
+    return fail(reader.error());
+  }
+
+  uint32_t version = 0;
+  reader.BeginSection("meta", &version);
+  if (reader.ok() && version != kSnapshotVersion) {
+    return fail("unsupported snapshot version " + std::to_string(version));
+  }
+  reader.ReadVarU64();  // cycles_completed; implied by the metrics section.
+  reader.ReadDouble();  // now; authoritative copy in "sim".
+  const ClusterConfig snap_cluster = RestoreCluster(reader);
+  SimOptions snap_options;
+  RestoreSimOptions(reader, &snap_options);
+  reader.EndSection();
+  if (!reader.ok()) {
+    return fail(reader.error());
+  }
+  if (snap_cluster.num_groups() != cluster_.num_groups()) {
+    return fail("snapshot cluster has " + std::to_string(snap_cluster.num_groups()) +
+                " groups, this simulator has " + std::to_string(cluster_.num_groups()));
+  }
+  for (int g = 0; g < cluster_.num_groups(); ++g) {
+    if (snap_cluster.group(g).node_count != cluster_.group(g).node_count) {
+      return fail("snapshot cluster group " + std::to_string(g) + " has " +
+                  std::to_string(snap_cluster.group(g).node_count) + " nodes, expected " +
+                  std::to_string(cluster_.group(g).node_count));
+    }
+  }
+  // The simulation's options come from the snapshot; the local-run knobs
+  // (where to checkpoint next, when to stop) stay the caller's.
+  snap_options.checkpoint_every = options_.checkpoint_every;
+  snap_options.checkpoint_dir = options_.checkpoint_dir;
+  snap_options.max_cycles = options_.max_cycles;
+
+  auto state = std::make_unique<RunState>();
+  RunState& s = *state;
+
+  reader.BeginSection("rng");
+  if (reader.ok()) {
+    const std::string rng_state = reader.ReadString();
+    if (reader.ok() && !s.rng.DeserializeState(rng_state)) {
+      return fail("corrupt RNG state in snapshot");
+    }
+  }
+  reader.EndSection();
+
+  reader.BeginSection("workload");
+  std::vector<JobSpec> snap_workload;
+  {
+    const uint64_t n = reader.ReadVarU64();
+    snap_workload.reserve(reader.ok() ? n : 0);
+    for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+      JobSpec spec;
+      spec.RestoreState(reader);
+      snap_workload.push_back(std::move(spec));
+    }
+  }
+  reader.EndSection();
+
+  reader.BeginSection("faults");
+  s.fault_schedule.RestoreState(reader);
+  s.cycle_ordinal = reader.ReadVarI64();
+  reader.EndSection();
+  s.chaos = !s.fault_schedule.empty();
+
+  reader.BeginSection("sim");
+  s.now = reader.ReadDouble();
+  s.seq = reader.ReadU64();
+  s.hard_stop = reader.ReadDouble();
+  s.next_cycle_at = reader.ReadDouble();
+  s.last_cycle_at = reader.ReadDouble();
+  s.live_jobs = static_cast<int>(reader.ReadVarI64());
+  s.drained = reader.ReadBool();
+  s.free_nodes = reader.ReadIntVec();
+  s.down = reader.ReadIntVec();
+  s.total_down = static_cast<int>(reader.ReadVarI64());
+  s.down_integral = reader.ReadDouble();
+  s.last_down_change = reader.ReadDouble();
+  {
+    const uint64_t n = reader.ReadVarU64();
+    s.queue.reserve(reader.ok() ? n : 0);
+    for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+      Event e{0.0, 0, EventKind::kArrival, 0, 0};
+      e.time = reader.ReadDouble();
+      e.seq = reader.ReadU64();
+      e.kind = static_cast<EventKind>(reader.ReadU8());
+      e.job_index = reader.ReadVarU64();
+      e.run_epoch = static_cast<int>(reader.ReadVarI64());
+      // The array was a valid heap when saved; restoring it verbatim
+      // reproduces the exact pop order.
+      s.queue.push_back(e);
+    }
+  }
+  {
+    const uint64_t n = reader.ReadVarU64();
+    s.jobs.resize(reader.ok() ? n : 0);
+    for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+      RunState::LiveJob& job = s.jobs[i];
+      RestoreJobRecord(reader, &job.record);
+      job.run_epoch = static_cast<int>(reader.ReadVarI64());
+      job.actual_duration = reader.ReadDouble();
+      job.progress = reader.ReadDouble();
+      job.executed_seconds = reader.ReadDouble();
+      if (reader.ok()) {
+        s.index_by_id.emplace(job.record.spec.id, i);
+      }
+    }
+  }
+  reader.EndSection();
+
+  reader.BeginSection("metrics");
+  s.result.rejected_placements = static_cast<int>(reader.ReadVarI64());
+  s.result.total_preemptions = static_cast<int>(reader.ReadVarI64());
+  s.result.tasks_killed_by_faults = static_cast<int>(reader.ReadVarI64());
+  s.result.fault_node_events = static_cast<int>(reader.ReadVarI64());
+  s.result.stalled_cycles = static_cast<int>(reader.ReadVarI64());
+  s.result.rework_node_seconds = reader.ReadDouble();
+  {
+    const uint64_t n = reader.ReadVarU64();
+    s.result.fault_events.reserve(reader.ok() ? n : 0);
+    for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+      FaultEvent e;
+      e.time = reader.ReadDouble();
+      e.kind = static_cast<FaultKind>(reader.ReadU8());
+      e.group = static_cast<int>(reader.ReadVarI64());
+      e.count = static_cast<int>(reader.ReadVarI64());
+      s.result.fault_events.push_back(e);
+    }
+  }
+  {
+    const uint64_t n = reader.ReadVarU64();
+    s.result.cycles.resize(reader.ok() ? n : 0);
+    for (uint64_t i = 0; reader.ok() && i < n; ++i) {
+      CycleStats& c = s.result.cycles[i];
+      c.time = reader.ReadDouble();
+      c.milp_variables = static_cast<int>(reader.ReadVarI64());
+      c.milp_rows = static_cast<int>(reader.ReadVarI64());
+      c.milp_nodes = static_cast<int>(reader.ReadVarI64());
+      c.pending = static_cast<int>(reader.ReadVarI64());
+      c.running_jobs = static_cast<int>(reader.ReadVarI64());
+      c.milp_max_queue_depth = static_cast<int>(reader.ReadVarI64());
+      c.milp_incumbent_improvements = static_cast<int>(reader.ReadVarI64());
+      c.capacity_cache_hits = reader.ReadVarI64();
+      c.capacity_cache_misses = reader.ReadVarI64();
+    }
+  }
+  reader.EndSection();
+
+  reader.BeginSection("timing");
+  {
+    const uint64_t n = reader.ReadVarU64();
+    for (uint64_t i = 0; reader.ok() && i < n && i < s.result.cycles.size(); ++i) {
+      s.result.cycles[i].cycle_seconds = reader.ReadDouble();
+      s.result.cycles[i].solver_seconds = reader.ReadDouble();
+    }
+  }
+  reader.EndSection();
+
+  if (!reader.ok()) {
+    return fail(reader.error());
+  }
+
+  // Commit the simulator, then hand the tail of the snapshot to the
+  // scheduler (which TS_CHECKs its own kind tags).
+  options_ = std::move(snap_options);
+  workload_ = std::move(snap_workload);
+  state_ = std::move(state);
+  scheduler_->RestoreState(reader);
+  if (!reader.ok()) {
+    return fail(reader.error());
+  }
+  return true;
+}
+
+bool Simulator::TryResumeFrom(const std::string& path, std::string* error) {
+  std::string buffer;
+  if (!ReadFileToString(path, &buffer, error)) {
+    return false;
+  }
+  return TryRestoreStateFromBuffer(buffer, error);
+}
+
+void Simulator::RestoreStateFromBuffer(const std::string& buffer) {
+  std::string error;
+  TS_CHECK_MSG(TryRestoreStateFromBuffer(buffer, &error), "snapshot restore failed: " << error);
+}
+
+void Simulator::ResumeFrom(const std::string& path) {
+  std::string error;
+  TS_CHECK_MSG(TryResumeFrom(path, &error), "resume failed: " << error);
+}
+
+bool Simulator::PeekCheckpoint(const std::string& path, CheckpointInfo* info,
+                               std::string* error) {
+  std::string buffer;
+  if (!ReadFileToString(path, &buffer, error)) {
+    return false;
+  }
+  SnapshotReader reader(std::move(buffer));
+  uint32_t version = 0;
+  if (!reader.BeginSection("meta", &version)) {
+    if (error != nullptr) {
+      *error = reader.error();
+    }
+    return false;
+  }
+  info->cycles_completed = reader.ReadVarU64();
+  info->now = reader.ReadDouble();
+  info->cluster = RestoreCluster(reader);
+  RestoreSimOptions(reader, &info->options);
+  reader.EndSection();
+  if (!reader.ok()) {
+    if (error != nullptr) {
+      *error = reader.error();
+    }
+    return false;
+  }
+  return true;
 }
 
 }  // namespace threesigma

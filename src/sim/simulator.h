@@ -15,6 +15,8 @@
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -23,6 +25,7 @@
 #include "src/common/units.h"
 #include "src/faults/fault_schedule.h"
 #include "src/sched/scheduler.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
 
@@ -64,6 +67,17 @@ struct SimOptions {
   // (the probabilistic kill/straggler/stall processes still follow `faults`).
   FaultOptions faults;
   std::vector<FaultEvent> fault_events;
+
+  // Checkpoint cadence: every `checkpoint_every` completed scheduling cycles
+  // Run() writes `<checkpoint_dir>/checkpoint_<cycle>.snap`. 0 disables.
+  // These knobs describe the *local* run, not the simulation: ResumeFrom
+  // keeps the caller's values rather than adopting the snapshot's.
+  int64_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  // Stop Run() after this many completed cycles (0 = no limit). The partial
+  // result is finalized normally; with checkpointing on this emulates a kill
+  // at a known cycle.
+  int64_t max_cycles = 0;
 };
 
 enum class JobStatus {
@@ -141,19 +155,78 @@ struct SimResult {
   std::vector<FaultEvent> fault_events;
 };
 
+// Everything PeekCheckpoint can tell about a snapshot without a scheduler:
+// enough to rebuild a matching Simulator and resume.
+struct CheckpointInfo {
+  ClusterConfig cluster;
+  SimOptions options;
+  uint64_t cycles_completed = 0;
+  Time now = 0.0;
+};
+
 class Simulator {
  public:
   // `scheduler` must outlive Run(). `workload` need not be sorted.
   Simulator(const ClusterConfig& cluster, Scheduler* scheduler, std::vector<JobSpec> workload,
             SimOptions options);
+  ~Simulator();
 
+  // Runs to completion (honoring max_cycles / checkpoint_every) and returns
+  // the finalized result. Equivalent to: while (Step()) {...}; Finish().
   SimResult Run();
 
+  // Stepwise API (replay_diff drives this cycle-by-cycle). Step() processes
+  // events until one scheduling cycle's CycleStats is appended, returning
+  // true; false means the run is drained (no cycle will ever follow).
+  bool Step();
+  // Finalizes (closes open runs, marks kPending/kRunning jobs kUnfinished,
+  // computes downtime aggregates) and returns the result. The simulator is
+  // spent afterwards.
+  SimResult Finish();
+
+  // Scheduling cycles recorded so far == result.cycles.size().
+  uint64_t cycles_completed() const;
+
+  // --- Checkpoint / restore -------------------------------------------------
+  // The snapshot serializes the complete run state by module section:
+  //   meta, rng, workload, faults, sim, metrics, timing, sched [, predict]
+  // ("timing" carries the wall-clock per-cycle solver/cycle seconds so every
+  // other section is bit-deterministic and diffable).
+  std::string SaveStateToBuffer();
+  bool WriteCheckpoint(const std::string& path, std::string* error = nullptr);
+
+  // Restores a full run state into this simulator. The scheduler (and its
+  // predictor) must be configured identically to the checkpointing run; the
+  // snapshot's SimOptions are adopted except the local-run knobs
+  // (checkpoint_every / checkpoint_dir / max_cycles), and the cluster shape
+  // is validated against cluster_. Try* returns false with `*error` set;
+  // the unchecked forms TS_CHECK-abort on a bad snapshot.
+  bool TryRestoreStateFromBuffer(const std::string& buffer, std::string* error = nullptr);
+  bool TryResumeFrom(const std::string& path, std::string* error = nullptr);
+  void RestoreStateFromBuffer(const std::string& buffer);
+  void ResumeFrom(const std::string& path);
+
+  // Reads a snapshot's "meta" section only (no scheduler needed): the
+  // cluster, options, and position a resuming caller must match.
+  static bool PeekCheckpoint(const std::string& path, CheckpointInfo* info,
+                             std::string* error = nullptr);
+
+  // Test/diagnostic hook: burns one RNG draw, desynchronizing this run from
+  // an otherwise identical one (replay_diff's injected-divergence mode).
+  void DebugPerturbRng();
+
  private:
+  struct RunState;
+
+  void EnsureStarted();
+  bool ProcessEvent();  // One event; true if it appended a CycleStats.
+  void MaybeCheckpoint();
+
   const ClusterConfig& cluster_;
   Scheduler* scheduler_;
   std::vector<JobSpec> workload_;
   SimOptions options_;
+  std::unique_ptr<RunState> state_;
 };
 
 }  // namespace threesigma

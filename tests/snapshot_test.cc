@@ -1,0 +1,447 @@
+// Checkpoint/restore subsystem tests.
+//
+// The headline property: checkpoint a faulty, multi-threaded, warm-started
+// run at an arbitrary cycle, "kill" it, resume into a freshly built system,
+// and the finished trace — every job record, cycle stat, and fault counter —
+// is byte-identical to the uninterrupted run. Plus codec unit tests,
+// RNG-stream round trips, and rejection of truncated/corrupted snapshots
+// (graceful via Try*, aborting via the unchecked forms).
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/experiment.h"
+#include "src/metrics/report.h"
+#include "src/snapshot/snapshot_io.h"
+
+namespace threesigma {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Codec primitives.
+
+TEST(SnapshotCodecTest, PrimitiveRoundTrip) {
+  SnapshotWriter writer;
+  writer.BeginSection("prim", 3);
+  writer.WriteU8(0xab);
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteU64(0x0123456789abcdefULL);
+  for (uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, ~0ULL}) {
+    writer.WriteVarU64(v);
+  }
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-64}, int64_t{64},
+                    std::numeric_limits<int64_t>::min(), std::numeric_limits<int64_t>::max()}) {
+    writer.WriteVarI64(v);
+  }
+  for (double v : {0.0, -0.0, 0.1, -1e300, std::numeric_limits<double>::infinity()}) {
+    writer.WriteDouble(v);
+  }
+  writer.WriteBool(true);
+  writer.WriteBool(false);
+  const std::string with_nul("null\0inside", 11);
+  writer.WriteString(with_nul);
+  writer.WriteDoubleVec({1.5, -2.5, 3.25});
+  writer.WriteIntVec({-7, 0, 42});
+  writer.EndSection();
+
+  SnapshotReader reader(writer.Finish());
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  uint32_t version = 0;
+  ASSERT_TRUE(reader.BeginSection("prim", &version));
+  EXPECT_EQ(version, 3u);
+  EXPECT_EQ(reader.ReadU8(), 0xab);
+  EXPECT_EQ(reader.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.ReadU64(), 0x0123456789abcdefULL);
+  for (uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, ~0ULL}) {
+    EXPECT_EQ(reader.ReadVarU64(), v);
+  }
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-64}, int64_t{64},
+                    std::numeric_limits<int64_t>::min(), std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(reader.ReadVarI64(), v);
+  }
+  for (double v : {0.0, -0.0, 0.1, -1e300, std::numeric_limits<double>::infinity()}) {
+    const double got = reader.ReadDouble();
+    EXPECT_EQ(got, v);
+    EXPECT_EQ(std::signbit(got), std::signbit(v));  // -0.0 round-trips exactly.
+  }
+  EXPECT_TRUE(reader.ReadBool());
+  EXPECT_FALSE(reader.ReadBool());
+  EXPECT_EQ(reader.ReadString(), with_nul);
+  EXPECT_EQ(reader.ReadDoubleVec(), (std::vector<double>{1.5, -2.5, 3.25}));
+  EXPECT_EQ(reader.ReadIntVec(), (std::vector<int>{-7, 0, 42}));
+  reader.EndSection();
+  EXPECT_TRUE(reader.ok()) << reader.error();
+  EXPECT_FALSE(reader.HasMoreSections());
+}
+
+TEST(SnapshotCodecTest, NanDoubleRoundTripsBitExactly) {
+  SnapshotWriter writer;
+  writer.BeginSection("nan", 1);
+  writer.WriteDouble(std::numeric_limits<double>::quiet_NaN());
+  writer.EndSection();
+  SnapshotReader reader(writer.Finish());
+  reader.BeginSection("nan");
+  EXPECT_TRUE(std::isnan(reader.ReadDouble()));
+  reader.EndSection();
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(SnapshotCodecTest, EndSectionSkipsUnreadPayload) {
+  // A newer writer appends fields an old reader does not know; EndSection
+  // must land the reader on the next section header regardless.
+  SnapshotWriter writer;
+  writer.BeginSection("grew", 2);
+  writer.WriteVarU64(7);
+  writer.WriteString("field the reader never asks for");
+  writer.WriteDouble(3.14);
+  writer.EndSection();
+  writer.BeginSection("next", 1);
+  writer.WriteVarU64(99);
+  writer.EndSection();
+
+  SnapshotReader reader(writer.Finish());
+  ASSERT_TRUE(reader.BeginSection("grew"));
+  EXPECT_EQ(reader.ReadVarU64(), 7u);
+  EXPECT_GT(reader.SectionRemaining(), 0u);
+  reader.EndSection();  // Skips the two unread fields.
+  ASSERT_TRUE(reader.BeginSection("next"));
+  EXPECT_EQ(reader.ReadVarU64(), 99u);
+  reader.EndSection();
+  EXPECT_TRUE(reader.ok()) << reader.error();
+}
+
+TEST(SnapshotCodecTest, SectionNameMismatchFailsSoft) {
+  SnapshotWriter writer;
+  writer.BeginSection("alpha", 1);
+  writer.WriteVarU64(1);
+  writer.EndSection();
+  SnapshotReader reader(writer.Finish());
+  EXPECT_FALSE(reader.BeginSection("beta"));
+  EXPECT_FALSE(reader.ok());
+  // Fail-soft: reads after the failure return zeroes, never crash.
+  EXPECT_EQ(reader.ReadVarU64(), 0u);
+  EXPECT_EQ(reader.ReadString(), "");
+}
+
+TEST(SnapshotCodecTest, CorruptionIsDetectedUpFront) {
+  SnapshotWriter writer;
+  writer.BeginSection("data", 1);
+  for (int i = 0; i < 100; ++i) {
+    writer.WriteVarU64(static_cast<uint64_t>(i));
+  }
+  writer.EndSection();
+  const std::string good = writer.Finish();
+
+  {
+    std::string truncated = good.substr(0, good.size() / 2);
+    SnapshotReader reader(truncated);
+    EXPECT_FALSE(reader.ok());
+  }
+  {
+    std::string flipped = good;
+    flipped[good.size() / 2] = static_cast<char>(flipped[good.size() / 2] ^ 0x40);
+    SnapshotReader reader(flipped);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.error().find("CRC"), std::string::npos) << reader.error();
+  }
+  {
+    std::string bad_magic = good;
+    bad_magic[0] = 'X';
+    SnapshotReader reader(bad_magic);
+    EXPECT_FALSE(reader.ok());
+  }
+}
+
+TEST(SnapshotCodecTest, ListAndDiffSections) {
+  const auto build = [](uint64_t payload) {
+    SnapshotWriter writer;
+    writer.BeginSection("same", 1);
+    writer.WriteVarU64(11);
+    writer.EndSection();
+    writer.BeginSection("differs", 1);
+    writer.WriteVarU64(payload);
+    writer.EndSection();
+    writer.BeginSection("timing", 1);
+    writer.WriteDouble(static_cast<double>(payload) * 0.5);  // Wall clock.
+    writer.EndSection();
+    return writer.Finish();
+  };
+  const std::string a = build(1);
+  const std::string b = build(2);
+
+  std::vector<SnapshotSection> sections;
+  ASSERT_TRUE(ListSnapshotSections(a, &sections));
+  ASSERT_EQ(sections.size(), 3u);
+  EXPECT_EQ(sections[0].name, "same");
+  EXPECT_EQ(sections[1].name, "differs");
+
+  EXPECT_TRUE(DiffSnapshotSections(a, a).empty());
+  EXPECT_EQ(DiffSnapshotSections(a, b, {"timing"}),
+            (std::vector<std::string>{"differs"}));
+  EXPECT_EQ(DiffSnapshotSections(a, b),
+            (std::vector<std::string>{"differs", "timing"}));
+}
+
+// ---------------------------------------------------------------------------
+// RNG stream state.
+
+TEST(RngSnapshotTest, SaveRestoreDrawEqualsUninterrupted) {
+  Rng stream(42);
+  for (int i = 0; i < 1000; ++i) {
+    stream.Uniform(0.0, 1.0);  // Advance to an arbitrary mid-stream position.
+  }
+  SnapshotWriter writer;
+  writer.BeginSection("rng", 1);
+  stream.SaveState(writer);
+  writer.EndSection();
+  const std::string buffer = writer.Finish();
+
+  // The uninterrupted continuation.
+  std::vector<double> expected;
+  for (int i = 0; i < 200; ++i) {
+    expected.push_back(stream.Uniform(0.0, 1.0));
+  }
+
+  Rng resumed(7);  // Different seed: everything must come from the snapshot.
+  SnapshotReader reader(buffer);
+  ASSERT_TRUE(reader.BeginSection("rng"));
+  resumed.RestoreState(reader);
+  reader.EndSection();
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(resumed.Uniform(0.0, 1.0), expected[static_cast<size_t>(i)]) << "draw " << i;
+  }
+}
+
+TEST(RngSnapshotTest, MixedDistributionDrawsMatch) {
+  Rng stream(99);
+  stream.Normal(0.0, 1.0);
+  const std::string state = stream.SerializeState();
+  const double expected_normal = stream.Normal(5.0, 2.0);
+  const int64_t expected_int = stream.UniformInt(0, 1000);
+  const double expected_exp = stream.Exponential(3.0);
+
+  Rng resumed(1);
+  ASSERT_TRUE(resumed.DeserializeState(state));
+  EXPECT_EQ(resumed.Normal(5.0, 2.0), expected_normal);
+  EXPECT_EQ(resumed.UniformInt(0, 1000), expected_int);
+  EXPECT_EQ(resumed.Exponential(3.0), expected_exp);
+}
+
+TEST(RngSnapshotTest, GarbageStateIsRejectedWithoutDamage) {
+  Rng stream(5);
+  const double before = stream.Uniform(0.0, 1.0);
+  (void)before;
+  const std::string good = stream.SerializeState();
+  EXPECT_FALSE(stream.DeserializeState("not an engine state"));
+  // The failed restore left the stream untouched.
+  EXPECT_EQ(stream.SerializeState(), good);
+}
+
+// ---------------------------------------------------------------------------
+// Full-run checkpoint/resume property.
+
+ExperimentConfig CheckpointChaosConfig() {
+  ExperimentConfig config;
+  config.cluster = ClusterConfig::Uniform(4, 8);
+  config.workload.duration = Minutes(10.0);
+  config.workload.load = 1.3;
+  config.workload.model_sample_jobs = 400;
+  config.workload.pretrain_jobs = 400;
+  config.workload.seed = 11;
+  config.sim.cycle_period = 10.0;
+  config.sim.seed = 11;
+  config.sched.cycle_period = config.sim.cycle_period;
+  // Everything the issue demands of the headline property: faults on,
+  // multi-threaded solver, basis warm-starting — and no wall-clock budgets
+  // (the only legitimately nondeterministic solver input).
+  config.sched.solver_time_limit_seconds = 0.0;
+  config.sched.solver_threads = 4;
+  config.sched.solver_basis_warmstart = true;
+  config.sim.faults.node_mttf = 1500.0;
+  config.sim.faults.node_mttr = 240.0;
+  config.sim.faults.task_kill_prob = 0.05;
+  config.sim.faults.straggler_prob = 0.1;
+  config.sim.faults.straggler_factor = 2.0;
+  config.sim.faults.cycle_stall_prob = 0.05;
+  config.sim.faults.seed = 5;
+  return config;
+}
+
+void Pretrain(SystemInstance& instance, const GeneratedWorkload& workload) {
+  for (const JobSpec& job : workload.pretrain) {
+    instance.predictor->RecordCompletion(job.features, job.true_runtime);
+  }
+}
+
+// Every deterministic field of a finished run, serialized for comparison.
+std::string ResultTrace(const SimResult& result) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  WriteJobRecordsCsv(os, result.jobs);
+  for (const CycleStats& c : result.cycles) {
+    os << "cycle " << c.time << " v" << c.milp_variables << " r" << c.milp_rows << " n"
+       << c.milp_nodes << " q" << c.milp_max_queue_depth << " i"
+       << c.milp_incumbent_improvements << " h" << c.capacity_cache_hits << " m"
+       << c.capacity_cache_misses << " p" << c.pending << " j" << c.running_jobs << "\n";
+  }
+  for (const FaultEvent& ev : result.fault_events) {
+    os << "fault " << ev.time << " k" << static_cast<int>(ev.kind) << " g" << ev.group << " c"
+       << ev.count << "\n";
+  }
+  os << "rejected " << result.rejected_placements << " preempts " << result.total_preemptions
+     << " kills " << result.tasks_killed_by_faults << " node_events "
+     << result.fault_node_events << " stalls " << result.stalled_cycles << " rework "
+     << result.rework_node_seconds << " down " << result.node_downtime_fraction << " avail "
+     << result.available_node_seconds << " end " << result.end_time << "\n";
+  return os.str();
+}
+
+TEST(CheckpointResumeTest, ResumeAtRandomCyclesIsByteIdentical) {
+  const ExperimentConfig config = CheckpointChaosConfig();
+  const GeneratedWorkload workload =
+      GenerateWorkload(config.cluster, config.workload);
+
+  // Uninterrupted reference run.
+  SystemInstance reference = MakeSystem(SystemKind::kThreeSigma, config.cluster, config.sched);
+  Pretrain(reference, workload);
+  Simulator ref_sim(config.cluster, reference.scheduler.get(), workload.jobs, config.sim);
+  const SimResult ref_result = ref_sim.Run();
+  const std::string ref_trace = ResultTrace(ref_result);
+  ASSERT_GT(ref_result.cycles.size(), 10u) << "config too small to exercise checkpointing";
+
+  Rng cycle_picker(1234);
+  for (int trial = 0; trial < 3; ++trial) {
+    const uint64_t checkpoint_cycle = static_cast<uint64_t>(
+        cycle_picker.UniformInt(1, static_cast<int64_t>(ref_result.cycles.size()) - 1));
+
+    // Run a fresh system up to the checkpoint cycle, snapshot, and "kill" it.
+    std::string buffer;
+    {
+      SystemInstance doomed = MakeSystem(SystemKind::kThreeSigma, config.cluster, config.sched);
+      Pretrain(doomed, workload);
+      Simulator sim(config.cluster, doomed.scheduler.get(), workload.jobs, config.sim);
+      while (sim.cycles_completed() < checkpoint_cycle) {
+        ASSERT_TRUE(sim.Step());
+      }
+      buffer = sim.SaveStateToBuffer();
+      // The simulator and its scheduler are destroyed here: the kill.
+    }
+
+    // Resume into a freshly built system. Pretraining again is deliberately
+    // harmless — RestoreState replaces predictor histories wholesale.
+    SystemInstance resumed = MakeSystem(SystemKind::kThreeSigma, config.cluster, config.sched);
+    Pretrain(resumed, workload);
+    Simulator sim(config.cluster, resumed.scheduler.get(), {}, config.sim);
+    sim.RestoreStateFromBuffer(buffer);
+    EXPECT_EQ(sim.cycles_completed(), checkpoint_cycle);
+    const SimResult result = sim.Run();
+
+    EXPECT_EQ(ResultTrace(result), ref_trace)
+        << "divergence after resuming at cycle " << checkpoint_cycle;
+  }
+}
+
+TEST(CheckpointResumeTest, FileRoundTripAndPeek) {
+  ExperimentConfig config = CheckpointChaosConfig();
+  config.workload.duration = Minutes(4.0);
+  const GeneratedWorkload workload =
+      GenerateWorkload(config.cluster, config.workload);
+
+  SystemInstance instance = MakeSystem(SystemKind::kThreeSigma, config.cluster, config.sched);
+  Pretrain(instance, workload);
+  Simulator sim(config.cluster, instance.scheduler.get(), workload.jobs, config.sim);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sim.Step());
+  }
+  const std::string path = ::testing::TempDir() + "/snapshot_test_checkpoint.snap";
+  std::string error;
+  ASSERT_TRUE(sim.WriteCheckpoint(path, &error)) << error;
+  const SimResult ref_result = sim.Run();
+
+  CheckpointInfo info;
+  ASSERT_TRUE(Simulator::PeekCheckpoint(path, &info, &error)) << error;
+  EXPECT_EQ(info.cycles_completed, 5u);
+  EXPECT_EQ(info.cluster.num_groups(), config.cluster.num_groups());
+  EXPECT_EQ(info.cluster.total_nodes(), config.cluster.total_nodes());
+  EXPECT_EQ(info.options.seed, config.sim.seed);
+
+  SimResult result;
+  ASSERT_TRUE(ResumeSystem(SystemKind::kThreeSigma, path, config.sched, config.sim, &result,
+                           &error))
+      << error;
+  EXPECT_EQ(ResultTrace(result), ResultTrace(ref_result));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResumeTest, GracefulRejection) {
+  const ExperimentConfig config = CheckpointChaosConfig();
+  SystemInstance instance = MakeSystem(SystemKind::kThreeSigma, config.cluster, config.sched);
+  Simulator sim(config.cluster, instance.scheduler.get(), {}, config.sim);
+
+  std::string error;
+  EXPECT_FALSE(sim.TryRestoreStateFromBuffer("definitely not a snapshot", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(sim.TryResumeFrom("/nonexistent/path/x.snap", &error));
+  EXPECT_FALSE(error.empty());
+
+  // Cluster-shape mismatch is rejected before any state is touched.
+  ExperimentConfig small = config;
+  small.cluster = ClusterConfig::Uniform(2, 4);
+  small.workload.duration = Minutes(2.0);
+  small.workload.model_sample_jobs = 100;
+  small.workload.pretrain_jobs = 100;
+  const GeneratedWorkload workload = GenerateWorkload(small.cluster, small.workload);
+  SystemInstance other = MakeSystem(SystemKind::kThreeSigma, small.cluster, small.sched);
+  Simulator other_sim(small.cluster, other.scheduler.get(), workload.jobs, small.sim);
+  ASSERT_TRUE(other_sim.Step());
+  EXPECT_FALSE(sim.TryRestoreStateFromBuffer(other_sim.SaveStateToBuffer(), &error));
+  EXPECT_NE(error.find("groups"), std::string::npos) << error;
+}
+
+TEST(SnapshotDeathTest, TruncatedSnapshotAborts) {
+  ExperimentConfig config = CheckpointChaosConfig();
+  config.workload.duration = Minutes(3.0);
+  config.sched.solver_threads = 1;  // Keep the death-test process fork-safe.
+  const GeneratedWorkload workload =
+      GenerateWorkload(config.cluster, config.workload);
+  SystemInstance instance = MakeSystem(SystemKind::kThreeSigma, config.cluster, config.sched);
+  Pretrain(instance, workload);
+  Simulator sim(config.cluster, instance.scheduler.get(), workload.jobs, config.sim);
+  ASSERT_TRUE(sim.Step());
+  const std::string buffer = sim.SaveStateToBuffer();
+
+  SystemInstance fresh = MakeSystem(SystemKind::kThreeSigma, config.cluster, config.sched);
+  Simulator target(config.cluster, fresh.scheduler.get(), {}, config.sim);
+  EXPECT_DEATH(target.RestoreStateFromBuffer(buffer.substr(0, buffer.size() / 3)),
+               "snapshot restore failed");
+}
+
+TEST(SnapshotDeathTest, BadCrcSnapshotAborts) {
+  ExperimentConfig config = CheckpointChaosConfig();
+  config.workload.duration = Minutes(3.0);
+  config.sched.solver_threads = 1;  // Keep the death-test process fork-safe.
+  const GeneratedWorkload workload =
+      GenerateWorkload(config.cluster, config.workload);
+  SystemInstance instance = MakeSystem(SystemKind::kThreeSigma, config.cluster, config.sched);
+  Pretrain(instance, workload);
+  Simulator sim(config.cluster, instance.scheduler.get(), workload.jobs, config.sim);
+  ASSERT_TRUE(sim.Step());
+  std::string buffer = sim.SaveStateToBuffer();
+  buffer[buffer.size() / 2] = static_cast<char>(buffer[buffer.size() / 2] ^ 0x01);
+
+  SystemInstance fresh = MakeSystem(SystemKind::kThreeSigma, config.cluster, config.sched);
+  Simulator target(config.cluster, fresh.scheduler.get(), {}, config.sim);
+  EXPECT_DEATH(target.RestoreStateFromBuffer(buffer), "snapshot restore failed");
+}
+
+}  // namespace
+}  // namespace threesigma
