@@ -20,10 +20,17 @@
 //   THREESIGMA_FAULT_STALL_PROB=<p>      (per-cycle scheduler-stall probability)
 //   THREESIGMA_FAULT_SEED=<n>            (fault RNG seed, independent of
 //       THREESIGMA_SEED so churn stays fixed across workload seeds)
+//   THREESIGMA_OBS_TRACE=<path>          (Chrome trace_event JSON sink)
+//   THREESIGMA_OBS_TRACE_BIN=<path>      (binary span trace sink)
+//   THREESIGMA_OBS_PHASE_CSV=<path>      (per-cycle phase-latency CSV sink)
+//   THREESIGMA_OBS_DECISIONS_CSV=<path>  (per-cycle decision-log CSV sink)
+//   THREESIGMA_OBS_METRICS=<path>        (metrics-registry text dump sink)
+//   THREESIGMA_OBS_RING=<n>              (per-thread span ring capacity)
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -53,6 +60,26 @@ inline void ApplyFaultEnv(FaultOptions* faults) {
       GetEnvInt("THREESIGMA_FAULT_SEED", static_cast<int64_t>(faults->seed)));
 }
 
+// Overlays the THREESIGMA_OBS_* knobs (knob table in src/obs/obs.h) and, the
+// first time any sink is configured, registers an atexit flush so every bench
+// writes its sinks on normal exit without per-main plumbing.
+inline void ApplyObsEnv(obs::Options* options) {
+  obs::ApplyEnv(options);
+  if (!options->any()) {
+    return;
+  }
+  static const bool registered = [] {
+    std::atexit([] {
+      std::string error;
+      if (!obs::Flush(&error)) {
+        std::cerr << "observability export failed: " << error << "\n";
+      }
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
 // The GOOGLE-scale cluster for Fig. 12 (12,584 nodes ~ the trace's 12,583).
 inline ClusterConfig ClusterGoogleScale() { return ClusterConfig::Uniform(8, 1573); }
 
@@ -78,6 +105,7 @@ inline ExperimentConfig MakeE2EConfig(double base_hours, double load = 1.4) {
       static_cast<int>(GetEnvInt("THREESIGMA_SOLVER_THREADS", 1));
   config.sched.solver_basis_warmstart = SolverWarmstartEnv();
   ApplyFaultEnv(&config.sim.faults);
+  ApplyObsEnv(&config.obs);
   return config;
 }
 

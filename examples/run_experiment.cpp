@@ -82,6 +82,12 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   std::string resume_from;
   int64_t max_cycles = 0;
+  std::string trace_out;
+  std::string trace_bin_out;
+  std::string obs_phase_csv;
+  std::string obs_decisions_csv;
+  std::string obs_metrics_out;
+  int64_t obs_ring_capacity = 1 << 16;
 
   FlagParser parser(
       "run_experiment — drive 3Sigma and its baselines over a workload.\n"
@@ -135,7 +141,24 @@ int main(int argc, char** argv) {
                  "(cluster, workload, and fault state come from the snapshot)")
       .AddInt("max-cycles", &max_cycles,
               "stop each run after N scheduling cycles (0 = no limit; with "
-              "checkpointing on, this emulates a kill at a known cycle)");
+              "checkpointing on, this emulates a kill at a known cycle)")
+      .AddString("trace-out", &trace_out,
+                 "write a Chrome trace_event JSON here (load in chrome://tracing "
+                 "or ui.perfetto.dev); enables span tracing")
+      .AddString("trace-bin-out", &trace_bin_out,
+                 "write the binary span trace here (snapshot codec; the "
+                 "deterministic sections are byte-identical across runs and "
+                 "thread counts)")
+      .AddString("obs-phase-csv", &obs_phase_csv,
+                 "write the per-cycle scheduler phase-latency CSV here; enables "
+                 "the cycle profiler")
+      .AddString("obs-decisions-csv", &obs_decisions_csv,
+                 "write the per-cycle decision log CSV here (the golden-trace "
+                 "regression format)")
+      .AddString("obs-metrics-out", &obs_metrics_out,
+                 "write a text dump of the metrics registry here")
+      .AddInt("obs-ring-capacity", &obs_ring_capacity,
+              "span ring capacity per thread (oldest spans drop on overflow)");
   if (!parser.Parse(argc, argv)) {
     return parser.exit_code();
   }
@@ -167,8 +190,32 @@ int main(int argc, char** argv) {
   config.sched.solver_threads = static_cast<int>(solver_threads);
   config.sched.capacity_cache = capacity_cache;
   config.sched.solver_basis_warmstart = solver_basis_warmstart;
+  config.obs.trace_json_out = trace_out;
+  config.obs.trace_bin_out = trace_bin_out;
+  config.obs.phase_csv_out = obs_phase_csv;
+  config.obs.decisions_csv_out = obs_decisions_csv;
+  config.obs.metrics_out = obs_metrics_out;
+  config.obs.ring_capacity = obs_ring_capacity;
+
+  // Writes every configured observability sink; called on both exit paths.
+  const auto flush_obs = [&config]() {
+    if (!config.obs.any()) {
+      return true;
+    }
+    std::string obs_error;
+    if (!obs::Flush(&obs_error)) {
+      std::cerr << "observability export failed: " << obs_error << "\n";
+      return false;
+    }
+    return true;
+  };
 
   if (!resume_from.empty()) {
+    // ResumeSystem drives the simulator directly (it bypasses the
+    // experiment-layer Simulate helper), so apply the gates here.
+    if (config.obs.any()) {
+      obs::Configure(config.obs);
+    }
     SystemKind kind;
     if (systems_csv.find(',') != std::string::npos || !ParseSystem(systems_csv, &kind)) {
       std::cerr << "--resume-from requires --systems to name exactly one system\n";
@@ -202,7 +249,7 @@ int main(int argc, char** argv) {
       WriteRunMetricsCsv(out, {m});
       std::cout << "\nWrote metrics CSV to " << metrics_csv_out << "\n";
     }
-    return 0;
+    return flush_obs() ? 0 : 1;
   }
 
   GeneratedWorkload workload;
@@ -310,5 +357,5 @@ int main(int argc, char** argv) {
     WriteRunMetricsCsv(out, all_metrics);
     std::cout << "\nWrote metrics CSV to " << metrics_csv_out << "\n";
   }
-  return 0;
+  return flush_obs() ? 0 : 1;
 }

@@ -118,6 +118,14 @@ bool FlagParser::Parse(int argc, const char* const* argv) {
       exit_code_ = 0;
       return false;
     }
+    if (arg == "--") {
+      // End-of-flags separator: everything after is positional, even if it
+      // looks like a flag.
+      for (int j = i + 1; j < argc; ++j) {
+        positional_.push_back(argv[j]);
+      }
+      return true;
+    }
     if (arg.rfind("--", 0) != 0) {
       positional_.push_back(arg);
       continue;

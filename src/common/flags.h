@@ -1,8 +1,9 @@
 // Minimal command-line flag parsing for the example/tool binaries.
 //
-// Supports `--name=value`, `--name value`, and boolean `--name` /
-// `--no-name`. Unknown flags are an error (with a generated --help text), so
-// typos fail fast instead of silently running the default experiment.
+// Supports `--name=value`, `--name value`, boolean `--name` / `--no-name`,
+// and a bare `--` end-of-flags separator (everything after it is positional).
+// Unknown flags are an error (with a generated --help text), so typos fail
+// fast instead of silently running the default experiment.
 
 #ifndef SRC_COMMON_FLAGS_H_
 #define SRC_COMMON_FLAGS_H_

@@ -11,6 +11,9 @@ void Pretrain(RuntimePredictor& predictor, const GeneratedWorkload& workload) {
 
 SimResult Simulate(SystemInstance& instance, const ExperimentConfig& config,
                    const GeneratedWorkload& workload, bool pretrain) {
+  if (config.obs.any()) {
+    obs::Configure(config.obs);
+  }
   if (pretrain) {
     Pretrain(*instance.predictor, workload);
   }

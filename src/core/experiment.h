@@ -13,6 +13,7 @@
 #include "src/cluster/cluster.h"
 #include "src/core/systems.h"
 #include "src/metrics/metrics.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulator.h"
 #include "src/workload/generator.h"
 
@@ -23,6 +24,10 @@ struct ExperimentConfig {
   WorkloadOptions workload;
   SimOptions sim;
   DistSchedulerConfig sched;  // Shared scheduler knobs; toggles set per system.
+  // Observability gates and export sinks (disabled by default; enabling them
+  // never changes a scheduling decision). Applied by the Run*/Simulate*
+  // entry points via obs::Configure before the simulation starts.
+  obs::Options obs;
 };
 
 // Pre-trains the system's predictor on `workload.pretrain` (§5 "Estimates"),

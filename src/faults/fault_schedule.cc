@@ -4,6 +4,8 @@
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
@@ -45,6 +47,7 @@ FaultSchedule FaultSchedule::Sample(const ClusterConfig& cluster, const FaultOpt
   TS_CHECK_GE(options.cycle_stall_prob, 0.0);
   TS_CHECK_LE(options.cycle_stall_prob, 1.0);
 
+  TS_OBS_SPAN("faults.sample", obs::Phase::kOther);
   FaultSchedule schedule;
   schedule.options_ = options;
   if (options.node_mttf <= 0.0 || horizon <= 0.0) {
@@ -113,6 +116,9 @@ bool FaultSchedule::TaskKill(int64_t job, int attempt, double* kill_fraction) co
   }
   // Keep the kill strictly inside the run so it always truncates work.
   *kill_fraction = 0.05 + 0.9 * U01(Mix(h));
+  static obs::Counter* const kill_draws =
+      obs::MetricsRegistry::Global().GetCounter("faults.task_kill_draws");
+  kill_draws->Increment();
   return true;
 }
 
@@ -125,6 +131,9 @@ double FaultSchedule::StragglerMultiplier(int64_t job, int attempt) const {
   if (U01(h) >= options_.straggler_prob) {
     return 1.0;
   }
+  static obs::Counter* const straggler_draws =
+      obs::MetricsRegistry::Global().GetCounter("faults.straggler_draws");
+  straggler_draws->Increment();
   return 1.0 + (options_.straggler_factor - 1.0) * U01(Mix(h));
 }
 
@@ -137,6 +146,9 @@ bool FaultSchedule::CycleStall(int64_t ordinal, Duration* stall) const {
     return false;
   }
   *stall = options_.cycle_stall;
+  static obs::Counter* const stall_draws =
+      obs::MetricsRegistry::Global().GetCounter("faults.cycle_stall_draws");
+  stall_draws->Increment();
   return true;
 }
 

@@ -1,0 +1,133 @@
+#include "src/obs/obs.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/env.h"
+#include "src/snapshot/snapshot_io.h"
+
+namespace threesigma {
+namespace obs {
+namespace {
+
+Options& MutableOptions() {
+  static Options* const options = new Options();
+  return *options;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& contents, const char* what,
+                   std::string* error) {
+  std::string io_error;
+  if (!WriteFileAtomic(path, contents, &io_error)) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + io_error;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Configure(const Options& options) {
+  Options effective = options;
+  // A sink implies the facility that feeds it.
+  if (!effective.trace_json_out.empty() || !effective.trace_bin_out.empty()) {
+    effective.tracing = true;
+  }
+  if (!effective.phase_csv_out.empty()) {
+    effective.profiler = true;
+  }
+  if (!effective.decisions_csv_out.empty()) {
+    effective.decisions = true;
+  }
+  MutableOptions() = effective;
+
+  Tracer& tracer = Tracer::Global();
+  tracer.SetRingCapacity(static_cast<size_t>(effective.ring_capacity));
+  // The profiler consumes phase spans, so span emission turns on for either.
+  tracer.SetEnabled(effective.tracing || effective.profiler);
+  CycleProfiler::Global().SetEnabled(effective.profiler);
+  DecisionLog::Global().SetEnabled(effective.decisions);
+}
+
+const Options& CurrentOptions() { return MutableOptions(); }
+
+bool Flush(std::string* error) {
+  const Options& options = MutableOptions();
+  if (!options.trace_json_out.empty()) {
+    std::ostringstream os;
+    Tracer::Global().ExportChromeJson(os);
+    if (!WriteTextFile(options.trace_json_out, os.str(), "trace json", error)) {
+      return false;
+    }
+  }
+  if (!options.trace_bin_out.empty()) {
+    SnapshotWriter writer;
+    Tracer::Global().ExportBinary(writer);
+    std::string io_error;
+    if (!writer.FinishToFile(options.trace_bin_out, &io_error)) {
+      if (error != nullptr) {
+        *error = "trace binary: " + io_error;
+      }
+      return false;
+    }
+  }
+  if (!options.phase_csv_out.empty()) {
+    std::ostringstream os;
+    CycleProfiler::Global().WriteCsv(os);
+    if (!WriteTextFile(options.phase_csv_out, os.str(), "phase csv", error)) {
+      return false;
+    }
+  }
+  if (!options.decisions_csv_out.empty()) {
+    if (!WriteTextFile(options.decisions_csv_out, DecisionLog::Global().ToCsvString(),
+                       "decisions csv", error)) {
+      return false;
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    std::ostringstream os;
+    MetricsRegistry::Global().WriteText(os);
+    if (!WriteTextFile(options.metrics_out, os.str(), "metrics dump", error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ResetAll() {
+  MutableOptions() = Options{};
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(false);
+  tracer.Clear();
+  tracer.SetSimNow(0.0);
+  tracer.SetCycle(-1);
+  CycleProfiler::Global().SetEnabled(false);
+  CycleProfiler::Global().Clear();
+  DecisionLog::Global().SetEnabled(false);
+  DecisionLog::Global().Clear();
+  MetricsRegistry::Global().Reset();
+}
+
+void ApplyEnv(Options* options) {
+  options->trace_json_out = GetEnvString("THREESIGMA_OBS_TRACE", options->trace_json_out);
+  options->trace_bin_out = GetEnvString("THREESIGMA_OBS_TRACE_BIN", options->trace_bin_out);
+  options->phase_csv_out = GetEnvString("THREESIGMA_OBS_PHASE_CSV", options->phase_csv_out);
+  options->decisions_csv_out =
+      GetEnvString("THREESIGMA_OBS_DECISIONS_CSV", options->decisions_csv_out);
+  options->metrics_out = GetEnvString("THREESIGMA_OBS_METRICS", options->metrics_out);
+  options->ring_capacity = GetEnvInt("THREESIGMA_OBS_RING", options->ring_capacity);
+  if (!options->trace_json_out.empty() || !options->trace_bin_out.empty()) {
+    options->tracing = true;
+  }
+  if (!options->phase_csv_out.empty()) {
+    options->profiler = true;
+  }
+  if (!options->decisions_csv_out.empty()) {
+    options->decisions = true;
+  }
+}
+
+}  // namespace obs
+}  // namespace threesigma

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
@@ -44,6 +46,9 @@ const FeatureHistory* ThreeSigmaPredictor::history(const std::string& feature) c
 
 RuntimePrediction ThreeSigmaPredictor::Predict(const JobFeatures& features,
                                                double /*true_runtime*/) {
+  // Predictions happen on the driver thread (arrival and restart handling),
+  // so a phase span is safe here; it nests inside kSimEvents event spans.
+  TS_OBS_SPAN("predict.lookup", obs::Phase::kPredict);
   // Rank every (feature-value, estimator) expert by NMAE and pick the best
   // (§4.1). The winning feature's histogram becomes the distribution.
   const FeatureHistory* best_history = nullptr;
@@ -83,9 +88,23 @@ RuntimePrediction ThreeSigmaPredictor::Predict(const JobFeatures& features,
     best_expert = fallback->BestExpert();
   }
 
+  struct PredictCounters {
+    obs::Counter* predictions;
+    obs::Counter* cold_starts;
+  };
+  static const PredictCounters* const counters = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    auto* c = new PredictCounters();
+    c->predictions = reg.GetCounter("predict.predictions");
+    c->cold_starts = reg.GetCounter("predict.cold_starts");
+    return c;
+  }();
+  counters->predictions->Increment();
+
   RuntimePrediction result;
   if (best_history == nullptr) {
     // Cold start: no relevant history anywhere.
+    counters->cold_starts->Increment();
     result.distribution = EmpiricalDistribution::Point(options_.default_runtime);
     result.point_estimate = options_.default_runtime;
     result.source = "cold-start";
@@ -103,6 +122,10 @@ RuntimePrediction ThreeSigmaPredictor::Predict(const JobFeatures& features,
 
 void ThreeSigmaPredictor::RecordCompletion(const JobFeatures& features, double runtime) {
   TS_CHECK_GE(runtime, 0.0);
+  TS_OBS_SPAN("predict.record", obs::Phase::kPredict);
+  static obs::Counter* const recordings =
+      obs::MetricsRegistry::Global().GetCounter("predict.recordings");
+  recordings->Increment();
   for (const std::string& feature : features) {
     auto [it, inserted] = histories_.try_emplace(feature, options_.history);
     it->second.Record(runtime);

@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/solver/milp.h"
 
 namespace threesigma {
@@ -355,6 +357,44 @@ void DistributionScheduler::UpdateConsumed(Time now, const ClusterStateView& sta
 }
 
 CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& state) {
+  CycleResult result = RunCycleImpl(now, state);
+  // Publish the cycle's outcome to the metrics registry: the unified counter
+  // plumbing the report layer and tests read instead of ad-hoc totals.
+  struct SchedCounters {
+    obs::Counter* cycles;
+    obs::Counter* starts;
+    obs::Counter* preempt_decisions;
+    obs::Counter* abandons;
+    obs::Counter* deferred;
+    obs::Counter* cache_hits;
+    obs::Counter* cache_misses;
+    obs::Counter* milp_nodes;
+  };
+  static const SchedCounters* const counters = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    auto* c = new SchedCounters();
+    c->cycles = reg.GetCounter("sched.cycles");
+    c->starts = reg.GetCounter("sched.starts");
+    c->preempt_decisions = reg.GetCounter("sched.preempt_decisions");
+    c->abandons = reg.GetCounter("sched.abandons");
+    c->deferred = reg.GetCounter("sched.deferred");
+    c->cache_hits = reg.GetCounter("sched.capacity_cache_hits");
+    c->cache_misses = reg.GetCounter("sched.capacity_cache_misses");
+    c->milp_nodes = reg.GetCounter("sched.milp_nodes");
+    return c;
+  }();
+  counters->cycles->Increment();
+  counters->starts->Add(static_cast<int64_t>(result.start.size()));
+  counters->preempt_decisions->Add(static_cast<int64_t>(result.preempt.size()));
+  counters->abandons->Add(static_cast<int64_t>(result.abandon.size()));
+  counters->deferred->Add(static_cast<int64_t>(result.deferred.size()));
+  counters->cache_hits->Add(result.capacity_cache_hits);
+  counters->cache_misses->Add(result.capacity_cache_misses);
+  counters->milp_nodes->Add(result.milp_nodes);
+  return result;
+}
+
+CycleResult DistributionScheduler::RunCycleImpl(Time now, const ClusterStateView& state) {
   const auto cycle_start = std::chrono::steady_clock::now();
   CycleResult result;
   TS_CHECK(state.cluster != nullptr);
@@ -386,8 +426,6 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   // every running job's cached_survival is fresh as of `now` afterwards —
   // either because it was just recomputed or because its validity horizon has
   // not expired.
-  UpdateConsumed(now, state, &result);
-  // Preemption candidates: running best-effort jobs (§4.3.5).
   struct PreemptCandidate {
     JobId id;
     int group;
@@ -396,19 +434,25 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
     double cost;
   };
   std::vector<PreemptCandidate> preemptables;
-  for (const RunningJobView& r : state.running) {
-    if (!(config_.enable_preemption && r.type == JobType::kBestEffort)) {
-      continue;
+  {
+    TS_OBS_SPAN("sched.capacity", obs::Phase::kCapacity);
+    UpdateConsumed(now, state, &result);
+    // Preemption candidates: running best-effort jobs (§4.3.5).
+    for (const RunningJobView& r : state.running) {
+      if (!(config_.enable_preemption && r.type == JobType::kBestEffort)) {
+        continue;
+      }
+      const JobInfo& info = jobs_.at(r.id);
+      preemptables.push_back(PreemptCandidate{
+          r.id, r.group, static_cast<double>(r.num_tasks), info.cached_survival,
+          config_.preemption_cost_factor * info.effective_utility.peak_value()});
     }
-    const JobInfo& info = jobs_.at(r.id);
-    preemptables.push_back(PreemptCandidate{
-        r.id, r.group, static_cast<double>(r.num_tasks), info.cached_survival,
-        config_.preemption_cost_factor * info.effective_utility.peak_value()});
   }
 
   // --- 2. Pending selection and abandonment. ------------------------------
   std::vector<JobId> considered;
   {
+    TS_OBS_SPAN("sched.select", obs::Phase::kSelect);
     std::vector<JobId> slo;
     std::vector<JobId> be;
     for (JobId id : pending_) {
@@ -436,10 +480,10 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
     if (static_cast<int>(considered.size()) > config_.max_pending_considered) {
       considered.resize(config_.max_pending_considered);
     }
-  }
-  for (JobId id : result.abandon) {
-    pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
-    jobs_.erase(id);
+    for (JobId id : result.abandon) {
+      pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
+      jobs_.erase(id);
+    }
   }
   if (considered.empty()) {
     result.cycle_seconds = SecondsSince(cycle_start);
@@ -459,6 +503,12 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   std::vector<Option> options;
   // Per job: option indices (demand rows / greedy candidate sets).
   std::map<JobId, std::vector<size_t>> job_options;
+  // Remaining expected capacity per (group, slot). Supply is the *available*
+  // node count (nominal minus crashed nodes) so fault churn shrinks what the
+  // MILP may hand out; with no faults this equals the nominal count.
+  std::vector<std::vector<double>> cap(num_groups, std::vector<double>(slots));
+  {
+  TS_OBS_SPAN("sched.value", obs::Phase::kValuation);
 
   for (JobId id : considered) {
     JobInfo& info = jobs_.at(id);
@@ -501,21 +551,19 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
     }
   }
 
-  // Remaining expected capacity per (group, slot). Supply is the *available*
-  // node count (nominal minus crashed nodes) so fault churn shrinks what the
-  // MILP may hand out; with no faults this equals the nominal count.
-  std::vector<std::vector<double>> cap(num_groups, std::vector<double>(slots));
   for (int g = 0; g < num_groups; ++g) {
     const double supply = state.AvailableNodes(g);
     for (int i = 0; i < slots; ++i) {
       cap[g][i] = supply - consumed_[static_cast<size_t>(g)][static_cast<size_t>(i)];
     }
   }
+  }  // sched.value span.
 
   if (config_.backend == SolverBackend::kGreedy) {
     // Utility-greedy packing: jobs in priority order each take their highest
     // expected-utility option that still fits; no joint optimization and no
     // preemption. `considered` is already SLO-deadline-then-BE-submit order.
+    TS_OBS_SPAN("sched.greedy_solve", obs::Phase::kSolve);
     const auto solve_start = std::chrono::steady_clock::now();
     for (JobId id : considered) {
       JobInfo& info = jobs_.at(id);
@@ -560,6 +608,9 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
 
   // --- 4. MILP compilation (§4.3.3). ---------------------------------------
   LpModel model;
+  std::vector<int> preempt_vars(preemptables.size(), -1);
+  {
+  TS_OBS_SPAN("sched.build", obs::Phase::kBuild);
   // capacity_terms[g][i]: accumulating LHS of the capacity row.
   std::vector<std::vector<std::vector<LpTerm>>> capacity_terms(
       num_groups, std::vector<std::vector<LpTerm>>(slots));
@@ -577,7 +628,6 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
 
   // Preemption variables: credit the victim's expected consumption back to
   // capacity, pay its cost in the objective (§4.3.5).
-  std::vector<int> preempt_vars(preemptables.size(), -1);
   for (size_t p = 0; p < preemptables.size(); ++p) {
     const PreemptCandidate& cand = preemptables[p];
     const int var = model.AddVariable(0.0, 1.0, -cand.cost);
@@ -608,6 +658,7 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
       model.AddRow(RowSense::kLessEqual, cap[g][i], std::move(capacity_terms[g][i]));
     }
   }
+  }  // sched.build span.
 
   result.milp_variables = model.num_variables();
   result.milp_rows = model.num_rows();
@@ -620,6 +671,9 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   // Warm start: re-propose last cycle's plan (§4.3.6's seeding).
   std::vector<double> warm(model.num_variables(), 0.0);
   bool any_warm = false;
+  std::vector<int> int_vars;
+  {
+  TS_OBS_SPAN("sched.warm_start", obs::Phase::kBuild);
   for (const Option& opt : options) {
     const JobInfo& info = jobs_.at(opt.job);
     if (info.planned_group != opt.group || info.planned_start == kNever) {
@@ -633,7 +687,6 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
     }
   }
 
-  std::vector<int> int_vars;
   int_vars.reserve(options.size() + preempt_vars.size());
   for (const Option& o : options) {
     int_vars.push_back(o.var);
@@ -641,6 +694,7 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   for (int v : preempt_vars) {
     int_vars.push_back(v);
   }
+  }  // sched.warm_start span.
 
   MilpOptions milp_options;
   milp_options.time_limit_seconds = config_.solver_time_limit_seconds;
@@ -657,8 +711,12 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
     milp_options.root_basis = last_root_basis_;
   }
   const auto solve_start = std::chrono::steady_clock::now();
-  MilpSolver solver(model, int_vars);
-  const MilpSolution solution = solver.Solve(milp_options);
+  MilpSolution solution;
+  {
+    TS_OBS_SPAN("sched.solve", obs::Phase::kSolve);
+    MilpSolver solver(model, int_vars);
+    solution = solver.Solve(milp_options);
+  }
   result.solver_seconds = SecondsSince(solve_start);
   if (!solution.root_basis.empty()) {
     last_root_basis_ = solution.root_basis;
@@ -668,6 +726,7 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   result.milp_incumbent_improvements = static_cast<int>(solution.incumbent_improvements.size());
 
   if (solution.status != MilpStatus::kInfeasible) {
+    TS_OBS_SPAN("sched.place", obs::Phase::kPlacement);
     // Clear previous plans; they are re-established from this solution.
     for (JobId id : considered) {
       JobInfo& info = jobs_.at(id);

@@ -214,6 +214,10 @@ class DistributionScheduler : public Scheduler {
   // when the cache is enabled; fills the cycle's hit/miss counters.
   void UpdateConsumed(Time now, const ClusterStateView& state, CycleResult* result);
 
+  // RunCycle's body; the public wrapper publishes the cycle's outcome to the
+  // metrics registry around it.
+  CycleResult RunCycleImpl(Time now, const ClusterStateView& state);
+
   const ClusterConfig& cluster_;
   RuntimePredictor* predictor_;
   DistSchedulerConfig config_;

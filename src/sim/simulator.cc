@@ -6,9 +6,46 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/profiler.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 
 namespace threesigma {
 namespace {
+
+// Simulator traffic counters in the process-wide metrics registry. Handles
+// are resolved once; increments are lock-free striped adds.
+struct SimCounters {
+  obs::Counter* events;
+  obs::Counter* arrivals;
+  obs::Counter* completions;
+  obs::Counter* node_faults;
+  obs::Counter* task_kills;
+  obs::Counter* cycles;
+  obs::Counter* stalled_cycles;
+  obs::Counter* fault_job_kills;
+  obs::Counter* preemptions;
+  obs::Counter* rejected_placements;
+
+  static const SimCounters& Get() {
+    static const SimCounters* const counters = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      auto* c = new SimCounters();
+      c->events = reg.GetCounter("sim.events");
+      c->arrivals = reg.GetCounter("sim.arrivals");
+      c->completions = reg.GetCounter("sim.completions");
+      c->node_faults = reg.GetCounter("sim.node_fault_events");
+      c->task_kills = reg.GetCounter("sim.task_kill_events");
+      c->cycles = reg.GetCounter("sim.cycles");
+      c->stalled_cycles = reg.GetCounter("sim.stalled_cycles");
+      c->fault_job_kills = reg.GetCounter("sim.fault_job_kills");
+      c->preemptions = reg.GetCounter("sim.preemptions");
+      c->rejected_placements = reg.GetCounter("sim.rejected_placements");
+      return c;
+    }();
+    return *counters;
+  }
+};
 
 enum class EventKind {
   kArrival,
@@ -343,6 +380,7 @@ bool Simulator::ProcessEvent() {
     ++rec.fault_kills;
     ++job.run_epoch;
     ++result.tasks_killed_by_faults;
+    SimCounters::Get().fault_job_kills->Increment();
     scheduler_->OnJobFaultKilled(rec.spec.id, at);
   };
 
@@ -393,9 +431,15 @@ bool Simulator::ProcessEvent() {
   }
   TS_CHECK_GE(ev.time, s.now);  // The event clock is monotone.
   s.now = ev.time;
+  if (obs::Tracer::enabled()) {
+    obs::Tracer::Global().SetSimNow(s.now);
+  }
+  SimCounters::Get().events->Increment();
 
   switch (ev.kind) {
     case EventKind::kArrival: {
+      TS_OBS_SPAN("sim.arrival", obs::Phase::kSimEvents);
+      SimCounters::Get().arrivals->Increment();
       RunState::LiveJob& job = s.jobs[ev.job_index];
       scheduler_->OnJobArrival(job.record.spec, s.now);
       schedule_reactive_cycle();
@@ -406,11 +450,15 @@ bool Simulator::ProcessEvent() {
       if (ev.run_epoch != job.run_epoch || job.record.status != JobStatus::kRunning) {
         break;  // Stale completion from a preempted run.
       }
+      TS_OBS_SPAN("sim.completion", obs::Phase::kSimEvents);
+      SimCounters::Get().completions->Increment();
       finish_job(ev.job_index, s.now);
       schedule_reactive_cycle();
       break;
     }
     case EventKind::kNodeFault: {
+      TS_OBS_SPAN("sim.node_fault", obs::Phase::kFaultDelivery);
+      SimCounters::Get().node_faults->Increment();
       apply_node_fault(s.fault_schedule.node_events()[ev.job_index], s.now);
       schedule_reactive_cycle();
       break;
@@ -420,6 +468,8 @@ bool Simulator::ProcessEvent() {
       if (ev.run_epoch != job.run_epoch || job.record.status != JobStatus::kRunning) {
         break;  // Stale kill: the run already completed or was preempted.
       }
+      TS_OBS_SPAN("sim.task_kill", obs::Phase::kFaultDelivery);
+      SimCounters::Get().task_kills->Increment();
       fault_kill_job(ev.job_index, s.now);
       schedule_reactive_cycle();
       break;
@@ -439,6 +489,7 @@ bool Simulator::ProcessEvent() {
           // The scheduler process is stalled: this cycle is lost; the next
           // chance to schedule comes once the stall clears.
           ++result.stalled_cycles;
+          SimCounters::Get().stalled_cycles->Increment();
           schedule_cycle(s.now + stall);
           break;
         }
@@ -467,7 +518,41 @@ bool Simulator::ProcessEvent() {
       }
       const int running_count = static_cast<int>(view.running.size());
 
+      // Observability brackets. The cycle ordinal is the index of the row
+      // this cycle appends to result.cycles.
+      const int64_t cycle_index = static_cast<int64_t>(result.cycles.size());
+      SimCounters::Get().cycles->Increment();
+      if (obs::Tracer::enabled()) {
+        obs::Tracer::Global().SetCycle(cycle_index);
+      }
+      if (obs::CycleProfiler::enabled()) {
+        obs::CycleProfiler::Global().BeginCycle(cycle_index, s.now);
+      }
       const CycleResult decision = scheduler_->RunCycle(s.now, view);
+      if (obs::CycleProfiler::enabled()) {
+        obs::CycleProfiler::Global().EndCycle(decision.cycle_seconds);
+      }
+      if (obs::Tracer::enabled()) {
+        obs::Tracer::Global().SetCycle(-1);
+      }
+      if (obs::DecisionLog::enabled()) {
+        obs::DecisionRecord record;
+        record.cycle = cycle_index;
+        record.sim_time = s.now;
+        record.pending = pending_count;
+        record.running = running_count;
+        record.starts.reserve(decision.start.size());
+        for (const Placement& p : decision.start) {
+          record.starts.emplace_back(p.job, p.group);
+        }
+        record.preempts.assign(decision.preempt.begin(), decision.preempt.end());
+        record.abandons.assign(decision.abandon.begin(), decision.abandon.end());
+        record.deferred.reserve(decision.deferred.size());
+        for (const PlannedPlacement& p : decision.deferred) {
+          record.deferred.emplace_back(p.job, p.group);
+        }
+        obs::DecisionLog::Global().Record(std::move(record));
+      }
       result.cycles.push_back(CycleStats{s.now, decision.cycle_seconds,
                                          decision.solver_seconds, decision.milp_variables,
                                          decision.milp_rows, decision.milp_nodes,
@@ -501,6 +586,7 @@ bool Simulator::ProcessEvent() {
         ++job.record.preemptions;
         ++job.run_epoch;
         ++result.total_preemptions;
+        SimCounters::Get().preemptions->Increment();
         scheduler_->OnJobPreempted(id, s.now);
       }
       // 2. Abandonments retire jobs the scheduler will never run.
@@ -523,6 +609,7 @@ bool Simulator::ProcessEvent() {
             s.free_nodes[p.group] - s.down[static_cast<size_t>(p.group)] <
                 rec.spec.num_tasks) {
           ++result.rejected_placements;
+          SimCounters::Get().rejected_placements->Increment();
           continue;
         }
         rec.status = JobStatus::kRunning;
@@ -757,6 +844,13 @@ std::string Simulator::SaveStateToBuffer() {
   }
   writer.EndSection();
 
+  // Registry aggregates, so a resumed run continues its counters instead of
+  // restarting them at zero (the pre-registry RunMetrics plumbing lost
+  // counter state across ResumeFrom).
+  writer.BeginSection("obs", kSnapshotVersion);
+  obs::MetricsRegistry::Global().SaveState(writer);
+  writer.EndSection();
+
   // The scheduler appends its own "sched" (and, where applicable, "predict")
   // sections.
   scheduler_->SaveState(writer);
@@ -934,6 +1028,14 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
     }
   }
   reader.EndSection();
+
+  // Optional registry section (snapshots predating the registry lack it).
+  // Restore is absolute, so the resumed process continues the saved totals.
+  if (reader.ok() && reader.PeekSectionName() == "obs") {
+    reader.BeginSection("obs");
+    obs::MetricsRegistry::Global().RestoreState(reader);
+    reader.EndSection();
+  }
 
   if (!reader.ok()) {
     return fail(reader.error());

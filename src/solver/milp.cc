@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 
 namespace threesigma {
 namespace {
@@ -125,6 +127,9 @@ bool MilpSolver::GreedyRound(const std::vector<double>& relaxed, std::vector<dou
 }
 
 MilpSolution MilpSolver::Solve(const MilpOptions& options) {
+  // Phase::kOther: this span nests inside the scheduler's kSolve scope, and
+  // tagging it with a profiler phase would double-count the solve time.
+  TS_OBS_SPAN("solver.milp", obs::Phase::kOther);
   using Clock = std::chrono::steady_clock;
   const auto start_time = Clock::now();
   const auto seconds_elapsed = [&]() {
@@ -396,6 +401,32 @@ MilpSolution MilpSolver::Solve(const MilpOptions& options) {
   }
 
   result.solve_seconds = seconds_elapsed();
+  {
+    struct MilpCounters {
+      obs::Counter* solves;
+      obs::Counter* nodes;
+      obs::Counter* warm_started_nodes;
+      obs::Counter* incumbent_improvements;
+      obs::Histogram* nodes_hist;
+    };
+    static const MilpCounters* const counters = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      auto* c = new MilpCounters();
+      c->solves = reg.GetCounter("solver.milp_solves");
+      c->nodes = reg.GetCounter("solver.milp_nodes");
+      c->warm_started_nodes = reg.GetCounter("solver.milp_warm_started_nodes");
+      c->incumbent_improvements = reg.GetCounter("solver.milp_incumbent_improvements");
+      c->nodes_hist = reg.GetHistogram("solver.milp_nodes_per_solve",
+                                       {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+      return c;
+    }();
+    counters->solves->Increment();
+    counters->nodes->Add(result.nodes_explored);
+    counters->warm_started_nodes->Add(result.warm_started_nodes);
+    counters->incumbent_improvements->Add(
+        static_cast<int64_t>(result.incumbent_improvements.size()));
+    counters->nodes_hist->Observe(static_cast<double>(result.nodes_explored));
+  }
   if (!have_incumbent) {
     result.status = MilpStatus::kInfeasible;
     return result;

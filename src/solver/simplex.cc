@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/registry.h"
 #include "src/solver/presolve.h"
 
 namespace threesigma {
@@ -1066,7 +1067,9 @@ LpSolution SimplexSolver::Solve() {
 
 }  // namespace
 
-LpSolution SolveLp(const LpModel& model, const SimplexOptions& options) {
+namespace {
+
+LpSolution SolveLpImpl(const LpModel& model, const SimplexOptions& options) {
   if (options.presolve) {
     PresolveResult pre = Presolve(model);
     if (pre.proven_infeasible) {
@@ -1101,6 +1104,48 @@ LpSolution SolveLp(const LpModel& model, const SimplexOptions& options) {
   }
   SimplexSolver solver(model, options);
   return solver.Solve();
+}
+
+}  // namespace
+
+LpSolution SolveLp(const LpModel& model, const SimplexOptions& options) {
+  LpSolution result = SolveLpImpl(model, options);
+  // LP work counters. SolveLp runs on solver worker threads too, so this uses
+  // only striped registry adds — never spans (span rings are driver-thread
+  // state; worker emission would make trace export thread-count-dependent).
+  struct LpCounters {
+    obs::Counter* solves;
+    obs::Counter* pivots;
+    obs::Counter* ftran;
+    obs::Counter* btran;
+    obs::Counter* refactorizations;
+    obs::Counter* warm_basis_used;
+    obs::Histogram* pivots_hist;
+  };
+  static const LpCounters* const counters = [] {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    auto* c = new LpCounters();
+    c->solves = reg.GetCounter("solver.lp_solves");
+    c->pivots = reg.GetCounter("solver.lp_pivots");
+    c->ftran = reg.GetCounter("solver.ftran");
+    c->btran = reg.GetCounter("solver.btran");
+    c->refactorizations = reg.GetCounter("solver.refactorizations");
+    c->warm_basis_used = reg.GetCounter("solver.warm_basis_used");
+    c->pivots_hist = reg.GetHistogram(
+        "solver.lp_pivots_per_solve", {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                                       256.0, 512.0, 1024.0});
+    return c;
+  }();
+  counters->solves->Increment();
+  counters->pivots->Add(result.iterations);
+  counters->ftran->Add(result.stats.ftran);
+  counters->btran->Add(result.stats.btran);
+  counters->refactorizations->Add(result.stats.refactorizations);
+  if (result.stats.warm_basis_used) {
+    counters->warm_basis_used->Increment();
+  }
+  counters->pivots_hist->Observe(static_cast<double>(result.iterations));
+  return result;
 }
 
 }  // namespace threesigma

@@ -118,5 +118,84 @@ TEST(FlagParserTest, DefaultsUntouchedWithoutFlags) {
   EXPECT_TRUE(f.feature);
 }
 
+TEST(FlagParserTest, NegativeNumbersBothSyntaxes) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  ASSERT_TRUE(ParseArgs(p, {"--count=-5", "--ratio", "-2.5"}));
+  EXPECT_EQ(f.count, -5);
+  EXPECT_DOUBLE_EQ(f.ratio, -2.5);
+}
+
+TEST(FlagParserTest, RepeatedFlagLastValueWins) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  ASSERT_TRUE(ParseArgs(p, {"--count=1", "--count=2", "--name=a", "--name", "b",
+                            "--feature", "--no-feature"}));
+  EXPECT_EQ(f.count, 2);
+  EXPECT_EQ(f.name, "b");
+  EXPECT_FALSE(f.feature);
+}
+
+TEST(FlagParserTest, EmptyEqualsValue) {
+  TestFlags f;
+  f.name = "nonempty";
+  FlagParser p = MakeParser(&f);
+  // `--name=` assigns the empty string; `--verbose=` reads as bare-true.
+  ASSERT_TRUE(ParseArgs(p, {"--name=", "--verbose="}));
+  EXPECT_EQ(f.name, "");
+  EXPECT_TRUE(f.verbose);
+}
+
+TEST(FlagParserTest, EmptyEqualsValueFailsForNumbers) {
+  {
+    TestFlags f;
+    FlagParser p = MakeParser(&f);
+    EXPECT_FALSE(ParseArgs(p, {"--count="}));
+    EXPECT_EQ(p.exit_code(), 1);
+  }
+  {
+    TestFlags f;
+    FlagParser p = MakeParser(&f);
+    EXPECT_FALSE(ParseArgs(p, {"--ratio="}));
+    EXPECT_EQ(p.exit_code(), 1);
+  }
+}
+
+TEST(FlagParserTest, TrailingGarbageAfterNumberFails) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  EXPECT_FALSE(ParseArgs(p, {"--count=12abc"}));
+  EXPECT_EQ(p.exit_code(), 1);
+}
+
+TEST(FlagParserTest, DoubleDashEndsFlagParsing) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  ASSERT_TRUE(ParseArgs(p, {"--count=9", "--", "--name=ignored", "-x", "plain"}));
+  EXPECT_EQ(f.count, 9);
+  EXPECT_EQ(f.name, "default");  // Not assigned: it came after `--`.
+  ASSERT_EQ(p.positional().size(), 3u);
+  EXPECT_EQ(p.positional()[0], "--name=ignored");
+  EXPECT_EQ(p.positional()[1], "-x");
+  EXPECT_EQ(p.positional()[2], "plain");
+}
+
+TEST(FlagParserTest, NoPrefixOnNonBoolIsUnknown) {
+  TestFlags f;
+  FlagParser p = MakeParser(&f);
+  // `--no-count` does not downgrade to bool handling; it is an unknown flag.
+  EXPECT_FALSE(ParseArgs(p, {"--no-count=1"}));
+  EXPECT_EQ(p.exit_code(), 1);
+}
+
+TEST(FlagParserDeathTest, NullTargetRegistrationDies) {
+  EXPECT_DEATH(
+      {
+        FlagParser parser("doc");
+        parser.AddInt("count", nullptr, "a count");
+      },
+      "target != nullptr");
+}
+
 }  // namespace
 }  // namespace threesigma

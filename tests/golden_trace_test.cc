@@ -1,0 +1,104 @@
+// Golden-trace regression harness.
+//
+// Each case runs a small, fully deterministic 3Sigma simulation with the
+// decision log enabled and diffs the per-cycle decision CSV
+// (cycle,sim_time,pending,running,starts,preempts,abandons,deferred) against
+// a committed golden in tests/golden/. Any change to scheduling behavior —
+// intentional or not — shows up as a per-cycle diff here before it shows up
+// as a fuzzy end-metric shift.
+//
+// Updating goldens after an INTENTIONAL scheduling change:
+//
+//   THREESIGMA_UPDATE_GOLDENS=1 ./build/tests/golden_trace_test
+//
+// rewrites every golden in the source tree (the GOLDEN_DIR compile
+// definition points at tests/golden/); inspect the diff and commit it with
+// the change that caused it. A missing golden fails the test rather than
+// silently passing — run the update command once when adding a case.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/env.h"
+#include "src/core/experiment.h"
+#include "src/obs/obs.h"
+#include "src/snapshot/snapshot_io.h"
+
+namespace threesigma {
+namespace {
+
+// Small two-group cluster and a ~6-minute google workload: big enough to
+// exercise starts, deferrals, preemptions, and abandonment, small enough to
+// keep three runs in the tier-1 budget.
+ExperimentConfig BaseConfig() {
+  ExperimentConfig config;
+  config.cluster = ClusterConfig::Uniform(2, 16);
+  config.workload.env = EnvironmentKind::kGoogle;
+  config.workload.duration = Minutes(6.0);
+  config.workload.load = 1.4;
+  config.workload.seed = 7;
+  config.sim.cycle_period = 10.0;
+  config.sim.seed = 7;
+  config.sched.cycle_period = 10.0;
+  config.sched.solver_threads = 1;
+  config.sched.solver_basis_warmstart = false;
+  return config;
+}
+
+std::string DecisionCsvFor(const ExperimentConfig& config) {
+  obs::ResetAll();
+  obs::Options options;
+  options.decisions = true;
+  obs::Configure(options);
+  const GeneratedWorkload workload = GenerateWorkload(config.cluster, config.workload);
+  (void)SimulateSystem(SystemKind::kThreeSigma, config, workload);
+  const std::string csv = obs::DecisionLog::Global().ToCsvString();
+  obs::ResetAll();
+  return csv;
+}
+
+void CheckGolden(const std::string& name, const ExperimentConfig& config) {
+  const std::string actual = DecisionCsvFor(config);
+  ASSERT_GT(actual.size(),
+            std::string("cycle,sim_time,pending,running,starts,preempts,abandons,deferred\n")
+                .size())
+      << "decision log came back empty";
+  const std::string path = std::string(GOLDEN_DIR) + "/" + name + ".csv";
+  if (GetEnvInt("THREESIGMA_UPDATE_GOLDENS", 0) != 0) {
+    std::string error;
+    ASSERT_TRUE(WriteFileAtomic(path, actual, &error)) << error;
+    std::cout << "updated golden " << path << "\n";
+    return;
+  }
+  std::string expected;
+  std::string error;
+  ASSERT_TRUE(ReadFileToString(path, &expected, &error))
+      << "missing golden '" << path
+      << "' — generate it with THREESIGMA_UPDATE_GOLDENS=1 (" << error << ")";
+  EXPECT_EQ(expected, actual)
+      << "per-cycle decisions drifted from " << path
+      << "; if the scheduling change is intentional, regenerate with "
+         "THREESIGMA_UPDATE_GOLDENS=1 and commit the new golden";
+}
+
+TEST(GoldenTraceTest, Baseline) { CheckGolden("baseline", BaseConfig()); }
+
+TEST(GoldenTraceTest, FaultsOn) {
+  ExperimentConfig config = BaseConfig();
+  config.sim.faults.node_mttf = 1500.0;
+  config.sim.faults.node_mttr = 600.0;
+  config.sim.faults.task_kill_prob = 0.05;
+  config.sim.faults.seed = 1;
+  CheckGolden("faults_on", config);
+}
+
+TEST(GoldenTraceTest, WarmStartFourThreads) {
+  ExperimentConfig config = BaseConfig();
+  config.sched.solver_basis_warmstart = true;
+  config.sched.solver_threads = 4;
+  CheckGolden("warm_start_4threads", config);
+}
+
+}  // namespace
+}  // namespace threesigma
