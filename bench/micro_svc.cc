@@ -1,0 +1,174 @@
+// Service-layer micro-benchmarks: wire codec, framing, and RPC round-trips.
+//
+// The service must never make the scheduler the second-most expensive thing
+// in the room: encode/decode and framing are per-RPC costs, and the loopback
+// round-trip bounds the pure software overhead of one RPC (no kernel, no
+// copy across a socket). CI uploads BENCH_svc.json from the perf-smoke job
+// to track these series.
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "src/cluster/cluster.h"
+#include "src/sched/prio_scheduler.h"
+#include "src/svc/client.h"
+#include "src/svc/server.h"
+#include "src/svc/transport.h"
+#include "src/svc/wire.h"
+
+namespace threesigma {
+namespace {
+
+svc::Request MakeSubmitRequest() {
+  svc::Request request;
+  request.verb = svc::Verb::kSubmitJob;
+  request.request_id = 42;
+  request.token = "bench-token-000123";
+  request.job.id = 123;
+  request.job.name = "gridmix-medium";
+  request.job.user = "bench";
+  request.job.type = JobType::kSlo;
+  request.job.submit_time = 1234.5;
+  request.job.true_runtime = 300.0;
+  request.job.num_tasks = 8;
+  request.job.deadline = 4000.0;
+  request.job.preferred_groups = {0, 2};
+  request.job.features = {"user=bench", "jobname=gridmix-medium"};
+  return request;
+}
+
+void BM_EncodeSubmitRequest(benchmark::State& state) {
+  const svc::Request request = MakeSubmitRequest();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string payload = svc::EncodeRequest(request);
+    bytes = payload.size();
+    benchmark::DoNotOptimize(payload);
+  }
+  state.counters["payload_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_EncodeSubmitRequest);
+
+void BM_DecodeSubmitRequest(benchmark::State& state) {
+  const std::string payload = svc::EncodeRequest(MakeSubmitRequest());
+  for (auto _ : state) {
+    svc::Request decoded;
+    std::string error;
+    const bool ok = svc::DecodeRequest(payload, &decoded, &error);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DecodeSubmitRequest);
+
+void BM_EncodeReply(benchmark::State& state) {
+  svc::Reply reply;
+  reply.code = svc::StatusCode::kOk;
+  reply.request_id = 42;
+  reply.job_id = 123;
+  for (auto _ : state) {
+    const std::string payload = svc::EncodeReply(reply);
+    benchmark::DoNotOptimize(payload);
+  }
+}
+BENCHMARK(BM_EncodeReply);
+
+void BM_DecodeReply(benchmark::State& state) {
+  svc::Reply reply;
+  reply.code = svc::StatusCode::kOk;
+  reply.request_id = 42;
+  reply.job_id = 123;
+  const std::string payload = svc::EncodeReply(reply);
+  for (auto _ : state) {
+    svc::Reply decoded;
+    std::string error;
+    const bool ok = svc::DecodeReply(payload, &decoded, &error);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DecodeReply);
+
+void BM_ExtractFrames(benchmark::State& state) {
+  // A receive buffer holding 64 back-to-back frames.
+  const std::string payload = svc::EncodeRequest(MakeSubmitRequest());
+  std::string buffer;
+  constexpr int kFrames = 64;
+  for (int i = 0; i < kFrames; ++i) {
+    svc::AppendFrame(&buffer, payload);
+  }
+  for (auto _ : state) {
+    size_t offset = 0;
+    std::string frame;
+    std::string error;
+    int extracted = 0;
+    while (svc::ExtractFrame(buffer, &offset, &frame, svc::kDefaultMaxFrameBytes, &error) ==
+           svc::FrameResult::kFrame) {
+      ++extracted;
+    }
+    benchmark::DoNotOptimize(extracted);
+  }
+  state.SetItemsProcessed(state.iterations() * kFrames);
+}
+BENCHMARK(BM_ExtractFrames);
+
+// One full RPC through client, loopback transport, and server dispatch.
+// ClusterState is state-size-independent, so the series is steady-state.
+void BM_LoopbackClusterStateRpc(benchmark::State& state) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(2, 8);
+  PrioScheduler scheduler(cluster);
+  svc::LoopbackTransport transport;
+  SimOptions sim;
+  svc::Server server(cluster, &scheduler, sim, svc::ServiceOptions{}, &transport);
+  auto channel = transport.Connect();
+  channel->SetPump([&server]() { server.HandleReady(); });
+  svc::ClientOptions options;
+  options.sleep_on_backoff = false;
+  svc::Client client(channel.get(), options);
+  for (auto _ : state) {
+    SimStateInfo info;
+    uint64_t queue_depth = 0;
+    std::string error;
+    const bool ok = client.GetClusterState(&info, &queue_depth, &error);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_LoopbackClusterStateRpc);
+
+// Submission path: admission + token bookkeeping + simulator injection.
+// Fixed iteration count so simulator state growth stays bounded.
+void BM_LoopbackSubmitRpc(benchmark::State& state) {
+  const ClusterConfig cluster = ClusterConfig::Uniform(2, 8);
+  PrioScheduler scheduler(cluster);
+  svc::LoopbackTransport transport;
+  SimOptions sim;
+  svc::ServiceOptions service;
+  service.admission_capacity = 1 << 20;
+  svc::Server server(cluster, &scheduler, sim, service, &transport);
+  auto channel = transport.Connect();
+  channel->SetPump([&server]() { server.HandleReady(); });
+  svc::ClientOptions options;
+  options.sleep_on_backoff = false;
+  svc::Client client(channel.get(), options);
+  JobSpec spec;
+  spec.name = "bench";
+  spec.num_tasks = 1;
+  spec.true_runtime = 60.0;
+  int64_t i = 0;
+  for (auto _ : state) {
+    spec.submit_time = static_cast<double>(i);
+    JobId assigned = 0;
+    std::string error;
+    const bool ok =
+        client.SubmitJob(spec, "bench-" + std::to_string(i), &assigned, &error);
+    benchmark::DoNotOptimize(ok);
+    ++i;
+  }
+}
+BENCHMARK(BM_LoopbackSubmitRpc)->Iterations(20000);
+
+}  // namespace
+}  // namespace threesigma
+
+BENCHMARK_MAIN();

@@ -15,6 +15,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/table.h"
+#include "src/core/config_flags.h"
 #include "src/core/experiment.h"
 #include "src/metrics/report.h"
 #include "src/metrics/timeline.h"
@@ -22,180 +23,43 @@
 
 using namespace threesigma;
 
-namespace {
-
-bool ParseEnv(const std::string& name, EnvironmentKind* out) {
-  if (name == "google") {
-    *out = EnvironmentKind::kGoogle;
-  } else if (name == "hedgefund") {
-    *out = EnvironmentKind::kHedgeFund;
-  } else if (name == "mustang") {
-    *out = EnvironmentKind::kMustang;
-  } else {
-    return false;
-  }
-  return true;
-}
-
-bool ParseSystem(const std::string& name, SystemKind* out) {
-  for (SystemKind kind :
-       {SystemKind::kThreeSigma, SystemKind::kThreeSigmaNoDist, SystemKind::kThreeSigmaNoOE,
-        SystemKind::kThreeSigmaNoAdapt, SystemKind::kPointPerfEst, SystemKind::kPointRealEst,
-        SystemKind::kPrio}) {
-    if (name == SystemName(kind)) {
-      *out = kind;
-      return true;
-    }
-  }
-  return false;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  std::string env_name = "google";
+  ExperimentFlags flags;
   std::string systems_csv = "3Sigma,PointPerfEst,PointRealEst,Prio";
   std::string swf_path;
   std::string trace_csv_path;
   std::string jobs_csv_out;
   std::string metrics_csv_out;
-  double hours = 0.5;
-  double load = 1.4;
-  int64_t seed = 42;
-  int64_t groups = 4;
-  int64_t nodes_per_group = 64;
-  double cycle = 10.0;
-  int64_t solver_threads = 1;
-  bool capacity_cache = true;
-  bool solver_basis_warmstart = true;
-  bool high_fidelity = false;
   bool timeline = true;
   bool slack_breakdown = false;
-  double fault_mttf = 0.0;
-  double fault_mttr = 600.0;
-  double fault_kill_prob = 0.0;
-  double fault_straggler_prob = 0.0;
-  double fault_straggler_factor = 3.0;
-  double fault_stall_prob = 0.0;
-  int64_t fault_seed = 1;
-  int64_t checkpoint_every = 0;
-  std::string checkpoint_dir;
   std::string resume_from;
-  int64_t max_cycles = 0;
-  std::string trace_out;
-  std::string trace_bin_out;
-  std::string obs_phase_csv;
-  std::string obs_decisions_csv;
-  std::string obs_metrics_out;
-  int64_t obs_ring_capacity = 1 << 16;
 
   FlagParser parser(
       "run_experiment — drive 3Sigma and its baselines over a workload.\n"
       "Synthetic by default; --swf/--trace-csv replay a real trace through\n"
       "the identical shaping pipeline.");
-  parser.AddString("env", &env_name, "workload model: google | hedgefund | mustang")
-      .AddString("systems", &systems_csv, "comma-separated Table 1 system names")
+  RegisterExperimentFlags(parser, &flags);
+  parser.AddString("systems", &systems_csv, "comma-separated Table 1 system names")
       .AddString("swf", &swf_path, "replay a Standard Workload Format trace file")
       .AddString("trace-csv", &trace_csv_path, "replay a native trace CSV file")
       .AddString("jobs-csv", &jobs_csv_out, "write per-job results CSV here")
       .AddString("metrics-csv", &metrics_csv_out, "write per-system metrics CSV here")
-      .AddDouble("hours", &hours, "workload window length in hours")
-      .AddDouble("load", &load, "offered load (machine-time / capacity)")
-      .AddInt("seed", &seed, "base RNG seed")
-      .AddInt("groups", &groups, "node groups (equivalence sets)")
-      .AddInt("nodes-per-group", &nodes_per_group, "nodes per group")
-      .AddDouble("cycle", &cycle, "scheduling cycle period in seconds")
-      .AddInt("solver-threads", &solver_threads,
-              "MILP branch-and-bound worker threads (deterministic: any count "
-              "returns the same solution)")
-      .AddBool("capacity-cache", &capacity_cache,
-               "incremental expected-capacity cache (vs. full Eq. 3 recompute "
-               "per cycle)")
-      .AddBool("solver-basis-warmstart", &solver_basis_warmstart,
-               "re-optimize parent simplex bases with dual pivots across "
-               "branch-and-bound nodes and cycles; off = cold Phase-1 solves "
-               "(deterministic either way, but warm may pick a different "
-               "equally-scored schedule at degenerate LP ties)")
-      .AddBool("high-fidelity", &high_fidelity, "use the noisy 'RC256' simulator mode")
       .AddBool("timeline", &timeline, "print the ASCII utilization timeline")
       .AddBool("slack-breakdown", &slack_breakdown, "print SLO miss rate by deadline slack")
-      .AddDouble("fault-mttf", &fault_mttf,
-                 "mean time to failure per node in seconds (0 = no node churn)")
-      .AddDouble("fault-mttr", &fault_mttr, "mean time to repair per node in seconds")
-      .AddDouble("fault-kill-prob", &fault_kill_prob,
-                 "probability a gang run is killed mid-flight by a task fault")
-      .AddDouble("fault-straggler-prob", &fault_straggler_prob,
-                 "probability a run's duration is inflated by a straggler")
-      .AddDouble("fault-straggler-factor", &fault_straggler_factor,
-                 "maximum straggler runtime inflation factor")
-      .AddDouble("fault-stall-prob", &fault_stall_prob,
-                 "probability a scheduling cycle is stalled (scheduler hiccup)")
-      .AddInt("fault-seed", &fault_seed, "fault-injection RNG seed (independent of --seed)")
-      .AddInt("checkpoint-every", &checkpoint_every,
-              "write <checkpoint-dir>/checkpoint_<cycle>.snap every N scheduling "
-              "cycles (0 = off; the directory must exist)")
-      .AddString("checkpoint-dir", &checkpoint_dir, "where checkpoints are written")
       .AddString("resume-from", &resume_from,
                  "resume from this checkpoint file instead of starting fresh; "
                  "--systems must name exactly the one system that wrote it "
-                 "(cluster, workload, and fault state come from the snapshot)")
-      .AddInt("max-cycles", &max_cycles,
-              "stop each run after N scheduling cycles (0 = no limit; with "
-              "checkpointing on, this emulates a kill at a known cycle)")
-      .AddString("trace-out", &trace_out,
-                 "write a Chrome trace_event JSON here (load in chrome://tracing "
-                 "or ui.perfetto.dev); enables span tracing")
-      .AddString("trace-bin-out", &trace_bin_out,
-                 "write the binary span trace here (snapshot codec; the "
-                 "deterministic sections are byte-identical across runs and "
-                 "thread counts)")
-      .AddString("obs-phase-csv", &obs_phase_csv,
-                 "write the per-cycle scheduler phase-latency CSV here; enables "
-                 "the cycle profiler")
-      .AddString("obs-decisions-csv", &obs_decisions_csv,
-                 "write the per-cycle decision log CSV here (the golden-trace "
-                 "regression format)")
-      .AddString("obs-metrics-out", &obs_metrics_out,
-                 "write a text dump of the metrics registry here")
-      .AddInt("obs-ring-capacity", &obs_ring_capacity,
-              "span ring capacity per thread (oldest spans drop on overflow)");
+                 "(cluster, workload, and fault state come from the snapshot)");
   if (!parser.Parse(argc, argv)) {
     return parser.exit_code();
   }
 
   ExperimentConfig config;
-  config.cluster =
-      ClusterConfig::Uniform(static_cast<int>(groups), static_cast<int>(nodes_per_group));
-  if (!ParseEnv(env_name, &config.workload.env)) {
-    std::cerr << "unknown --env '" << env_name << "'\n";
+  std::string config_error;
+  if (!BuildExperimentConfig(flags, &config, &config_error)) {
+    std::cerr << config_error << "\n";
     return 1;
   }
-  config.workload.duration = Hours(hours);
-  config.workload.load = load;
-  config.workload.seed = static_cast<uint64_t>(seed);
-  config.sim.cycle_period = cycle;
-  config.sim.seed = static_cast<uint64_t>(seed);
-  config.sim.fidelity = high_fidelity ? SimFidelity::kHighFidelity : SimFidelity::kIdeal;
-  config.sim.faults.node_mttf = fault_mttf;
-  config.sim.faults.node_mttr = fault_mttr;
-  config.sim.faults.task_kill_prob = fault_kill_prob;
-  config.sim.faults.straggler_prob = fault_straggler_prob;
-  config.sim.faults.straggler_factor = fault_straggler_factor;
-  config.sim.faults.cycle_stall_prob = fault_stall_prob;
-  config.sim.faults.seed = static_cast<uint64_t>(fault_seed);
-  config.sim.checkpoint_every = checkpoint_every;
-  config.sim.checkpoint_dir = checkpoint_dir;
-  config.sim.max_cycles = max_cycles;
-  config.sched.cycle_period = cycle;
-  config.sched.solver_threads = static_cast<int>(solver_threads);
-  config.sched.capacity_cache = capacity_cache;
-  config.sched.solver_basis_warmstart = solver_basis_warmstart;
-  config.obs.trace_json_out = trace_out;
-  config.obs.trace_bin_out = trace_bin_out;
-  config.obs.phase_csv_out = obs_phase_csv;
-  config.obs.decisions_csv_out = obs_decisions_csv;
-  config.obs.metrics_out = obs_metrics_out;
-  config.obs.ring_capacity = obs_ring_capacity;
 
   // Writes every configured observability sink; called on both exit paths.
   const auto flush_obs = [&config]() {
@@ -217,7 +81,7 @@ int main(int argc, char** argv) {
       obs::Configure(config.obs);
     }
     SystemKind kind;
-    if (systems_csv.find(',') != std::string::npos || !ParseSystem(systems_csv, &kind)) {
+    if (systems_csv.find(',') != std::string::npos || !ParseSystemName(systems_csv, &kind)) {
       std::cerr << "--resume-from requires --systems to name exactly one system\n";
       return 1;
     }
@@ -307,7 +171,7 @@ int main(int argc, char** argv) {
   std::string system_name;
   while (std::getline(systems_stream, system_name, ',')) {
     SystemKind kind;
-    if (!ParseSystem(system_name, &kind)) {
+    if (!ParseSystemName(system_name, &kind)) {
       std::cerr << "unknown system '" << system_name << "'\n";
       return 1;
     }

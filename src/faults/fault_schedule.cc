@@ -239,7 +239,7 @@ void FaultSchedule::RestoreState(SnapshotReader& reader) {
   options_.cycle_stall_prob = reader.ReadDouble();
   options_.cycle_stall = reader.ReadDouble();
   options_.seed = reader.ReadU64();
-  const uint64_t n = reader.ReadVarU64();
+  const uint64_t n = reader.ReadVarCount(8);
   node_events_.clear();
   node_events_.reserve(reader.ok() ? n : 0);
   for (uint64_t i = 0; reader.ok() && i < n; ++i) {

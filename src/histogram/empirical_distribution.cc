@@ -233,7 +233,7 @@ void EmpiricalDistribution::SaveState(SnapshotWriter& writer) const {
 }
 
 void EmpiricalDistribution::RestoreState(SnapshotReader& reader) {
-  const uint64_t n = reader.ReadVarU64();
+  const uint64_t n = reader.ReadVarCount(16);  // Each atom is two doubles.
   atoms_.clear();
   atoms_.reserve(reader.ok() ? n : 0);
   for (uint64_t i = 0; reader.ok() && i < n; ++i) {

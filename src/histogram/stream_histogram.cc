@@ -172,7 +172,7 @@ void StreamHistogram::RestoreState(SnapshotReader& reader) {
   total_count_ = reader.ReadDouble();
   min_ = reader.ReadDouble();
   max_ = reader.ReadDouble();
-  const uint64_t n = reader.ReadVarU64();
+  const uint64_t n = reader.ReadVarCount(16);  // Each bin is two doubles.
   bins_.clear();
   bins_.reserve(reader.ok() ? n : 0);
   for (uint64_t i = 0; reader.ok() && i < n; ++i) {

@@ -169,7 +169,7 @@ void TDigest::RestoreState(SnapshotReader& reader) {
   min_ = reader.ReadDouble();
   max_ = reader.ReadDouble();
   total_weight_ = reader.ReadDouble();
-  const uint64_t n = reader.ReadVarU64();
+  const uint64_t n = reader.ReadVarCount(16);  // Each centroid is two doubles.
   centroids_.clear();
   centroids_.reserve(reader.ok() ? n : 0);
   for (uint64_t i = 0; reader.ok() && i < n; ++i) {

@@ -211,7 +211,7 @@ void MetricsRegistry::RestoreState(SnapshotReader& reader) {
   for (uint64_t i = 0; reader.ok() && i < num_histograms; ++i) {
     const std::string name = reader.ReadString();
     const std::vector<double> edges = reader.ReadDoubleVec();
-    const uint64_t num_buckets = reader.ReadVarU64();
+    const uint64_t num_buckets = reader.ReadVarCount();
     std::vector<int64_t> counts;
     counts.reserve(reader.ok() ? num_buckets : 0);
     for (uint64_t b = 0; reader.ok() && b < num_buckets; ++b) {

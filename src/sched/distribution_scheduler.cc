@@ -138,6 +138,18 @@ void DistributionScheduler::OnJobPreempted(JobId id, Time now) {
   (void)now;
 }
 
+void DistributionScheduler::OnJobCancelled(JobId id, Time now) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return;
+  }
+  TS_CHECK(!it->second.running);
+  jobs_.erase(it);
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
+  dirty_ = true;
+  (void)now;
+}
+
 void DistributionScheduler::OnJobFaultKilled(JobId id, Time now) {
   // Requeue exactly like a preemption...
   OnJobPreempted(id, now);

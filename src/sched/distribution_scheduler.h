@@ -131,6 +131,9 @@ class DistributionScheduler : public Scheduler {
   // treats the restart as a likely mis-estimate — the original estimate
   // ignores the lost work — enabling the over-estimate utility decay.
   void OnJobFaultKilled(JobId id, Time now) override;
+  // Online cancellation: drops the pending job like an abandonment (it never
+  // ran, so there is no capacity contribution to retire).
+  void OnJobCancelled(JobId id, Time now) override;
   // Node crash/repair: invalidates the solve-skip plan cache (the previous
   // plan was drawn against stale capacity, so the next cycle must re-solve).
   void OnCapacityChanged(int group, int available_nodes, Time now) override;

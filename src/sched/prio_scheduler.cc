@@ -29,6 +29,11 @@ void PrioScheduler::OnJobPreempted(JobId id, Time /*now*/) {
   pending_.push_back(id);
 }
 
+void PrioScheduler::OnJobCancelled(JobId id, Time /*now*/) {
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
+  jobs_.erase(id);
+}
+
 CycleResult PrioScheduler::RunCycle(Time now, const ClusterStateView& state) {
   const auto cycle_start = std::chrono::steady_clock::now();
   CycleResult result;

@@ -31,6 +31,7 @@ class PrioScheduler : public Scheduler {
   void OnJobStarted(JobId id, int group, Time now) override;
   void OnJobFinished(JobId id, Time now, Duration observed_runtime) override;
   void OnJobPreempted(JobId id, Time now) override;
+  void OnJobCancelled(JobId id, Time now) override;
   CycleResult RunCycle(Time now, const ClusterStateView& state) override;
   std::string name() const override { return config_.name; }
 

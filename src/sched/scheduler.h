@@ -109,6 +109,15 @@ class Scheduler {
   // likely mis-estimate (§4.2) and feed attempt counts to their predictor.
   virtual void OnJobFaultKilled(JobId id, Time now) { OnJobPreempted(id, now); }
 
+  // A pending job was withdrawn by its submitter (online service CancelJob)
+  // and will never run. Only delivered for jobs the scheduler has seen via
+  // OnJobArrival; the simulator suppresses the arrival of jobs cancelled
+  // before their submit time. Default: ignored (stateless schedulers).
+  virtual void OnJobCancelled(JobId id, Time now) {
+    (void)id;
+    (void)now;
+  }
+
   // The available capacity of `group` changed (node crash/repair); the new
   // post-fault capacity is `available_nodes`. Schedulers that cache plans or
   // capacity state must invalidate on this signal. Default: ignored.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <utility>
 
@@ -70,7 +71,10 @@ struct Event {
   }
 };
 
-constexpr uint32_t kSnapshotVersion = 1;
+// v2: open-workload mode — SimOptions.open_workload, RunState submission
+// bookkeeping (submissions_closed, last_arrival), and the per-job arrived
+// flag.
+constexpr uint32_t kSnapshotVersion = 2;
 
 void SaveSimOptions(SnapshotWriter& writer, const SimOptions& o) {
   writer.WriteDouble(o.cycle_period);
@@ -100,6 +104,7 @@ void SaveSimOptions(SnapshotWriter& writer, const SimOptions& o) {
   writer.WriteVarI64(o.checkpoint_every);
   writer.WriteString(o.checkpoint_dir);
   writer.WriteVarI64(o.max_cycles);
+  writer.WriteBool(o.open_workload);
 }
 
 void RestoreSimOptions(SnapshotReader& reader, SimOptions* o) {
@@ -133,6 +138,7 @@ void RestoreSimOptions(SnapshotReader& reader, SimOptions* o) {
   o->checkpoint_every = reader.ReadVarI64();
   o->checkpoint_dir = reader.ReadString();
   o->max_cycles = reader.ReadVarI64();
+  o->open_workload = reader.ReadBool();
 }
 
 void SaveCluster(SnapshotWriter& writer, const ClusterConfig& cluster) {
@@ -145,7 +151,7 @@ void SaveCluster(SnapshotWriter& writer, const ClusterConfig& cluster) {
 }
 
 ClusterConfig RestoreCluster(SnapshotReader& reader) {
-  const uint64_t n = reader.ReadVarU64();
+  const uint64_t n = reader.ReadVarCount();
   std::vector<NodeGroup> groups;
   groups.reserve(reader.ok() ? n : 0);
   for (uint64_t i = 0; reader.ok() && i < n; ++i) {
@@ -188,7 +194,7 @@ void RestoreJobRecord(SnapshotReader& reader, JobRecord* rec) {
   rec->preemptions = static_cast<int>(reader.ReadVarI64());
   rec->fault_kills = static_cast<int>(reader.ReadVarI64());
   rec->completed_work = reader.ReadDouble();
-  const uint64_t num_runs = reader.ReadVarU64();
+  const uint64_t num_runs = reader.ReadVarCount(8);
   rec->runs.clear();
   rec->runs.reserve(reader.ok() ? num_runs : 0);
   for (uint64_t i = 0; reader.ok() && i < num_runs; ++i) {
@@ -225,6 +231,7 @@ struct Simulator::RunState {
     Duration actual_duration = 0.0;  // Of the current run.
     double progress = 0.0;           // Completed fraction (resume mode only).
     double executed_seconds = 0.0;   // Useful seconds from preempted runs.
+    bool arrived = false;            // The arrival event has fired.
   };
 
   SimResult result;
@@ -249,6 +256,11 @@ struct Simulator::RunState {
   Time next_cycle_at = -1.0;  // < 0: none scheduled.
   Time last_cycle_at = -1e18;
   bool drained = false;  // No event can ever append another cycle.
+  // Open-workload bookkeeping. last_arrival tracks the latest submit time
+  // seen (initial workload or injected) so CloseSubmissions can reconstruct
+  // the batch-mode hard stop.
+  bool submissions_closed = false;
+  Time last_arrival = 0.0;
 
   void PushEvent(Event ev) {
     queue.push_back(ev);
@@ -305,12 +317,20 @@ void Simulator::EnsureStarted() {
   }
 
   s.live_jobs = static_cast<int>(workload_.size());
-  const Time last_arrival = workload_.empty() ? 0.0 : workload_.back().submit_time;
-  s.hard_stop = last_arrival + options_.drain_limit;
+  s.last_arrival = workload_.empty() ? 0.0 : workload_.back().submit_time;
+  // Open mode has no known last arrival yet: the run stays alive until
+  // CloseSubmissions() converts the stop back to last_arrival + drain_limit.
+  s.hard_stop = options_.open_workload ? std::numeric_limits<double>::infinity()
+                                       : s.last_arrival + options_.drain_limit;
 
   // Fault schedule: pre-materialized node churn (every event is fixed before
   // the first cycle, so traces are byte-reproducible at any solver thread
   // count) plus hash-draw kill/straggler/stall processes.
+  if (options_.open_workload && options_.fault_events.empty()) {
+    TS_CHECK_MSG(options_.faults.node_mttf <= 0.0,
+                 "open-workload mode cannot sample node churn over an unbounded "
+                 "horizon; pass explicit fault_events to replay instead");
+  }
   s.fault_schedule = options_.fault_events.empty()
                          ? FaultSchedule::Sample(cluster_, options_.faults, s.hard_stop)
                          : FaultSchedule::Replay(options_.fault_events, options_.faults);
@@ -438,9 +458,13 @@ bool Simulator::ProcessEvent() {
 
   switch (ev.kind) {
     case EventKind::kArrival: {
+      RunState::LiveJob& job = s.jobs[ev.job_index];
+      if (job.record.status != JobStatus::kPending) {
+        break;  // Cancelled before its submit time; the scheduler never sees it.
+      }
       TS_OBS_SPAN("sim.arrival", obs::Phase::kSimEvents);
       SimCounters::Get().arrivals->Increment();
-      RunState::LiveJob& job = s.jobs[ev.job_index];
+      job.arrived = true;
       scheduler_->OnJobArrival(job.record.spec, s.now);
       schedule_reactive_cycle();
       break;
@@ -512,7 +536,10 @@ bool Simulator::ProcessEvent() {
                                                 job.record.start_time,
                                                 job.record.spec.num_tasks,
                                                 job.record.spec.type});
-        } else if (job.record.status == JobStatus::kPending) {
+        } else if (job.record.status == JobStatus::kPending && job.arrived) {
+          // Only jobs the scheduler can actually see count as pending: in
+          // batch mode the whole workload sits kPending from cycle 0, but a
+          // job whose arrival event has not fired is not queued anywhere.
           ++pending_count;
         }
       }
@@ -660,8 +687,10 @@ bool Simulator::ProcessEvent() {
     }
   }
   // With chaos on, pending fault events cannot affect anything once no job
-  // is live; stop rather than replaying churn against an empty cluster.
-  if (s.live_jobs == 0 && (s.queue.empty() || s.chaos)) {
+  // is live; stop rather than replaying churn against an empty cluster. An
+  // open-workload run idles instead of draining until submissions close.
+  if (s.live_jobs == 0 && (s.queue.empty() || s.chaos) &&
+      (!options_.open_workload || s.submissions_closed)) {
     s.drained = true;
   }
   return result.cycles.size() > cycles_before;
@@ -672,8 +701,10 @@ bool Simulator::Step() {
   RunState& s = *state_;
   while (!s.drained) {
     if (s.queue.empty()) {
-      s.drained = true;
-      break;
+      if (!options_.open_workload || s.submissions_closed) {
+        s.drained = true;
+      }
+      break;  // Open mode: idle until the next injection, not drained.
     }
     if (ProcessEvent()) {
       return true;
@@ -742,6 +773,147 @@ void Simulator::DebugPerturbRng() {
   state_->rng.engine()();
 }
 
+namespace {
+bool FailWith(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+}  // namespace
+
+bool Simulator::InjectJob(JobSpec spec, std::string* error) {
+  EnsureStarted();
+  RunState& s = *state_;
+  if (!options_.open_workload) {
+    return FailWith(error, "job injection requires open_workload mode");
+  }
+  if (s.submissions_closed) {
+    return FailWith(error, "submissions are closed");
+  }
+  if (s.index_by_id.count(spec.id) > 0) {
+    return FailWith(error, "duplicate job id " + std::to_string(spec.id));
+  }
+  if (spec.num_tasks <= 0) {
+    return FailWith(error, "job " + std::to_string(spec.id) + " has no tasks");
+  }
+  if (spec.num_tasks > cluster_.max_group_size()) {
+    return FailWith(error, "job " + std::to_string(spec.id) + " larger than any group");
+  }
+  // Arrivals cannot land in the past: the event clock is monotone.
+  spec.submit_time = std::max(spec.submit_time, s.now);
+
+  const size_t idx = s.jobs.size();
+  // workload_ and s.jobs stay index-aligned, exactly as EnsureStarted built
+  // them, so checkpoints taken mid-service round-trip unchanged.
+  workload_.push_back(spec);
+  RunState::LiveJob job;
+  job.record.spec = spec;
+  s.jobs.push_back(std::move(job));
+  s.index_by_id.emplace(spec.id, idx);
+  s.PushEvent(Event{spec.submit_time, s.seq++, EventKind::kArrival, idx, 0});
+  ++s.live_jobs;
+  s.last_arrival = std::max(s.last_arrival, spec.submit_time);
+  return true;
+}
+
+void Simulator::CloseSubmissions() {
+  EnsureStarted();
+  RunState& s = *state_;
+  if (!options_.open_workload || s.submissions_closed) {
+    return;
+  }
+  s.submissions_closed = true;
+  s.hard_stop = std::max(s.last_arrival + options_.drain_limit, s.now);
+  if (s.live_jobs == 0 && (s.queue.empty() || s.chaos)) {
+    s.drained = true;
+  }
+}
+
+bool Simulator::CancelJob(JobId id, std::string* error) {
+  EnsureStarted();
+  RunState& s = *state_;
+  const auto it = s.index_by_id.find(id);
+  if (it == s.index_by_id.end()) {
+    return FailWith(error, "unknown job id " + std::to_string(id));
+  }
+  RunState::LiveJob& job = s.jobs[it->second];
+  if (job.record.status != JobStatus::kPending) {
+    return FailWith(error, "job " + std::to_string(id) + " is not pending");
+  }
+  job.record.status = JobStatus::kAbandoned;
+  --s.live_jobs;
+  if (job.arrived) {
+    // The scheduler queued it at arrival; jobs cancelled before their submit
+    // time were never delivered (the arrival event sees kAbandoned and
+    // skips).
+    scheduler_->OnJobCancelled(id, s.now);
+  }
+  if (s.live_jobs == 0 && (s.queue.empty() || s.chaos) &&
+      (!options_.open_workload || s.submissions_closed)) {
+    s.drained = true;
+  }
+  return true;
+}
+
+bool Simulator::QueryJob(JobId id, JobStatusInfo* info) {
+  EnsureStarted();
+  RunState& s = *state_;
+  const auto it = s.index_by_id.find(id);
+  if (it == s.index_by_id.end()) {
+    return false;
+  }
+  const RunState::LiveJob& job = s.jobs[it->second];
+  info->status = job.record.status;
+  info->submit_time = job.record.spec.submit_time;
+  info->start_time = job.record.start_time;
+  info->finish_time = job.record.finish_time;
+  info->group = job.record.group;
+  info->preemptions = job.record.preemptions;
+  info->arrived = job.arrived;
+  return true;
+}
+
+SimStateInfo Simulator::StateNow() {
+  EnsureStarted();
+  RunState& s = *state_;
+  SimStateInfo info;
+  info.now = s.now;
+  info.cycles_completed = s.result.cycles.size();
+  info.total_jobs = static_cast<int64_t>(s.jobs.size());
+  for (const RunState::LiveJob& job : s.jobs) {
+    switch (job.record.status) {
+      case JobStatus::kPending:
+        if (job.arrived) {
+          ++info.pending_jobs;
+        }
+        break;
+      case JobStatus::kRunning: ++info.running_jobs; break;
+      case JobStatus::kCompleted: ++info.completed_jobs; break;
+      case JobStatus::kAbandoned: ++info.abandoned_jobs; break;
+      case JobStatus::kUnfinished: break;
+    }
+  }
+  info.total_nodes = cluster_.total_nodes();
+  for (int g = 0; g < cluster_.num_groups(); ++g) {
+    const size_t gi = static_cast<size_t>(g);
+    info.available_nodes += cluster_.group(g).node_count - s.down[gi];
+    info.free_nodes += s.free_nodes[gi] - s.down[gi];
+  }
+  info.drained = s.drained;
+  return info;
+}
+
+Time Simulator::now() {
+  EnsureStarted();
+  return state_->now;
+}
+
+bool Simulator::drained() {
+  EnsureStarted();
+  return state_->drained;
+}
+
 std::string Simulator::SaveStateToBuffer() {
   EnsureStarted();
   RunState& s = *state_;
@@ -801,7 +973,10 @@ std::string Simulator::SaveStateToBuffer() {
     writer.WriteDouble(job.actual_duration);
     writer.WriteDouble(job.progress);
     writer.WriteDouble(job.executed_seconds);
+    writer.WriteBool(job.arrived);
   }
+  writer.WriteBool(s.submissions_closed);
+  writer.WriteDouble(s.last_arrival);
   writer.EndSection();
 
   // Deterministic accumulated results. Per-cycle wall-clock timings go in
@@ -852,8 +1027,12 @@ std::string Simulator::SaveStateToBuffer() {
   writer.EndSection();
 
   // The scheduler appends its own "sched" (and, where applicable, "predict")
-  // sections.
+  // sections, then the host (svc server) its extension sections, so one
+  // checkpoint restarts the whole process.
   scheduler_->SaveState(writer);
+  if (extension_ != nullptr) {
+    extension_->SaveState(writer);
+  }
   return writer.Finish();
 }
 
@@ -920,7 +1099,7 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
   reader.BeginSection("workload");
   std::vector<JobSpec> snap_workload;
   {
-    const uint64_t n = reader.ReadVarU64();
+    const uint64_t n = reader.ReadVarCount(8);
     snap_workload.reserve(reader.ok() ? n : 0);
     for (uint64_t i = 0; reader.ok() && i < n; ++i) {
       JobSpec spec;
@@ -950,7 +1129,7 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
   s.down_integral = reader.ReadDouble();
   s.last_down_change = reader.ReadDouble();
   {
-    const uint64_t n = reader.ReadVarU64();
+    const uint64_t n = reader.ReadVarCount(16);
     s.queue.reserve(reader.ok() ? n : 0);
     for (uint64_t i = 0; reader.ok() && i < n; ++i) {
       Event e{0.0, 0, EventKind::kArrival, 0, 0};
@@ -965,7 +1144,7 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
     }
   }
   {
-    const uint64_t n = reader.ReadVarU64();
+    const uint64_t n = reader.ReadVarCount(8);
     s.jobs.resize(reader.ok() ? n : 0);
     for (uint64_t i = 0; reader.ok() && i < n; ++i) {
       RunState::LiveJob& job = s.jobs[i];
@@ -974,11 +1153,14 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
       job.actual_duration = reader.ReadDouble();
       job.progress = reader.ReadDouble();
       job.executed_seconds = reader.ReadDouble();
+      job.arrived = reader.ReadBool();
       if (reader.ok()) {
         s.index_by_id.emplace(job.record.spec.id, i);
       }
     }
   }
+  s.submissions_closed = reader.ReadBool();
+  s.last_arrival = reader.ReadDouble();
   reader.EndSection();
 
   reader.BeginSection("metrics");
@@ -989,7 +1171,7 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
   s.result.stalled_cycles = static_cast<int>(reader.ReadVarI64());
   s.result.rework_node_seconds = reader.ReadDouble();
   {
-    const uint64_t n = reader.ReadVarU64();
+    const uint64_t n = reader.ReadVarCount(8);
     s.result.fault_events.reserve(reader.ok() ? n : 0);
     for (uint64_t i = 0; reader.ok() && i < n; ++i) {
       FaultEvent e;
@@ -1001,7 +1183,7 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
     }
   }
   {
-    const uint64_t n = reader.ReadVarU64();
+    const uint64_t n = reader.ReadVarCount(8);
     s.result.cycles.resize(reader.ok() ? n : 0);
     for (uint64_t i = 0; reader.ok() && i < n; ++i) {
       CycleStats& c = s.result.cycles[i];
@@ -1049,6 +1231,12 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
   scheduler_->RestoreState(reader);
   if (!reader.ok()) {
     return fail(reader.error());
+  }
+  if (extension_ != nullptr) {
+    extension_->RestoreState(reader);
+    if (!reader.ok()) {
+      return fail(reader.error());
+    }
   }
   return true;
 }

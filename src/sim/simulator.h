@@ -68,6 +68,14 @@ struct SimOptions {
   FaultOptions faults;
   std::vector<FaultEvent> fault_events;
 
+  // Open-workload (online service) mode. The workload is no longer fixed up
+  // front: jobs enter via InjectJob() at or after the current sim time, the
+  // run never drains on an empty queue until CloseSubmissions() is called,
+  // and the hard stop is last_arrival + drain_limit measured from the close.
+  // Sampled node churn is rejected in this mode (the churn horizon would be
+  // unbounded); pass explicit `fault_events` to replay churn instead.
+  bool open_workload = false;
+
   // Checkpoint cadence: every `checkpoint_every` completed scheduling cycles
   // Run() writes `<checkpoint_dir>/checkpoint_<cycle>.snap`. 0 disables.
   // These knobs describe the *local* run, not the simulation: ResumeFrom
@@ -164,6 +172,43 @@ struct CheckpointInfo {
   Time now = 0.0;
 };
 
+// A job's externally visible status (JobStatus RPC payload).
+struct JobStatusInfo {
+  JobStatus status = JobStatus::kPending;
+  Time submit_time = kNever;
+  Time start_time = kNever;
+  Time finish_time = kNever;
+  int group = -1;
+  int preemptions = 0;
+  bool arrived = false;  // The arrival event has fired.
+};
+
+// Aggregate run state (ClusterState RPC payload).
+struct SimStateInfo {
+  Time now = 0.0;
+  uint64_t cycles_completed = 0;
+  int64_t total_jobs = 0;
+  int64_t pending_jobs = 0;  // Arrived and waiting to be placed.
+  int64_t running_jobs = 0;
+  int64_t completed_jobs = 0;
+  int64_t abandoned_jobs = 0;
+  int total_nodes = 0;
+  int available_nodes = 0;  // Not crashed.
+  int free_nodes = 0;       // Available and unoccupied.
+  bool drained = false;
+};
+
+// Extra state a host (e.g. the svc server) appends to every simulator
+// snapshot, after the scheduler's sections, so one checkpoint file restarts
+// the whole process. Hooks are called inside SaveStateToBuffer /
+// TryRestoreStateFromBuffer; implementations open their own named sections.
+class SimulatorStateExtension {
+ public:
+  virtual ~SimulatorStateExtension() = default;
+  virtual void SaveState(SnapshotWriter& writer) const = 0;
+  virtual void RestoreState(SnapshotReader& reader) = 0;
+};
+
 class Simulator {
  public:
   // `scheduler` must outlive Run(). `workload` need not be sorted.
@@ -177,7 +222,9 @@ class Simulator {
 
   // Stepwise API (replay_diff drives this cycle-by-cycle). Step() processes
   // events until one scheduling cycle's CycleStats is appended, returning
-  // true; false means the run is drained (no cycle will ever follow).
+  // true; false means no cycle can be appended now — permanently in batch
+  // mode (the run is drained), or until the next InjectJob in open-workload
+  // mode (check drained()).
   bool Step();
   // Finalizes (closes open runs, marks kPending/kRunning jobs kUnfinished,
   // computes downtime aggregates) and returns the result. The simulator is
@@ -186,6 +233,34 @@ class Simulator {
 
   // Scheduling cycles recorded so far == result.cycles.size().
   uint64_t cycles_completed() const;
+
+  // --- Open-workload (online service) API ----------------------------------
+  // All of these require options.open_workload (except the read-only
+  // accessors, which work in either mode).
+
+  // Admits a job into the running simulation. The submit time is clamped to
+  // the current sim time (arrivals cannot land in the past). Returns false
+  // with `*error` set on a duplicate id, an oversized gang, closed
+  // submissions, or batch mode.
+  bool InjectJob(JobSpec spec, std::string* error = nullptr);
+  // No further InjectJob calls will be accepted; the run drains and stops
+  // like a batch run (hard stop = max(now, last arrival + drain_limit)).
+  void CloseSubmissions();
+  // Withdraws a pending (never-started) job. Running, finished, or unknown
+  // jobs are not cancellable. The scheduler is notified only if the job's
+  // arrival was already delivered.
+  bool CancelJob(JobId id, std::string* error = nullptr);
+
+  // Read-only accessors (valid in both modes).
+  bool QueryJob(JobId id, JobStatusInfo* info);
+  SimStateInfo StateNow();
+  Time now();
+  bool drained();
+
+  // Host state piggybacked on checkpoints (svc server admission queue /
+  // token table). Must be set before SaveStateToBuffer / restore so the
+  // extension sections round-trip. Not owned; may be null.
+  void SetStateExtension(SimulatorStateExtension* extension) { extension_ = extension; }
 
   // --- Checkpoint / restore -------------------------------------------------
   // The snapshot serializes the complete run state by module section:
@@ -226,6 +301,7 @@ class Simulator {
   Scheduler* scheduler_;
   std::vector<JobSpec> workload_;
   SimOptions options_;
+  SimulatorStateExtension* extension_ = nullptr;
   std::unique_ptr<RunState> state_;
 };
 

@@ -366,6 +366,21 @@ uint64_t SnapshotReader::ReadVarU64() {
   }
 }
 
+uint64_t SnapshotReader::ReadVarCount(size_t min_elem_bytes) {
+  const uint64_t count = ReadVarU64();
+  if (!ok_) {
+    return 0;
+  }
+  const uint64_t elem = min_elem_bytes > 0 ? min_elem_bytes : 1;
+  // Divide instead of multiply: count * elem would wrap for adversarial
+  // counts near 2^64 and sail past the bound it is meant to enforce.
+  if (count > (section_end_ - pos_) / elem) {
+    Fail("element count overruns section");
+    return 0;
+  }
+  return count;
+}
+
 int64_t SnapshotReader::ReadVarI64() {
   const uint64_t z = ReadVarU64();
   return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
@@ -382,7 +397,9 @@ bool SnapshotReader::ReadBool() { return ReadU8() != 0; }
 
 std::string SnapshotReader::ReadString() {
   const uint64_t size = ReadVarU64();
-  if (!ok_ || pos_ + size > section_end_) {
+  // Compare against the remaining span, never pos_ + size: the sum wraps for
+  // adversarial sizes near 2^64 and would pass the bounds check.
+  if (!ok_ || size > section_end_ - pos_) {
     Fail("string overruns section");
     return "";
   }
@@ -393,7 +410,7 @@ std::string SnapshotReader::ReadString() {
 
 std::vector<double> SnapshotReader::ReadDoubleVec() {
   const uint64_t count = ReadVarU64();
-  if (!ok_ || count * 8 > section_end_ - pos_) {
+  if (!ok_ || count > (section_end_ - pos_) / 8) {
     Fail("double vector overruns section");
     return {};
   }

@@ -118,6 +118,13 @@ class SnapshotReader {
   uint32_t ReadU32();
   uint64_t ReadU64();
   uint64_t ReadVarU64();
+  // Reads an element count that precedes `count * >= min_elem_bytes` of
+  // payload. Fails (returning 0) when the count could not possibly fit in
+  // the section's remaining bytes, so callers can reserve()/resize() the
+  // returned value without an attacker-controlled length triggering a
+  // multi-gigabyte allocation. Use for every length read from an untrusted
+  // buffer (network frames, on-disk snapshots).
+  uint64_t ReadVarCount(size_t min_elem_bytes = 1);
   int64_t ReadVarI64();
   double ReadDouble();
   bool ReadBool();

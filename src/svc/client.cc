@@ -1,0 +1,235 @@
+#include "src/svc/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace threesigma::svc {
+
+namespace {
+
+bool FailWith(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+std::string DescribeReply(const Reply& reply) {
+  std::string out = StatusCodeName(reply.code);
+  if (!reply.message.empty()) {
+    out += ": " + reply.message;
+  }
+  return out;
+}
+
+}  // namespace
+
+double BackoffDelay(int attempt, const ClientOptions& options) {
+  if (attempt <= 0) {
+    return 0.0;
+  }
+  double delay = options.backoff_initial_seconds;
+  for (int i = 1; i < attempt; ++i) {
+    delay *= options.backoff_multiplier;
+    if (delay >= options.backoff_cap_seconds) {
+      return options.backoff_cap_seconds;
+    }
+  }
+  return std::min(delay, options.backoff_cap_seconds);
+}
+
+Client::Client(ClientChannel* channel, ClientOptions options)
+    : channel_(channel), options_(options) {}
+
+void Client::SetReconnect(std::function<ClientChannel*()> reconnect) {
+  reconnect_ = std::move(reconnect);
+}
+
+bool Client::Call(Request request, Reply* reply, std::string* error) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(options_.deadline_seconds);
+  std::string last_error = "no attempt made";
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++total_retries_;
+      if (options_.sleep_on_backoff) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(BackoffDelay(attempt, options_)));
+      }
+    }
+    if (options_.deadline_seconds > 0.0 && std::chrono::steady_clock::now() >= deadline) {
+      return FailWith(error, "deadline exceeded; last error: " + last_error);
+    }
+    // Each attempt is a fresh request id, so a stale reply to a timed-out
+    // attempt can never be mistaken for this one's.
+    request.request_id = next_request_id_++;
+    const std::string payload = EncodeRequest(request);
+    std::string attempt_error;
+    if (!channel_->SendFrame(payload, &attempt_error)) {
+      last_error = "send failed: " + attempt_error;
+      if (reconnect_) {
+        ClientChannel* fresh = reconnect_();
+        if (fresh != nullptr) {
+          channel_ = fresh;
+        }
+      }
+      continue;
+    }
+    std::string reply_payload;
+    bool got_match = false;
+    // Drain stale replies (earlier attempts that timed out mid-flight) until
+    // the matching id or the per-attempt timeout.
+    for (;;) {
+      if (!channel_->RecvFrame(&reply_payload, options_.request_timeout_seconds,
+                               &attempt_error)) {
+        last_error = "recv failed: " + attempt_error;
+        break;
+      }
+      Reply decoded;
+      if (!DecodeReply(reply_payload, &decoded, &attempt_error)) {
+        last_error = "bad reply: " + attempt_error;
+        break;
+      }
+      if (decoded.request_id != request.request_id) {
+        continue;  // Stale.
+      }
+      *reply = std::move(decoded);
+      got_match = true;
+      break;
+    }
+    if (!got_match) {
+      if (reconnect_) {
+        ClientChannel* fresh = reconnect_();
+        if (fresh != nullptr) {
+          channel_ = fresh;
+        }
+      }
+      continue;
+    }
+    if (reply->code == StatusCode::kRetryLater) {
+      last_error = "server backpressure (retry_later)";
+      continue;
+    }
+    return true;
+  }
+  return FailWith(error, "gave up after " + std::to_string(options_.max_attempts) +
+                             " attempts; last error: " + last_error);
+}
+
+bool Client::SubmitJob(const JobSpec& job, const std::string& token, JobId* assigned_id,
+                       std::string* error) {
+  Request request;
+  request.verb = Verb::kSubmitJob;
+  request.token = token;
+  request.job = job;
+  Reply reply;
+  if (!Call(std::move(request), &reply, error)) {
+    return false;
+  }
+  if (reply.code != StatusCode::kOk) {
+    return FailWith(error, DescribeReply(reply));
+  }
+  if (assigned_id != nullptr) {
+    *assigned_id = reply.job_id;
+  }
+  return true;
+}
+
+bool Client::QueryJob(JobId id, JobStatusInfo* info, std::string* error) {
+  Request request;
+  request.verb = Verb::kJobStatus;
+  request.job_id = id;
+  Reply reply;
+  if (!Call(std::move(request), &reply, error)) {
+    return false;
+  }
+  if (reply.code != StatusCode::kOk) {
+    return FailWith(error, DescribeReply(reply));
+  }
+  if (info != nullptr) {
+    *info = reply.job;
+  }
+  return true;
+}
+
+bool Client::CancelJob(JobId id, std::string* error) {
+  Request request;
+  request.verb = Verb::kCancelJob;
+  request.job_id = id;
+  Reply reply;
+  if (!Call(std::move(request), &reply, error)) {
+    return false;
+  }
+  if (reply.code != StatusCode::kOk) {
+    return FailWith(error, DescribeReply(reply));
+  }
+  return true;
+}
+
+bool Client::GetClusterState(SimStateInfo* state, uint64_t* queue_depth, std::string* error) {
+  Request request;
+  request.verb = Verb::kClusterState;
+  Reply reply;
+  if (!Call(std::move(request), &reply, error)) {
+    return false;
+  }
+  if (reply.code != StatusCode::kOk) {
+    return FailWith(error, DescribeReply(reply));
+  }
+  if (state != nullptr) {
+    *state = reply.cluster;
+  }
+  if (queue_depth != nullptr) {
+    *queue_depth = reply.queue_depth;
+  }
+  return true;
+}
+
+bool Client::DumpMetrics(std::string* text, std::string* error) {
+  Request request;
+  request.verb = Verb::kMetricsDump;
+  Reply reply;
+  if (!Call(std::move(request), &reply, error)) {
+    return false;
+  }
+  if (reply.code != StatusCode::kOk) {
+    return FailWith(error, DescribeReply(reply));
+  }
+  if (text != nullptr) {
+    *text = reply.text;
+  }
+  return true;
+}
+
+bool Client::TriggerCheckpoint(std::string* path, std::string* error) {
+  Request request;
+  request.verb = Verb::kTriggerCheckpoint;
+  Reply reply;
+  if (!Call(std::move(request), &reply, error)) {
+    return false;
+  }
+  if (reply.code != StatusCode::kOk) {
+    return FailWith(error, DescribeReply(reply));
+  }
+  if (path != nullptr) {
+    *path = reply.text;
+  }
+  return true;
+}
+
+bool Client::Shutdown(bool drain, std::string* error) {
+  Request request;
+  request.verb = Verb::kShutdown;
+  request.drain = drain;
+  Reply reply;
+  if (!Call(std::move(request), &reply, error)) {
+    return false;
+  }
+  if (reply.code != StatusCode::kOk) {
+    return FailWith(error, DescribeReply(reply));
+  }
+  return true;
+}
+
+}  // namespace threesigma::svc

@@ -1,0 +1,83 @@
+// svc::Client — the service's client library.
+//
+// Wraps a ClientChannel with the retry discipline a well-behaved tenant
+// needs: idempotent submission tokens (safe to resend after any failure),
+// deadline-bounded requests, and capped exponential backoff on transport
+// errors and kRetryLater backpressure. Works unmodified over the socket
+// channel and the deterministic loopback (whose RecvFrame pumps the server
+// instead of blocking).
+
+#ifndef SRC_SVC_CLIENT_H_
+#define SRC_SVC_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/svc/transport.h"
+#include "src/svc/wire.h"
+
+namespace threesigma::svc {
+
+struct ClientOptions {
+  // Per-attempt receive timeout.
+  double request_timeout_seconds = 5.0;
+  // Total attempts per Call (first try + retries).
+  int max_attempts = 8;
+  // Exponential backoff between attempts: initial * multiplier^(attempt-1),
+  // capped. See BackoffDelay.
+  double backoff_initial_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double backoff_cap_seconds = 2.0;
+  // Overall wall-clock budget per Call; 0 = attempts alone bound it.
+  double deadline_seconds = 60.0;
+  // False disables the actual sleep between attempts (deterministic tests);
+  // the retry/backoff accounting is unchanged.
+  bool sleep_on_backoff = true;
+};
+
+// Delay before retry number `attempt` (1-based): capped exponential.
+double BackoffDelay(int attempt, const ClientOptions& options);
+
+class Client {
+ public:
+  // `channel` must outlive the client.
+  explicit Client(ClientChannel* channel, ClientOptions options = {});
+
+  // Installed hook is invoked on a dead channel before the next attempt and
+  // returns a replacement channel (or null to keep failing). The client does
+  // not own channels either way.
+  void SetReconnect(std::function<ClientChannel*()> reconnect);
+
+  // Sends `request` until a matching decoded reply arrives; retries on
+  // transport errors, garbled replies, and kRetryLater. True means `*reply`
+  // holds the server's answer (whose code may still be an application error
+  // like kNotFound).
+  bool Call(Request request, Reply* reply, std::string* error);
+
+  // Verb wrappers; all map a non-kOk reply to false + `*error`.
+  // SubmitJob: `token` makes retries idempotent; `*assigned_id` receives the
+  // server-assigned job id.
+  bool SubmitJob(const JobSpec& job, const std::string& token, JobId* assigned_id,
+                 std::string* error);
+  bool QueryJob(JobId id, JobStatusInfo* info, std::string* error);
+  bool CancelJob(JobId id, std::string* error);
+  bool GetClusterState(SimStateInfo* state, uint64_t* queue_depth, std::string* error);
+  bool DumpMetrics(std::string* text, std::string* error);
+  bool TriggerCheckpoint(std::string* path, std::string* error);
+  bool Shutdown(bool drain, std::string* error);
+
+  // Attempts beyond the first across all Calls (observability for loadgen).
+  int64_t total_retries() const { return total_retries_; }
+
+ private:
+  ClientChannel* channel_;
+  ClientOptions options_;
+  std::function<ClientChannel*()> reconnect_;
+  uint64_t next_request_id_ = 1;
+  int64_t total_retries_ = 0;
+};
+
+}  // namespace threesigma::svc
+
+#endif  // SRC_SVC_CLIENT_H_

@@ -1,0 +1,482 @@
+#include "src/svc/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace threesigma::svc {
+
+namespace {
+
+bool FailWith(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message + " (" + strerror(errno) + ")";
+  }
+  return false;
+}
+
+double MonotonicSeconds() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Compacts a parse/write buffer once everything up to `offset` is consumed,
+// or when the dead prefix dominates the buffer.
+void Compact(std::string* buffer, size_t* offset) {
+  if (*offset == buffer->size()) {
+    buffer->clear();
+    *offset = 0;
+  } else if (*offset > 4096 && *offset > buffer->size() / 2) {
+    buffer->erase(0, *offset);
+    *offset = 0;
+  }
+}
+
+}  // namespace
+
+SocketServerTransport::SocketServerTransport() = default;
+
+SocketServerTransport::~SocketServerTransport() {
+  Close();
+}
+
+bool SocketServerTransport::Listen(const SocketServerOptions& options, std::string* error) {
+  options_ = options;
+  if (options.unix_path.empty() && options.tcp_port < 0) {
+    if (error != nullptr) {
+      *error = "no listener configured (need unix_path or tcp_port)";
+    }
+    return false;
+  }
+  if (!options.unix_path.empty()) {
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return FailWith(error, "socket(AF_UNIX)");
+    }
+    struct sockaddr_un addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options.unix_path.size() >= sizeof(addr.sun_path)) {
+      close(fd);
+      if (error != nullptr) {
+        *error = "unix socket path too long: " + options.unix_path;
+      }
+      return false;
+    }
+    memcpy(addr.sun_path, options.unix_path.c_str(), options.unix_path.size() + 1);
+    unlink(options.unix_path.c_str());  // Replace a stale socket file.
+    if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        listen(fd, options.backlog) != 0 || !SetNonBlocking(fd)) {
+      const bool ignored = FailWith(error, "bind/listen " + options.unix_path);
+      (void)ignored;
+      close(fd);
+      return false;
+    }
+    unix_fd_ = fd;
+  }
+  if (options.tcp_port >= 0) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      Close();
+      return FailWith(error, "socket(AF_INET)");
+    }
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options.tcp_port));
+    if (inet_pton(AF_INET, options.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      close(fd);
+      Close();
+      if (error != nullptr) {
+        *error = "bad tcp_host: " + options.tcp_host;
+      }
+      return false;
+    }
+    if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        listen(fd, options.backlog) != 0 || !SetNonBlocking(fd)) {
+      const bool ignored = FailWith(error, "bind/listen tcp port");
+      (void)ignored;
+      close(fd);
+      Close();
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len);
+    tcp_fd_ = fd;
+    tcp_port_ = ntohs(addr.sin_port);
+  }
+  return true;
+}
+
+void SocketServerTransport::Close() {
+  for (auto& [id, conn] : connections_) {
+    if (conn.fd >= 0) {
+      close(conn.fd);
+    }
+  }
+  connections_.clear();
+  if (unix_fd_ >= 0) {
+    close(unix_fd_);
+    unix_fd_ = -1;
+    unlink(options_.unix_path.c_str());
+  }
+  if (tcp_fd_ >= 0) {
+    close(tcp_fd_);
+    tcp_fd_ = -1;
+    tcp_port_ = -1;
+  }
+}
+
+void SocketServerTransport::AcceptAll(int listener_fd) {
+  for (;;) {
+    const int fd = accept(listener_fd, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or transient error; retry next poll.
+    }
+    if (!SetNonBlocking(fd)) {
+      close(fd);
+      continue;
+    }
+    Connection conn;
+    conn.fd = fd;
+    conn.last_active = MonotonicSeconds();
+    connections_[next_id_++] = std::move(conn);
+  }
+}
+
+bool SocketServerTransport::ReadReady(uint64_t id, Connection& conn,
+                                      std::vector<InboundFrame>* frames) {
+  char chunk[65536];
+  for (;;) {
+    const ssize_t n = recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.in.append(chunk, static_cast<size_t>(n));
+      conn.last_active = MonotonicSeconds();
+      if (static_cast<ssize_t>(sizeof(chunk)) != n) {
+        break;  // Drained the socket.
+      }
+      continue;
+    }
+    if (n == 0) {  // Peer closed.
+      CloseConnection(id);
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    CloseConnection(id);
+    return false;
+  }
+  std::string payload;
+  std::string error;
+  for (;;) {
+    const FrameResult r =
+        ExtractFrame(conn.in, &conn.in_offset, &payload, options_.max_frame_bytes, &error);
+    if (r == FrameResult::kFrame) {
+      frames->push_back(InboundFrame{id, std::move(payload)});
+      payload.clear();
+      continue;
+    }
+    if (r == FrameResult::kError) {  // Framing violation: drop the peer.
+      CloseConnection(id);
+      return false;
+    }
+    break;
+  }
+  Compact(&conn.in, &conn.in_offset);
+  return true;
+}
+
+bool SocketServerTransport::WriteReady(Connection& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n = send(conn.fd, conn.out.data() + conn.out_offset,
+                           conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      conn.last_active = MonotonicSeconds();
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return false;  // Broken pipe; caller closes.
+  }
+  Compact(&conn.out, &conn.out_offset);
+  return true;
+}
+
+void SocketServerTransport::CloseConnection(uint64_t id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) {
+    return;
+  }
+  if (it->second.fd >= 0) {
+    close(it->second.fd);
+  }
+  connections_.erase(it);
+}
+
+bool SocketServerTransport::Poll(double timeout_seconds, std::vector<InboundFrame>* frames) {
+  if (unix_fd_ < 0 && tcp_fd_ < 0) {
+    return false;
+  }
+  std::vector<struct pollfd> fds;
+  std::vector<uint64_t> ids;  // Parallel to fds; 0 marks a listener.
+  for (const int listener : {unix_fd_, tcp_fd_}) {
+    if (listener >= 0) {
+      fds.push_back({listener, POLLIN, 0});
+      ids.push_back(0);
+    }
+  }
+  for (auto& [id, conn] : connections_) {
+    short events = POLLIN;
+    if (conn.out_offset < conn.out.size()) {
+      events |= POLLOUT;
+    }
+    fds.push_back({conn.fd, events, 0});
+    ids.push_back(id);
+  }
+  const int timeout_ms =
+      timeout_seconds <= 0.0 ? 0 : std::max(1, static_cast<int>(timeout_seconds * 1000.0));
+  const int ready = poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0 && errno != EINTR) {
+    return false;
+  }
+  for (size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) {
+      continue;
+    }
+    if (ids[i] == 0) {
+      AcceptAll(fds[i].fd);
+      continue;
+    }
+    auto it = connections_.find(ids[i]);
+    if (it == connections_.end()) {
+      continue;
+    }
+    if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+        (fds[i].revents & POLLIN) == 0) {
+      CloseConnection(ids[i]);
+      continue;
+    }
+    if ((fds[i].revents & POLLIN) != 0 && !ReadReady(ids[i], it->second, frames)) {
+      continue;  // Connection closed during read.
+    }
+    if ((fds[i].revents & POLLOUT) != 0 && !WriteReady(it->second)) {
+      CloseConnection(ids[i]);
+    }
+  }
+  if (options_.idle_timeout_seconds > 0.0) {
+    const double now = MonotonicSeconds();
+    std::vector<uint64_t> idle;
+    for (const auto& [id, conn] : connections_) {
+      if (now - conn.last_active > options_.idle_timeout_seconds) {
+        idle.push_back(id);
+      }
+    }
+    for (const uint64_t id : idle) {
+      CloseConnection(id);
+    }
+  }
+  return true;
+}
+
+void SocketServerTransport::Send(uint64_t client, std::string_view payload) {
+  auto it = connections_.find(client);
+  if (it == connections_.end()) {
+    return;
+  }
+  AppendFrame(&it->second.out, payload);
+  if (!WriteReady(it->second)) {  // Opportunistic flush.
+    CloseConnection(client);
+  }
+}
+
+void SocketServerTransport::Disconnect(uint64_t client) {
+  CloseConnection(client);
+}
+
+// --- Client ------------------------------------------------------------------
+
+SocketClientChannel::SocketClientChannel(int fd) : fd_(fd) {}
+
+SocketClientChannel::~SocketClientChannel() {
+  if (fd_ >= 0) {
+    close(fd_);
+  }
+}
+
+std::unique_ptr<SocketClientChannel> SocketClientChannel::ConnectUnix(const std::string& path,
+                                                                      std::string* error) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    FailWith(error, "socket(AF_UNIX)");
+    return nullptr;
+  }
+  struct sockaddr_un addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    close(fd);
+    if (error != nullptr) {
+      *error = "unix socket path too long: " + path;
+    }
+    return nullptr;
+  }
+  memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    FailWith(error, "connect " + path);
+    close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<SocketClientChannel>(new SocketClientChannel(fd));
+}
+
+std::unique_ptr<SocketClientChannel> SocketClientChannel::ConnectTcp(const std::string& host,
+                                                                     int port,
+                                                                     std::string* error) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    FailWith(error, "socket(AF_INET)");
+    return nullptr;
+  }
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    if (error != nullptr) {
+      *error = "bad host: " + host;
+    }
+    return nullptr;
+  }
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    FailWith(error, "connect " + host);
+    close(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<SocketClientChannel>(new SocketClientChannel(fd));
+}
+
+bool SocketClientChannel::SendFrame(std::string_view payload, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "not connected";
+    }
+    return false;
+  }
+  std::string framed;
+  framed.reserve(payload.size() + 4);
+  AppendFrame(&framed, payload);
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    FailWith(error, "send");
+    close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+bool SocketClientChannel::RecvFrame(std::string* payload, double timeout_seconds,
+                                    std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "not connected";
+    }
+    return false;
+  }
+  const double deadline = MonotonicSeconds() + timeout_seconds;
+  for (;;) {
+    std::string frame_error;
+    const FrameResult r =
+        ExtractFrame(in_, &in_offset_, payload, max_frame_bytes_, &frame_error);
+    if (r == FrameResult::kFrame) {
+      Compact(&in_, &in_offset_);
+      return true;
+    }
+    if (r == FrameResult::kError) {
+      if (error != nullptr) {
+        *error = frame_error;
+      }
+      close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    const double remaining = deadline - MonotonicSeconds();
+    if (remaining <= 0.0) {
+      if (error != nullptr) {
+        *error = "receive timed out";
+      }
+      return false;
+    }
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    const int ready = poll(&pfd, 1, std::max(1, static_cast<int>(remaining * 1000.0)));
+    if (ready < 0 && errno != EINTR) {
+      FailWith(error, "poll");
+      return false;
+    }
+    if (ready <= 0) {
+      continue;  // Timeout re-checked at the top of the loop.
+    }
+    char chunk[65536];
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      in_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (error != nullptr) {
+        *error = "connection closed by server";
+      }
+      close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      continue;
+    }
+    FailWith(error, "recv");
+    close(fd_);
+    fd_ = -1;
+    return false;
+  }
+}
+
+}  // namespace threesigma::svc

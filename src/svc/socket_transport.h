@@ -1,0 +1,106 @@
+// POSIX socket transport: Unix-domain and TCP, one non-blocking poll() loop.
+//
+// The server side accepts on up to two listeners (a Unix socket path and a
+// localhost TCP port), reassembles length-prefixed frames from per-connection
+// read buffers, and flushes per-connection write buffers as the peer drains
+// them. Connections idle longer than `idle_timeout_seconds` are closed. The
+// client side is a blocking channel with a poll()-based receive timeout.
+
+#ifndef SRC_SVC_SOCKET_TRANSPORT_H_
+#define SRC_SVC_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/svc/transport.h"
+
+namespace threesigma::svc {
+
+struct SocketServerOptions {
+  std::string unix_path;            // Empty = no Unix-domain listener.
+  int tcp_port = -1;                // < 0 = no TCP listener; 0 = ephemeral.
+  std::string tcp_host = "127.0.0.1";
+  int backlog = 64;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  double idle_timeout_seconds = 0.0;  // 0 = connections never idle out.
+};
+
+class SocketServerTransport : public ServerTransport {
+ public:
+  SocketServerTransport();
+  ~SocketServerTransport() override;
+
+  SocketServerTransport(const SocketServerTransport&) = delete;
+  SocketServerTransport& operator=(const SocketServerTransport&) = delete;
+
+  // Binds the configured listeners. False + `*error` when neither listener
+  // could be opened (an existing socket file at `unix_path` is replaced).
+  bool Listen(const SocketServerOptions& options, std::string* error);
+
+  // Port actually bound (resolves tcp_port == 0); -1 without a TCP listener.
+  int tcp_port() const { return tcp_port_; }
+
+  // Closes listeners and every connection; unlinks the Unix socket path.
+  void Close();
+
+  bool Poll(double timeout_seconds, std::vector<InboundFrame>* frames) override;
+  void Send(uint64_t client, std::string_view payload) override;
+  void Disconnect(uint64_t client) override;
+  size_t ActiveConnections() const override { return connections_.size(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;          // Raw bytes read; frames parsed from the front.
+    size_t in_offset = 0;
+    std::string out;         // Framed reply bytes not yet written.
+    size_t out_offset = 0;
+    double last_active = 0.0;  // Monotonic seconds.
+  };
+
+  void AcceptAll(int listener_fd);
+  // False when the connection died and was closed.
+  bool ReadReady(uint64_t id, Connection& conn, std::vector<InboundFrame>* frames);
+  bool WriteReady(Connection& conn);
+  void CloseConnection(uint64_t id);
+
+  SocketServerOptions options_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, Connection> connections_;
+};
+
+// Client half: connect, blocking send, poll()-timed receive.
+class SocketClientChannel : public ClientChannel {
+ public:
+  static std::unique_ptr<SocketClientChannel> ConnectUnix(const std::string& path,
+                                                          std::string* error);
+  static std::unique_ptr<SocketClientChannel> ConnectTcp(const std::string& host, int port,
+                                                         std::string* error);
+  ~SocketClientChannel() override;
+
+  SocketClientChannel(const SocketClientChannel&) = delete;
+  SocketClientChannel& operator=(const SocketClientChannel&) = delete;
+
+  bool SendFrame(std::string_view payload, std::string* error) override;
+  bool RecvFrame(std::string* payload, double timeout_seconds, std::string* error) override;
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit SocketClientChannel(int fd);
+
+  int fd_ = -1;
+  std::string in_;       // Bytes received ahead of the current frame.
+  size_t in_offset_ = 0;
+  size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace threesigma::svc
+
+#endif  // SRC_SVC_SOCKET_TRANSPORT_H_

@@ -1,0 +1,133 @@
+#include "src/svc/transport.h"
+
+namespace threesigma::svc {
+
+namespace {
+
+bool FailWith(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+}  // namespace
+
+LoopbackTransport::LoopbackTransport(size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+LoopbackTransport::~LoopbackTransport() = default;
+
+std::unique_ptr<LoopbackTransport::Client> LoopbackTransport::Connect() {
+  const uint64_t id = next_id_++;
+  connections_[id];  // Default-construct the connection state.
+  return std::make_unique<Client>(this, id);
+}
+
+LoopbackTransport::Connection* LoopbackTransport::Find(uint64_t client) {
+  auto it = connections_.find(client);
+  if (it == connections_.end() || !it->second.connected) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+bool LoopbackTransport::Poll(double /*timeout_seconds*/, std::vector<InboundFrame>* frames) {
+  for (auto& [id, conn] : connections_) {
+    if (!conn.connected) {
+      continue;
+    }
+    std::string payload;
+    std::string error;
+    for (;;) {
+      const FrameResult r =
+          ExtractFrame(conn.inbound, &conn.inbound_offset, &payload, max_frame_bytes_, &error);
+      if (r == FrameResult::kFrame) {
+        frames->push_back(InboundFrame{id, std::move(payload)});
+        payload.clear();
+        continue;
+      }
+      if (r == FrameResult::kError) {
+        conn.connected = false;
+      }
+      break;
+    }
+    // Reclaim consumed bytes once the buffer is fully parsed.
+    if (conn.inbound_offset == conn.inbound.size()) {
+      conn.inbound.clear();
+      conn.inbound_offset = 0;
+    }
+  }
+  return true;
+}
+
+void LoopbackTransport::Send(uint64_t client, std::string_view payload) {
+  Connection* conn = Find(client);
+  if (conn == nullptr) {
+    return;
+  }
+  conn->replies.emplace_back(payload);
+}
+
+size_t LoopbackTransport::ActiveConnections() const {
+  size_t active = 0;
+  for (const auto& [id, conn] : connections_) {
+    if (conn.connected) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+void LoopbackTransport::Disconnect(uint64_t client) {
+  Connection* conn = Find(client);
+  if (conn != nullptr) {
+    conn->connected = false;
+  }
+}
+
+LoopbackTransport::Client::Client(LoopbackTransport* transport, uint64_t id)
+    : transport_(transport), id_(id) {}
+
+LoopbackTransport::Client::~Client() {
+  transport_->Disconnect(id_);
+}
+
+bool LoopbackTransport::Client::connected() const {
+  auto it = transport_->connections_.find(id_);
+  return it != transport_->connections_.end() && it->second.connected;
+}
+
+bool LoopbackTransport::Client::SendFrame(std::string_view payload, std::string* error) {
+  Connection* conn = transport_->Find(id_);
+  if (conn == nullptr) {
+    return FailWith(error, "loopback connection closed");
+  }
+  if (payload.size() > transport_->max_frame_bytes_) {
+    return FailWith(error, "frame exceeds max_frame_bytes");
+  }
+  AppendFrame(&conn->inbound, payload);
+  return true;
+}
+
+bool LoopbackTransport::Client::RecvFrame(std::string* payload, double /*timeout_seconds*/,
+                                          std::string* error) {
+  for (int pumps = 0; pumps <= max_pumps_; ++pumps) {
+    Connection* conn = transport_->Find(id_);
+    if (conn == nullptr) {
+      return FailWith(error, "loopback connection closed");
+    }
+    if (!conn->replies.empty()) {
+      *payload = std::move(conn->replies.front());
+      conn->replies.pop_front();
+      return true;
+    }
+    if (!pump_) {
+      return FailWith(error, "no reply queued and no pump installed");
+    }
+    pump_();
+  }
+  return FailWith(error, "loopback recv timed out (pump made no progress)");
+}
+
+}  // namespace threesigma::svc

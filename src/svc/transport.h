@@ -1,0 +1,130 @@
+// Transport abstraction for the scheduling service.
+//
+// The server speaks to clients through a ServerTransport (poll for inbound
+// frames, send replies); clients hold a ClientChannel (send one frame,
+// receive one frame). Two implementations exist behind these interfaces:
+//
+//   LoopbackTransport (here)        — in-process, deterministic. Frames move
+//     through per-client FIFO byte buffers using the real wire framing; the
+//     server drains clients in connection order, so a scripted session is
+//     byte-identical across runs and solver thread counts.
+//   SocketServerTransport (socket_transport.h) — Unix-domain / TCP sockets
+//     with a non-blocking poll() loop.
+//
+// The loopback has no threads: a client's RecvFrame invokes a "pump"
+// callback (normally Server::HandleReady) until the server has produced a
+// reply, which keeps svc::Client usable unmodified over either transport.
+
+#ifndef SRC_SVC_TRANSPORT_H_
+#define SRC_SVC_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/svc/wire.h"
+
+namespace threesigma::svc {
+
+// One decoded inbound frame and the connection it arrived on.
+struct InboundFrame {
+  uint64_t client = 0;
+  std::string payload;
+};
+
+class ServerTransport {
+ public:
+  virtual ~ServerTransport() = default;
+
+  // Gathers complete inbound frames, waiting up to `timeout_seconds` for the
+  // first byte (0 = non-blocking). Returns false when the transport is
+  // permanently closed. A client that violates framing is disconnected and
+  // its partial input dropped.
+  virtual bool Poll(double timeout_seconds, std::vector<InboundFrame>* frames) = 0;
+
+  // Queues one reply frame to `client`. Unknown / disconnected clients are
+  // ignored (the peer may have gone away between poll and reply).
+  virtual void Send(uint64_t client, std::string_view payload) = 0;
+
+  virtual void Disconnect(uint64_t client) = 0;
+
+  // Currently open connections (the server lingers after a drain until every
+  // client has seen the final state and disconnected).
+  virtual size_t ActiveConnections() const = 0;
+};
+
+// Client half of a connection.
+class ClientChannel {
+ public:
+  virtual ~ClientChannel() = default;
+
+  virtual bool SendFrame(std::string_view payload, std::string* error) = 0;
+  // Blocks up to `timeout_seconds` for one complete frame.
+  virtual bool RecvFrame(std::string* payload, double timeout_seconds, std::string* error) = 0;
+};
+
+class LoopbackTransport : public ServerTransport {
+ public:
+  class Client;
+
+  explicit LoopbackTransport(size_t max_frame_bytes = kDefaultMaxFrameBytes);
+  ~LoopbackTransport() override;
+
+  // Opens a connection. The returned channel must not outlive the transport.
+  std::unique_ptr<Client> Connect();
+
+  // Extracts every complete inbound frame, clients visited in connection
+  // order, each client's frames in FIFO order. Never blocks; the timeout is
+  // ignored (there is no peer to wait for).
+  bool Poll(double timeout_seconds, std::vector<InboundFrame>* frames) override;
+  void Send(uint64_t client, std::string_view payload) override;
+  void Disconnect(uint64_t client) override;
+  size_t ActiveConnections() const override;
+
+  class Client : public ClientChannel {
+   public:
+    Client(LoopbackTransport* transport, uint64_t id);
+    ~Client() override;
+
+    bool SendFrame(std::string_view payload, std::string* error) override;
+    // If no reply is queued, invokes the pump until one appears; fails after
+    // `max_pumps_` fruitless invocations rather than spinning forever.
+    bool RecvFrame(std::string* payload, double timeout_seconds, std::string* error) override;
+
+    // The pump runs one server iteration (e.g. [&] { server.HandleReady(); })
+    // and is what makes a loopback RecvFrame "block" deterministically.
+    void SetPump(std::function<void()> pump) { pump_ = std::move(pump); }
+
+    uint64_t id() const { return id_; }
+    bool connected() const;
+
+   private:
+    LoopbackTransport* transport_;
+    uint64_t id_;
+    std::function<void()> pump_;
+    int max_pumps_ = 1000;
+  };
+
+ private:
+  struct Connection {
+    std::string inbound;        // Framed client -> server bytes.
+    size_t inbound_offset = 0;  // Parse cursor into `inbound`.
+    std::deque<std::string> replies;  // Decoded server -> client payloads.
+    bool connected = true;
+  };
+
+  Connection* Find(uint64_t client);
+
+  size_t max_frame_bytes_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, Connection> connections_;  // Ordered: deterministic visit order.
+};
+
+}  // namespace threesigma::svc
+
+#endif  // SRC_SVC_TRANSPORT_H_

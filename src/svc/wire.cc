@@ -1,0 +1,267 @@
+#include "src/svc/wire.h"
+
+#include <cstring>
+
+#include "src/snapshot/snapshot_io.h"
+
+namespace threesigma::svc {
+
+namespace {
+
+bool FailWith(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+void WriteJobStatusInfo(SnapshotWriter& writer, const JobStatusInfo& info) {
+  writer.WriteU8(static_cast<uint8_t>(info.status));
+  writer.WriteDouble(info.submit_time);
+  writer.WriteDouble(info.start_time);
+  writer.WriteDouble(info.finish_time);
+  writer.WriteVarI64(info.group);
+  writer.WriteVarI64(info.preemptions);
+  writer.WriteBool(info.arrived);
+}
+
+bool ReadJobStatusInfo(SnapshotReader& reader, JobStatusInfo* info) {
+  const uint8_t status = reader.ReadU8();
+  if (status > static_cast<uint8_t>(JobStatus::kUnfinished)) {
+    return false;
+  }
+  info->status = static_cast<JobStatus>(status);
+  info->submit_time = reader.ReadDouble();
+  info->start_time = reader.ReadDouble();
+  info->finish_time = reader.ReadDouble();
+  info->group = static_cast<int>(reader.ReadVarI64());
+  info->preemptions = static_cast<int>(reader.ReadVarI64());
+  info->arrived = reader.ReadBool();
+  return reader.ok();
+}
+
+void WriteSimStateInfo(SnapshotWriter& writer, const SimStateInfo& info) {
+  writer.WriteDouble(info.now);
+  writer.WriteVarU64(info.cycles_completed);
+  writer.WriteVarI64(info.total_jobs);
+  writer.WriteVarI64(info.pending_jobs);
+  writer.WriteVarI64(info.running_jobs);
+  writer.WriteVarI64(info.completed_jobs);
+  writer.WriteVarI64(info.abandoned_jobs);
+  writer.WriteVarI64(info.total_nodes);
+  writer.WriteVarI64(info.available_nodes);
+  writer.WriteVarI64(info.free_nodes);
+  writer.WriteBool(info.drained);
+}
+
+void ReadSimStateInfo(SnapshotReader& reader, SimStateInfo* info) {
+  info->now = reader.ReadDouble();
+  info->cycles_completed = reader.ReadVarU64();
+  info->total_jobs = reader.ReadVarI64();
+  info->pending_jobs = reader.ReadVarI64();
+  info->running_jobs = reader.ReadVarI64();
+  info->completed_jobs = reader.ReadVarI64();
+  info->abandoned_jobs = reader.ReadVarI64();
+  info->total_nodes = static_cast<int>(reader.ReadVarI64());
+  info->available_nodes = static_cast<int>(reader.ReadVarI64());
+  info->free_nodes = static_cast<int>(reader.ReadVarI64());
+  info->drained = reader.ReadBool();
+}
+
+}  // namespace
+
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kSubmitJob:
+      return "submit_job";
+    case Verb::kJobStatus:
+      return "job_status";
+    case Verb::kCancelJob:
+      return "cancel_job";
+    case Verb::kClusterState:
+      return "cluster_state";
+    case Verb::kMetricsDump:
+      return "metrics_dump";
+    case Verb::kTriggerCheckpoint:
+      return "trigger_checkpoint";
+    case Verb::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kRetryLater:
+      return "retry_later";
+    case StatusCode::kMalformed:
+      return "malformed";
+    case StatusCode::kUnknownVerb:
+      return "unknown_verb";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kShuttingDown:
+      return "shutting_down";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string EncodeRequest(const Request& request) {
+  SnapshotWriter writer;
+  writer.BeginSection("req", 1);
+  writer.WriteU8(static_cast<uint8_t>(request.verb));
+  writer.WriteVarU64(request.request_id);
+  switch (request.verb) {
+    case Verb::kSubmitJob:
+      writer.WriteString(request.token);
+      request.job.SaveState(writer);
+      break;
+    case Verb::kJobStatus:
+    case Verb::kCancelJob:
+      writer.WriteVarI64(request.job_id);
+      break;
+    case Verb::kShutdown:
+      writer.WriteBool(request.drain);
+      break;
+    case Verb::kClusterState:
+    case Verb::kMetricsDump:
+    case Verb::kTriggerCheckpoint:
+      break;
+  }
+  writer.EndSection();
+  return writer.Finish();
+}
+
+bool DecodeRequest(const std::string& payload, Request* out, std::string* error) {
+  *out = Request();
+  SnapshotReader reader(payload);
+  if (!reader.ok()) {
+    return FailWith(error, reader.error());
+  }
+  uint32_t version = 0;
+  if (!reader.BeginSection("req", &version)) {
+    return FailWith(error, reader.error());
+  }
+  if (version != 1) {
+    return FailWith(error, "unsupported request version");
+  }
+  const uint8_t verb = reader.ReadU8();
+  if (!reader.ok() || verb < static_cast<uint8_t>(Verb::kSubmitJob) ||
+      verb > static_cast<uint8_t>(Verb::kShutdown)) {
+    return FailWith(error, "unknown request verb");
+  }
+  out->verb = static_cast<Verb>(verb);
+  out->request_id = reader.ReadVarU64();
+  switch (out->verb) {
+    case Verb::kSubmitJob:
+      out->token = reader.ReadString();
+      out->job.RestoreState(reader);
+      break;
+    case Verb::kJobStatus:
+    case Verb::kCancelJob:
+      out->job_id = reader.ReadVarI64();
+      break;
+    case Verb::kShutdown:
+      out->drain = reader.ReadBool();
+      break;
+    case Verb::kClusterState:
+    case Verb::kMetricsDump:
+    case Verb::kTriggerCheckpoint:
+      break;
+  }
+  reader.EndSection();
+  if (!reader.ok()) {
+    return FailWith(error, reader.error().empty() ? "malformed request" : reader.error());
+  }
+  return true;
+}
+
+std::string EncodeReply(const Reply& reply) {
+  SnapshotWriter writer;
+  writer.BeginSection("rep", 1);
+  writer.WriteU8(static_cast<uint8_t>(reply.code));
+  writer.WriteVarU64(reply.request_id);
+  writer.WriteString(reply.message);
+  writer.WriteVarI64(reply.job_id);
+  WriteJobStatusInfo(writer, reply.job);
+  WriteSimStateInfo(writer, reply.cluster);
+  writer.WriteVarU64(reply.queue_depth);
+  writer.WriteString(reply.text);
+  writer.EndSection();
+  return writer.Finish();
+}
+
+bool DecodeReply(const std::string& payload, Reply* out, std::string* error) {
+  *out = Reply();
+  SnapshotReader reader(payload);
+  if (!reader.ok()) {
+    return FailWith(error, reader.error());
+  }
+  uint32_t version = 0;
+  if (!reader.BeginSection("rep", &version)) {
+    return FailWith(error, reader.error());
+  }
+  if (version != 1) {
+    return FailWith(error, "unsupported reply version");
+  }
+  const uint8_t code = reader.ReadU8();
+  if (!reader.ok() || code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return FailWith(error, "unknown reply status code");
+  }
+  out->code = static_cast<StatusCode>(code);
+  out->request_id = reader.ReadVarU64();
+  out->message = reader.ReadString();
+  out->job_id = reader.ReadVarI64();
+  if (!ReadJobStatusInfo(reader, &out->job)) {
+    return FailWith(error, "malformed reply job status");
+  }
+  ReadSimStateInfo(reader, &out->cluster);
+  out->queue_depth = reader.ReadVarU64();
+  out->text = reader.ReadString();
+  reader.EndSection();
+  if (!reader.ok()) {
+    return FailWith(error, reader.error().empty() ? "malformed reply" : reader.error());
+  }
+  return true;
+}
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  char prefix[4];
+  prefix[0] = static_cast<char>(length & 0xff);
+  prefix[1] = static_cast<char>((length >> 8) & 0xff);
+  prefix[2] = static_cast<char>((length >> 16) & 0xff);
+  prefix[3] = static_cast<char>((length >> 24) & 0xff);
+  out->append(prefix, 4);
+  out->append(payload.data(), payload.size());
+}
+
+FrameResult ExtractFrame(const std::string& buffer, size_t* offset, std::string* payload,
+                         size_t max_frame_bytes, std::string* error) {
+  const size_t available = buffer.size() - *offset;
+  if (available < 4) {
+    return FrameResult::kNeedMore;
+  }
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(buffer.data() + *offset);
+  const uint32_t length = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+                          (static_cast<uint32_t>(p[2]) << 16) |
+                          (static_cast<uint32_t>(p[3]) << 24);
+  if (length == 0 || length > max_frame_bytes) {
+    FailWith(error, "frame length out of range");
+    return FrameResult::kError;
+  }
+  if (available - 4 < length) {
+    return FrameResult::kNeedMore;
+  }
+  payload->assign(buffer, *offset + 4, length);
+  *offset += 4 + static_cast<size_t>(length);
+  return FrameResult::kFrame;
+}
+
+}  // namespace threesigma::svc

@@ -191,6 +191,152 @@ TEST(SnapshotCodecTest, ListAndDiffSections) {
 }
 
 // ---------------------------------------------------------------------------
+// Untrusted-input robustness. Service frames arrive from the network, so the
+// reader must survive arbitrary corruption — clean error, never a crash, a
+// hang, or an attacker-sized allocation.
+
+std::string BuildRichSnapshot() {
+  SnapshotWriter writer;
+  writer.BeginSection("alpha", 1);
+  writer.WriteVarU64(12);
+  writer.WriteString("hello world");
+  writer.WriteDoubleVec({1.0, 2.0, 3.0, 4.0});
+  writer.EndSection();
+  writer.BeginSection("beta", 2);
+  writer.WriteIntVec({5, -6, 7});
+  writer.WriteDouble(2.75);
+  writer.WriteString(std::string(64, 'x'));
+  writer.EndSection();
+  writer.BeginSection("gamma", 3);
+  for (int i = 0; i < 32; ++i) {
+    writer.WriteVarI64(i * 1000 - 7);
+  }
+  writer.EndSection();
+  return writer.Finish();
+}
+
+// Repatches the trailing CRC so a mutated body passes envelope validation and
+// the corruption reaches the section and primitive decoding layers.
+void RepatchCrc(std::string* buffer) {
+  const size_t body = buffer->size() - 4;
+  const uint32_t crc = Crc32(buffer->data(), body);
+  for (int i = 0; i < 4; ++i) {
+    (*buffer)[body + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+}
+
+// Walks every section with a rotating mix of typed reads. Must terminate
+// without crashing no matter what bytes are underneath: every iteration
+// either consumes at least one byte or latches !ok().
+void ExerciseReader(const std::string& buffer) {
+  SnapshotReader reader(buffer);
+  int step = 0;
+  while (reader.ok() && reader.HasMoreSections()) {
+    const std::string name = reader.PeekSectionName();
+    if (name.empty() || !reader.BeginSection(name)) {
+      break;
+    }
+    while (reader.ok() && reader.SectionRemaining() > 0) {
+      switch (step++ % 6) {
+        case 0: reader.ReadVarU64(); break;
+        case 1: reader.ReadString(); break;
+        case 2: reader.ReadDoubleVec(); break;
+        case 3: reader.ReadIntVec(); break;
+        case 4: reader.ReadDouble(); break;
+        default: reader.ReadVarCount(8); break;
+      }
+    }
+    reader.EndSection();
+  }
+}
+
+TEST(SnapshotRobustnessTest, RandomizedCorruptionFailsCleanly) {
+  const std::string good = BuildRichSnapshot();
+  Rng rng(2024);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = good;
+    const int mode = static_cast<int>(rng.UniformInt(0, 2));
+    if (mode == 0) {
+      const int flips = static_cast<int>(rng.UniformInt(1, 4));
+      for (int f = 0; f < flips; ++f) {
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+        mutated[at] = static_cast<char>(mutated[at] ^ (1u << rng.UniformInt(0, 7)));
+      }
+    } else if (mode == 1) {
+      mutated.resize(static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1)));
+    } else {
+      const int extra = static_cast<int>(rng.UniformInt(1, 32));
+      for (int i = 0; i < extra; ++i) {
+        mutated.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+      }
+    }
+    // As mutated: the CRC rejects nearly every one of these up front.
+    ExerciseReader(mutated);
+    // CRC repatched: the corrupted bytes reach the decoding layers.
+    if (mutated.size() >= 12) {
+      RepatchCrc(&mutated);
+      ExerciseReader(mutated);
+      std::vector<SnapshotSection> sections;
+      std::string error;
+      (void)ListSnapshotSections(mutated, &sections, &error);
+    }
+  }
+}
+
+TEST(SnapshotRobustnessTest, HugeDeclaredLengthsFailCleanly) {
+  // A length prefix of 2^64-1 with no payload behind it: every typed read
+  // must fail without attempting the allocation.
+  SnapshotWriter writer;
+  writer.BeginSection("evil", 1);
+  writer.WriteVarU64(~0ULL);
+  writer.EndSection();
+  const std::string buffer = writer.Finish();
+  {
+    SnapshotReader reader(buffer);
+    ASSERT_TRUE(reader.BeginSection("evil"));
+    EXPECT_EQ(reader.ReadString(), "");
+    EXPECT_FALSE(reader.ok());
+  }
+  {
+    SnapshotReader reader(buffer);
+    ASSERT_TRUE(reader.BeginSection("evil"));
+    EXPECT_TRUE(reader.ReadDoubleVec().empty());
+    EXPECT_FALSE(reader.ok());
+  }
+  {
+    SnapshotReader reader(buffer);
+    ASSERT_TRUE(reader.BeginSection("evil"));
+    EXPECT_EQ(reader.ReadVarCount(1), 0u);
+    EXPECT_FALSE(reader.ok());
+  }
+}
+
+TEST(SnapshotRobustnessTest, OverflowingElementCountFailsCleanly) {
+  // count * 8 wraps to 8 for this count; the bounds check must divide, not
+  // multiply, or the reader attempts a 2^61-element vector.
+  SnapshotWriter writer;
+  writer.BeginSection("evil", 1);
+  writer.WriteVarU64((1ULL << 61) + 1);
+  writer.WriteDouble(0.0);
+  writer.EndSection();
+  const std::string buffer = writer.Finish();
+  {
+    SnapshotReader reader(buffer);
+    ASSERT_TRUE(reader.BeginSection("evil"));
+    EXPECT_TRUE(reader.ReadDoubleVec().empty());
+    EXPECT_FALSE(reader.ok());
+  }
+  {
+    SnapshotReader reader(buffer);
+    ASSERT_TRUE(reader.BeginSection("evil"));
+    EXPECT_EQ(reader.ReadVarCount(8), 0u);
+    EXPECT_FALSE(reader.ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
 // RNG stream state.
 
 TEST(RngSnapshotTest, SaveRestoreDrawEqualsUninterrupted) {
