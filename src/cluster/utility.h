@@ -21,6 +21,11 @@ class SnapshotWriter;
 
 class UtilityFunction {
  public:
+  // The three shapes; exposed so the valuation engine (src/sched/valuation.h)
+  // can dispatch to a closed-form Eq. 1 kernel per kind instead of calling
+  // ValueAtCompletion through an indirection per distribution atom.
+  enum class Kind { kStep, kStepDecay, kLinear };
+
   // Step utility: `value` if completed by `deadline`, else 0 (Fig. 3a).
   static UtilityFunction SloStep(double value, Time deadline);
   // Step with over-estimate extension: full value until `deadline`, then a
@@ -37,8 +42,12 @@ class UtilityFunction {
   // best-effort or already-extended utilities).
   UtilityFunction WithOverestimateDecay(Duration decay_window) const;
 
+  Kind kind() const { return kind_; }
   double peak_value() const { return value_; }
   Time deadline() const { return deadline_; }
+  // Linear kind: decay origin (submit time). StepDecay/Linear: decay span.
+  Time start() const { return start_; }
+  Duration window() const { return window_; }
   bool is_step() const { return kind_ == Kind::kStep || kind_ == Kind::kStepDecay; }
   bool has_decay_extension() const { return kind_ == Kind::kStepDecay; }
 
@@ -47,8 +56,6 @@ class UtilityFunction {
   void RestoreState(SnapshotReader& reader);
 
  private:
-  enum class Kind { kStep, kStepDecay, kLinear };
-
   Kind kind_ = Kind::kStep;
   double value_ = 0.0;
   Time deadline_ = 0.0;          // Step kinds: the SLO deadline.

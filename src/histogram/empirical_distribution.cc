@@ -186,25 +186,38 @@ double EmpiricalDistribution::MinValue() const {
   return atoms_.front().value;
 }
 
-EmpiricalDistribution EmpiricalDistribution::ConditionalGivenExceeds(double elapsed) const {
-  std::vector<Atom> surviving;
-  for (const Atom& a : atoms_) {
-    if (a.value > elapsed) {
-      surviving.push_back(a);
-    }
+EmpiricalDistribution::TailView EmpiricalDistribution::ConditionalTail(double elapsed) const {
+  TailView view;
+  // Atoms are sorted ascending, so the survivors (value > elapsed) are a
+  // contiguous suffix. A NaN elapsed makes every `value > elapsed` false, so
+  // nothing survives and the view is empty.
+  size_t begin = 0;
+  while (begin < atoms_.size() && !(atoms_[begin].value > elapsed)) {
+    ++begin;
   }
-  if (surviving.empty()) {
+  if (begin == atoms_.size()) {
+    return view;
+  }
+  view.first = &atoms_[begin];
+  view.count = atoms_.size() - begin;
+  for (size_t i = begin; i < atoms_.size(); ++i) {
+    view.mass += atoms_[i].probability;
+  }
+  return view;
+}
+
+EmpiricalDistribution EmpiricalDistribution::ConditionalGivenExceeds(double elapsed) const {
+  const TailView view = ConditionalTail(elapsed);
+  if (view.empty()) {
+    // No survivors, or a zero-mass tail (verbatim-restored atom sets may
+    // carry zero-probability atoms): renormalizing would divide by zero.
     return EmpiricalDistribution();
   }
-  return FromAtoms(std::move(surviving));
+  return FromAtoms(std::vector<Atom>(view.first, view.first + view.count));
 }
 
 double EmpiricalDistribution::ExpectedValue(const std::function<double(double)>& f) const {
-  double total = 0.0;
-  for (const Atom& a : atoms_) {
-    total += f(a.value) * a.probability;
-  }
-  return total;
+  return ExpectedValue<std::function<double(double)>>(f);
 }
 
 EmpiricalDistribution EmpiricalDistribution::Scaled(double factor) const {

@@ -67,12 +67,43 @@ class EmpiricalDistribution {
   double MaxValue() const;
   double MinValue() const;
 
+  // Zero-copy form of the Eq. 2 update: the contiguous suffix of atoms with
+  // value > elapsed (atoms are sorted, so the survivors are a suffix) plus
+  // their unnormalized mass. A view into this distribution's storage, valid
+  // only while the distribution is alive and unmodified. `empty()` covers
+  // both edge cases ConditionalGivenExceeds must handle: elapsed at/past the
+  // last atom (no survivors) and a zero-mass tail (survivors exist but carry
+  // no probability — possible for snapshot-restored atom sets, which are
+  // adopted verbatim). A NaN elapsed compares false against every value, so
+  // no atom qualifies as a survivor and the view is empty.
+  struct TailView {
+    const Atom* first = nullptr;  // Suffix start; nullptr when count == 0.
+    size_t count = 0;             // Surviving atoms.
+    double mass = 0.0;            // Unnormalized survivor mass.
+    bool empty() const { return count == 0 || !(mass > 0.0); }
+  };
+  TailView ConditionalTail(double elapsed) const;
+
   // The Eq. 2 update: distribution of T given T > elapsed. Returns an empty
   // distribution when no atom survives (the job outran its entire history —
-  // the under-estimate case the caller must handle).
+  // the under-estimate case the caller must handle) or when the surviving
+  // tail carries zero mass (renormalizing it would divide by zero).
   EmpiricalDistribution ConditionalGivenExceeds(double elapsed) const;
 
-  // E[f(T)] — the Eq. 1 workhorse.
+  // E[f(T)] — the Eq. 1 workhorse. The template form binds any callable
+  // without the allocation + indirect call of a std::function (function_ref
+  // semantics); the std::function overload remains as a thin wrapper for
+  // callers that already hold one. Overload resolution prefers the exact
+  // non-template match for a std::function argument and the template for
+  // everything else (lambdas, function pointers, functors).
+  template <typename F>
+  double ExpectedValue(const F& f) const {
+    double total = 0.0;
+    for (const Atom& a : atoms_) {
+      total += f(a.value) * a.probability;
+    }
+    return total;
+  }
   double ExpectedValue(const std::function<double(double)>& f) const;
 
   // Returns a copy with every atom value multiplied by `factor` (> 0); models

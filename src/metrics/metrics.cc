@@ -76,6 +76,9 @@ RunMetrics ComputeMetrics(const SimResult& result, const std::string& system_nam
     m.total_incumbent_improvements += c.milp_incumbent_improvements;
     m.capacity_cache_hits += c.capacity_cache_hits;
     m.capacity_cache_misses += c.capacity_cache_misses;
+    m.valuation_cache_hits += c.valuation_cache_hits;
+    m.valuation_cache_misses += c.valuation_cache_misses;
+    m.valuation_kernel_calls += c.valuation_kernel_calls;
   }
   if (!result.cycles.empty()) {
     m.mean_cycle_seconds = cycle_sum / static_cast<double>(result.cycles.size());
@@ -88,6 +91,11 @@ RunMetrics ComputeMetrics(const SimResult& result, const std::string& system_nam
   if (cache_total > 0) {
     m.capacity_cache_hit_rate = static_cast<double>(m.capacity_cache_hits) /
                                 static_cast<double>(cache_total);
+  }
+  const int64_t val_total = m.valuation_cache_hits + m.valuation_cache_misses;
+  if (val_total > 0) {
+    m.valuation_cache_hit_rate = static_cast<double>(m.valuation_cache_hits) /
+                                 static_cast<double>(val_total);
   }
 
   m.tasks_killed_by_faults = result.tasks_killed_by_faults;

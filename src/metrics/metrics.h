@@ -63,6 +63,12 @@ struct RunMetrics {
   int64_t capacity_cache_hits = 0;
   int64_t capacity_cache_misses = 0;
   double capacity_cache_hit_rate = 0.0;
+  // Valuation engine: Eq. 1 table-cache traffic and kernel evaluations
+  // (all zero when the engine is off).
+  int64_t valuation_cache_hits = 0;
+  int64_t valuation_cache_misses = 0;
+  double valuation_cache_hit_rate = 0.0;
+  int64_t valuation_kernel_calls = 0;
 
   // Fault-injection observability (all zero when chaos is off).
   int tasks_killed_by_faults = 0;

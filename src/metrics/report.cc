@@ -47,7 +47,8 @@ void WriteRunMetricsCsv(std::ostream& os, const std::vector<RunMetrics>& runs) {
         "incumbent_improvements,capacity_cache_hits,capacity_cache_misses,"
         "capacity_cache_hit_rate,tasks_killed_by_faults,fault_node_events,"
         "stalled_cycles,node_downtime_fraction,rework_machine_hours,rework_ratio,"
-        "goodput_per_available_hour\n";
+        "goodput_per_available_hour,valuation_cache_hits,valuation_cache_misses,"
+        "valuation_cache_hit_rate,valuation_kernel_calls\n";
   for (const RunMetrics& m : runs) {
     os << m.system << "," << m.slo_jobs << "," << m.slo_censored << "," << m.be_jobs << ","
        << m.slo_missed << "," << m.slo_miss_rate_percent << "," << m.slo_completed << ","
@@ -64,7 +65,9 @@ void WriteRunMetricsCsv(std::ostream& os, const std::vector<RunMetrics>& runs) {
        << m.capacity_cache_hit_rate << "," << m.tasks_killed_by_faults << ","
        << m.fault_node_events << "," << m.stalled_cycles << ","
        << m.node_downtime_fraction << "," << m.rework_machine_hours << ","
-       << m.rework_ratio << "," << m.goodput_per_available_hour << "\n";
+       << m.rework_ratio << "," << m.goodput_per_available_hour << ","
+       << m.valuation_cache_hits << "," << m.valuation_cache_misses << ","
+       << m.valuation_cache_hit_rate << "," << m.valuation_kernel_calls << "\n";
   }
 }
 

@@ -35,6 +35,17 @@ void CycleProfiler::AddPhase(Phase phase, double seconds) {
   sink[static_cast<size_t>(phase)] += seconds;
 }
 
+void CycleProfiler::SetCycleCounters(int64_t valuation_cache_hits,
+                                     int64_t valuation_cache_misses,
+                                     int64_t valuation_kernel_calls) {
+  if (!cycle_open_) {
+    return;
+  }
+  current_.valuation_cache_hits = valuation_cache_hits;
+  current_.valuation_cache_misses = valuation_cache_misses;
+  current_.valuation_kernel_calls = valuation_kernel_calls;
+}
+
 void CycleProfiler::EndCycle(double cycle_seconds) {
   if (!cycle_open_) {
     return;
@@ -50,13 +61,15 @@ void CycleProfiler::WriteCsv(std::ostream& os) const {
   for (size_t p = 0; p < static_cast<size_t>(Phase::kCount); ++p) {
     os << "," << PhaseName(static_cast<Phase>(p)) << "_s";
   }
-  os << ",sched_phase_sum_s,cycle_s\n";
+  os << ",sched_phase_sum_s,cycle_s,val_cache_hits,val_cache_misses,val_kernel_calls\n";
   for (const CyclePhaseRow& row : rows_) {
     os << row.cycle << "," << row.sim_time;
     for (size_t p = 0; p < static_cast<size_t>(Phase::kCount); ++p) {
       os << "," << row.phase_seconds[p];
     }
-    os << "," << row.sched_phase_seconds() << "," << row.cycle_seconds << "\n";
+    os << "," << row.sched_phase_seconds() << "," << row.cycle_seconds << ","
+       << row.valuation_cache_hits << "," << row.valuation_cache_misses << ","
+       << row.valuation_kernel_calls << "\n";
   }
 }
 

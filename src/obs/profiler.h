@@ -41,6 +41,10 @@ struct CyclePhaseRow {
   double sim_time = 0.0;
   std::array<double, static_cast<size_t>(Phase::kCount)> phase_seconds{};
   double cycle_seconds = 0.0;  // Scheduler-reported full-cycle latency.
+  // Valuation-engine traffic this cycle (deterministic, unlike the timings).
+  int64_t valuation_cache_hits = 0;
+  int64_t valuation_cache_misses = 0;
+  int64_t valuation_kernel_calls = 0;
 
   // Sum of the six disjoint scheduler pipeline phases (capacity..placement).
   double sched_phase_seconds() const {
@@ -62,6 +66,9 @@ class CycleProfiler {
   void BeginCycle(int64_t cycle, double sim_time);
   // Called by Span::End for phase-tagged spans (driver thread only).
   void AddPhase(Phase phase, double seconds);
+  // Stamps the open row's valuation counters; no-op without an open cycle.
+  void SetCycleCounters(int64_t valuation_cache_hits, int64_t valuation_cache_misses,
+                        int64_t valuation_kernel_calls);
   void EndCycle(double cycle_seconds);
 
   const std::vector<CyclePhaseRow>& rows() const { return rows_; }

@@ -30,7 +30,10 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 DistributionScheduler::DistributionScheduler(const ClusterConfig& cluster,
                                              RuntimePredictor* predictor,
                                              DistSchedulerConfig config)
-    : cluster_(cluster), predictor_(predictor), config_(std::move(config)) {
+    : cluster_(cluster),
+      predictor_(predictor),
+      config_(std::move(config)),
+      valuation_(ValuationEngine::Config{config_.valuation_cache, config_.valuation_crosscheck}) {
   TS_CHECK(predictor_ != nullptr);
   TS_CHECK_GT(config_.num_start_slots, 0);
   TS_CHECK_GT(config_.planahead, 0.0);
@@ -87,6 +90,7 @@ void DistributionScheduler::OnJobArrival(const JobSpec& spec, Time now) {
 
   ApplyOverestimateDecay(info, /*force=*/false);
 
+  valuation_.InvalidateJob(spec.id);  // A reused id must not see stale tables.
   jobs_[spec.id] = std::move(info);
   pending_.push_back(spec.id);
   dirty_ = true;
@@ -113,6 +117,7 @@ void DistributionScheduler::OnJobFinished(JobId id, Time now, Duration observed_
   TS_CHECK(it != jobs_.end());
   RetireCapacityContribution(it->second);
   predictor_->RecordCompletion(it->second.record_features, observed_runtime);
+  valuation_.InvalidateJob(id);
   jobs_.erase(it);
   pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
   dirty_ = true;
@@ -144,6 +149,7 @@ void DistributionScheduler::OnJobCancelled(JobId id, Time now) {
     return;
   }
   TS_CHECK(!it->second.running);
+  valuation_.InvalidateJob(id);
   jobs_.erase(it);
   pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
   dirty_ = true;
@@ -178,6 +184,10 @@ void DistributionScheduler::OnJobFaultKilled(JobId id, Time now) {
   // for this job is now off by the lost run — treat it as an over-estimate
   // candidate unconditionally so its utility decays instead of cliffing.
   ApplyOverestimateDecay(info, /*force=*/true);
+
+  // Both valuation-table inputs (sched_dist, effective_utility — including
+  // the forced OE-gate flip above) just changed.
+  valuation_.InvalidateJob(id);
 }
 
 void DistributionScheduler::OnCapacityChanged(int group, int available_nodes, Time now) {
@@ -228,6 +238,26 @@ void DistributionScheduler::ComputeRunningSurvival(const JobInfo& info, Time now
   // S(elapsed), in the scaled (on-this-group) time base.
   const double mult = info.spec.RuntimeMultiplier(info.group);
   const double elapsed = now - info.start_time;
+  if (config_.valuation_engine) {
+    // Zero-copy conditional: both survival queries are prefix-mass lookups
+    // on the job's cached tables — no per-refresh Scaled() materialization.
+    // Lookups here are uncounted (counters cover the valuation phase), so
+    // the counter stream is invariant to crosscheck reruns of this method.
+    const ValuationTables& tables = valuation_.Tables(
+        info.spec.id, mult, info.sched_dist, info.effective_utility, /*counters=*/nullptr);
+    const double s_elapsed = valuation_.Survival(tables, elapsed);
+    if (s_elapsed <= 0.0) {
+      // Raced past the max between updates; treat as one more cycle.
+      for (int i = 0; i < slots; ++i) {
+        (*out)[static_cast<size_t>(i)] = i * delta < config_.cycle_period ? 1.0 : 0.0;
+      }
+      return;
+    }
+    for (int i = 0; i < slots; ++i) {
+      (*out)[static_cast<size_t>(i)] = valuation_.Survival(tables, elapsed + i * delta) / s_elapsed;
+    }
+    return;
+  }
   const EmpiricalDistribution scaled =
       mult == 1.0 ? info.sched_dist : info.sched_dist.Scaled(mult);
   const double s_elapsed = scaled.Survival(elapsed);
@@ -289,6 +319,91 @@ void DistributionScheduler::RefreshRunningSurvival(JobInfo& info, Time now) {
     }
   }
   info.survival_valid_until = info.start_time + next_elapsed;
+}
+
+void DistributionScheduler::ValueJobOptions(const JobInfo& info, Time now,
+                                            ValuationScratch& scratch, JobValuation* out) const {
+  out->Clear();
+  const int num_groups = cluster_.num_groups();
+  const int slots = config_.num_start_slots;
+  const double delta = config_.planahead / slots;
+  const double k = info.spec.num_tasks;
+  scratch.survival.resize(static_cast<size_t>(slots));
+  for (int g = 0; g < num_groups; ++g) {
+    if (info.spec.num_tasks > cluster_.group(g).node_count) {
+      continue;
+    }
+    const double mult = info.spec.RuntimeMultiplier(g);
+    const ValuationTables* tables = valuation_.Find(info.spec.id, mult);
+    TS_CHECK_MSG(tables != nullptr,
+                 "valuation tables missing for job " << info.spec.id << " scale " << mult);
+    // Survival at each slot offset (shared across start slots).
+    for (int d = 0; d < slots; ++d) {
+      scratch.survival[static_cast<size_t>(d)] = valuation_.Survival(*tables, d * delta);
+    }
+    // A gang occupies its nodes with certainty at the instant it starts,
+    // even if the distribution carries (clamped) zero-runtime atoms.
+    scratch.survival[0] = 1.0;
+    for (int s = 0; s < slots; ++s) {
+      const Time start = now + s * delta;
+      const double eu =
+          valuation_.ExpectedUtility(*tables, info.effective_utility, start, &scratch.counters);
+      if (eu <= kMinOptionUtility) {
+        continue;
+      }
+      ValuedOption opt;
+      opt.group = g;
+      opt.slot = s;
+      opt.eu = eu;
+      opt.cons_offset = out->consumption.size();
+      opt.cons_len = slots - s;
+      for (int i = s; i < slots; ++i) {
+        out->consumption.push_back(k * scratch.survival[static_cast<size_t>(i - s)]);
+      }
+      out->options.push_back(opt);
+    }
+  }
+}
+
+void DistributionScheduler::ValueJobOptionsGeneric(const JobInfo& info, Time now,
+                                                   ValuationScratch& scratch,
+                                                   JobValuation* out) const {
+  out->Clear();
+  const int num_groups = cluster_.num_groups();
+  const int slots = config_.num_start_slots;
+  const double delta = config_.planahead / slots;
+  const double k = info.spec.num_tasks;
+  scratch.survival.resize(static_cast<size_t>(slots));
+  for (int g = 0; g < num_groups; ++g) {
+    if (info.spec.num_tasks > cluster_.group(g).node_count) {
+      continue;
+    }
+    const double mult = info.spec.RuntimeMultiplier(g);
+    const EmpiricalDistribution dist =
+        mult == 1.0 ? info.sched_dist : info.sched_dist.Scaled(mult);
+    for (int d = 0; d < slots; ++d) {
+      scratch.survival[static_cast<size_t>(d)] = dist.Survival(d * delta);
+    }
+    scratch.survival[0] = 1.0;
+    for (int s = 0; s < slots; ++s) {
+      const Time start = now + s * delta;
+      const double eu = dist.ExpectedValue(
+          [&](double t) { return info.effective_utility.ValueAtCompletion(start + t); });
+      if (eu <= kMinOptionUtility) {
+        continue;
+      }
+      ValuedOption opt;
+      opt.group = g;
+      opt.slot = s;
+      opt.eu = eu;
+      opt.cons_offset = out->consumption.size();
+      opt.cons_len = slots - s;
+      for (int i = s; i < slots; ++i) {
+        out->consumption.push_back(k * scratch.survival[static_cast<size_t>(i - s)]);
+      }
+      out->options.push_back(opt);
+    }
+  }
 }
 
 void DistributionScheduler::RetireCapacityContribution(JobInfo& info) {
@@ -381,6 +496,9 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
     obs::Counter* cache_hits;
     obs::Counter* cache_misses;
     obs::Counter* milp_nodes;
+    obs::Counter* valuation_cache_hits;
+    obs::Counter* valuation_cache_misses;
+    obs::Counter* valuation_kernel_calls;
   };
   static const SchedCounters* const counters = [] {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
@@ -393,6 +511,9 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
     c->cache_hits = reg.GetCounter("sched.capacity_cache_hits");
     c->cache_misses = reg.GetCounter("sched.capacity_cache_misses");
     c->milp_nodes = reg.GetCounter("sched.milp_nodes");
+    c->valuation_cache_hits = reg.GetCounter("sched.valuation_cache_hits");
+    c->valuation_cache_misses = reg.GetCounter("sched.valuation_cache_misses");
+    c->valuation_kernel_calls = reg.GetCounter("sched.valuation_kernel_calls");
     return c;
   }();
   counters->cycles->Increment();
@@ -403,6 +524,9 @@ CycleResult DistributionScheduler::RunCycle(Time now, const ClusterStateView& st
   counters->cache_hits->Add(result.capacity_cache_hits);
   counters->cache_misses->Add(result.capacity_cache_misses);
   counters->milp_nodes->Add(result.milp_nodes);
+  counters->valuation_cache_hits->Add(result.valuation_cache_hits);
+  counters->valuation_cache_misses->Add(result.valuation_cache_misses);
+  counters->valuation_kernel_calls->Add(result.valuation_kernel_calls);
   return result;
 }
 
@@ -494,6 +618,7 @@ CycleResult DistributionScheduler::RunCycleImpl(Time now, const ClusterStateView
     }
     for (JobId id : result.abandon) {
       pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
+      valuation_.InvalidateJob(id);
       jobs_.erase(id);
     }
   }
@@ -508,8 +633,10 @@ CycleResult DistributionScheduler::RunCycleImpl(Time now, const ClusterStateView
     int group;
     int slot;  // Start slot index; slot 0 == start now.
     double eu;
-    // Expected node consumption at slot offsets [0, slots - slot).
-    std::vector<double> consumption;
+    // Expected node consumption at slot offsets [0, cons_len); points into
+    // the per-job staging arena (value_stage_), stable for the cycle.
+    const double* cons = nullptr;
+    int cons_len = 0;
     int var = -1;  // MILP indicator (kMilp backend only).
   };
   std::vector<Option> options;
@@ -522,44 +649,85 @@ CycleResult DistributionScheduler::RunCycleImpl(Time now, const ClusterStateView
   {
   TS_OBS_SPAN("sched.value", obs::Phase::kValuation);
 
-  for (JobId id : considered) {
-    JobInfo& info = jobs_.at(id);
-    const double k = info.spec.num_tasks;
-    for (int g = 0; g < num_groups; ++g) {
-      if (info.spec.num_tasks > cluster_.group(g).node_count) {
-        continue;
-      }
-      const double mult = info.spec.RuntimeMultiplier(g);
-      const EmpiricalDistribution dist =
-          mult == 1.0 ? info.sched_dist : info.sched_dist.Scaled(mult);
-      // Survival at each slot offset (shared across start slots).
-      std::vector<double> surv(slots);
-      for (int d = 0; d < slots; ++d) {
-        surv[d] = dist.Survival(d * delta);
-      }
-      // A gang occupies its nodes with certainty at the instant it starts,
-      // even if the distribution carries (clamped) zero-runtime atoms.
-      surv[0] = 1.0;
-      for (int s = 0; s < slots; ++s) {
-        const Time start = now + s * delta;
-        const double eu = dist.ExpectedValue([&](double t) {
-          return info.effective_utility.ValueAtCompletion(start + t);
-        });
-        if (eu <= kMinOptionUtility) {
+  const int n = static_cast<int>(considered.size());
+  if (static_cast<int>(value_stage_.size()) < n) {
+    value_stage_.resize(static_cast<size_t>(n));
+  }
+  const int workers =
+      (config_.valuation_engine && pool_ != nullptr) ? pool_->size() : 1;
+  if (static_cast<int>(value_scratch_.size()) < workers) {
+    value_scratch_.resize(static_cast<size_t>(workers));
+  }
+  for (ValuationScratch& s : value_scratch_) {
+    s.counters = ValuationCounters{};
+  }
+
+  if (config_.valuation_engine) {
+    if (!config_.valuation_cache) {
+      valuation_.Clear();  // Cache off: tables live for one cycle only.
+    }
+    // Serial prepare pass: build/refresh every (job, group-scale) table so
+    // the fan-out below reads the cache without mutating it. All hit/miss
+    // traffic happens here, in `considered` order — thread-count invariant.
+    ValuationCounters prepare;
+    for (JobId id : considered) {
+      const JobInfo& info = jobs_.at(id);
+      for (int g = 0; g < num_groups; ++g) {
+        if (info.spec.num_tasks > cluster_.group(g).node_count) {
           continue;
         }
-        Option opt;
-        opt.job = id;
-        opt.group = g;
-        opt.slot = s;
-        opt.eu = eu;
-        opt.consumption.resize(static_cast<size_t>(slots - s));
-        for (int i = s; i < slots; ++i) {
-          opt.consumption[static_cast<size_t>(i - s)] = k * surv[i - s];
-        }
-        job_options[id].push_back(options.size());
-        options.push_back(std::move(opt));
+        valuation_.Tables(id, info.spec.RuntimeMultiplier(g), info.sched_dist,
+                          info.effective_utility, &prepare);
       }
+    }
+    result.valuation_cache_hits = prepare.cache_hits;
+    result.valuation_cache_misses = prepare.cache_misses;
+
+    // Deterministic fan-out: static index-ordered output slots. Workers read
+    // shared state (jobs_, the table cache) and write only their own
+    // value_stage_[index] / scratch, so any thread count — including the
+    // serial fallback — produces byte-identical staged results.
+    const auto value_one = [&](int worker, int index) {
+      const JobInfo& info = jobs_.at(considered[static_cast<size_t>(index)]);
+      ValueJobOptions(info, now, value_scratch_[static_cast<size_t>(worker)],
+                      &value_stage_[static_cast<size_t>(index)]);
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(n, value_one);
+    } else {
+      for (int i = 0; i < n; ++i) {
+        value_one(0, i);
+      }
+    }
+    for (const ValuationScratch& s : value_scratch_) {
+      result.valuation_kernel_calls += s.counters.kernel_calls;
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const JobInfo& info = jobs_.at(considered[static_cast<size_t>(i)]);
+      ValueJobOptionsGeneric(info, now, value_scratch_[0],
+                             &value_stage_[static_cast<size_t>(i)]);
+    }
+  }
+  val_hits_ += result.valuation_cache_hits;
+  val_misses_ += result.valuation_cache_misses;
+  val_kernel_calls_ += result.valuation_kernel_calls;
+
+  // Serial merge in `considered` order: reproduces the exact (job, group,
+  // slot) option ordering the pre-fan-out serial loop emitted.
+  for (int i = 0; i < n; ++i) {
+    const JobId id = considered[static_cast<size_t>(i)];
+    const JobValuation& staged = value_stage_[static_cast<size_t>(i)];
+    for (const ValuedOption& vo : staged.options) {
+      Option opt;
+      opt.job = id;
+      opt.group = vo.group;
+      opt.slot = vo.slot;
+      opt.eu = vo.eu;
+      opt.cons = staged.consumption.data() + vo.cons_offset;
+      opt.cons_len = vo.cons_len;
+      job_options[id].push_back(options.size());
+      options.push_back(opt);
     }
   }
 
@@ -589,8 +757,8 @@ CycleResult DistributionScheduler::RunCycleImpl(Time now, const ClusterStateView
       for (size_t idx : it->second) {
         const Option& opt = options[idx];
         bool fits = true;
-        for (size_t d = 0; d < opt.consumption.size(); ++d) {
-          if (opt.consumption[d] > cap[opt.group][opt.slot + static_cast<int>(d)] + 1e-9) {
+        for (int d = 0; d < opt.cons_len; ++d) {
+          if (opt.cons[d] > cap[opt.group][opt.slot + d] + 1e-9) {
             fits = false;
             break;
           }
@@ -602,8 +770,8 @@ CycleResult DistributionScheduler::RunCycleImpl(Time now, const ClusterStateView
       if (best == nullptr) {
         continue;
       }
-      for (size_t d = 0; d < best->consumption.size(); ++d) {
-        cap[best->group][best->slot + static_cast<int>(d)] -= best->consumption[d];
+      for (int d = 0; d < best->cons_len; ++d) {
+        cap[best->group][best->slot + d] -= best->cons[d];
       }
       if (best->slot == 0) {
         result.start.push_back(Placement{id, best->group});
@@ -630,10 +798,9 @@ CycleResult DistributionScheduler::RunCycleImpl(Time now, const ClusterStateView
   for (Option& opt : options) {
     opt.var = model.AddVariable(0.0, 1.0, opt.eu);
     job_vars[opt.job].push_back(opt.var);
-    for (size_t d = 0; d < opt.consumption.size(); ++d) {
-      if (opt.consumption[d] > 1e-9) {
-        capacity_terms[opt.group][opt.slot + static_cast<int>(d)].push_back(
-            LpTerm{opt.var, opt.consumption[d]});
+    for (int d = 0; d < opt.cons_len; ++d) {
+      if (opt.cons[d] > 1e-9) {
+        capacity_terms[opt.group][opt.slot + d].push_back(LpTerm{opt.var, opt.cons[d]});
       }
     }
   }
@@ -770,7 +937,7 @@ CycleResult DistributionScheduler::RunCycleImpl(Time now, const ClusterStateView
 }
 
 void DistributionScheduler::SaveState(SnapshotWriter& writer) const {
-  writer.BeginSection("sched", 1);
+  writer.BeginSection("sched", 2);
   writer.WriteString("3sigma-sched");
   writer.WriteVarU64(jobs_.size());
   for (const auto& [id, info] : jobs_) {
@@ -812,6 +979,14 @@ void DistributionScheduler::SaveState(SnapshotWriter& writer) const {
   for (BasisStatus s : last_root_basis_.status) {
     writer.WriteU8(static_cast<uint8_t>(s));
   }
+  // v2: the valuation engine's cached key set plus its lifetime counters.
+  // Tables themselves are rebuilt from restored job state on resume (they
+  // are pure functions of it), so only the keys need to be persisted for
+  // the resumed hit/miss stream to stay byte-identical.
+  valuation_.SaveState(writer);
+  writer.WriteVarI64(val_hits_);
+  writer.WriteVarI64(val_misses_);
+  writer.WriteVarI64(val_kernel_calls_);
   writer.EndSection();
 
   writer.BeginSection("predict", 1);
@@ -820,7 +995,8 @@ void DistributionScheduler::SaveState(SnapshotWriter& writer) const {
 }
 
 void DistributionScheduler::RestoreState(SnapshotReader& reader) {
-  reader.BeginSection("sched");
+  uint32_t sched_version = 0;
+  reader.BeginSection("sched", &sched_version);
   const std::string tag = reader.ReadString();
   if (reader.ok()) {
     TS_CHECK_MSG(tag == "3sigma-sched", "snapshot scheduler kind mismatch");
@@ -876,6 +1052,28 @@ void DistributionScheduler::RestoreState(SnapshotReader& reader) {
   last_root_basis_.status.clear();
   for (uint64_t i = 0; reader.ok() && i < basis_size; ++i) {
     last_root_basis_.status.push_back(static_cast<BasisStatus>(reader.ReadU8()));
+  }
+  valuation_.Clear();
+  val_hits_ = 0;
+  val_misses_ = 0;
+  val_kernel_calls_ = 0;
+  if (sched_version >= 2) {
+    // Rebuild the cached tables from the restored job state; a key whose job
+    // exited between save and restore (impossible today, but harmless) is
+    // simply dropped.
+    for (const auto& [job, scale] : ValuationEngine::ReadSavedKeys(reader)) {
+      if (!reader.ok()) {
+        break;
+      }
+      const auto it = jobs_.find(job);
+      if (it != jobs_.end()) {
+        valuation_.Tables(job, scale, it->second.sched_dist, it->second.effective_utility,
+                          /*counters=*/nullptr);
+      }
+    }
+    val_hits_ = reader.ReadVarI64();
+    val_misses_ = reader.ReadVarI64();
+    val_kernel_calls_ = reader.ReadVarI64();
   }
   reader.EndSection();
 

@@ -39,6 +39,7 @@
 #include "src/histogram/empirical_distribution.h"
 #include "src/predict/predictor.h"
 #include "src/sched/scheduler.h"
+#include "src/sched/valuation.h"
 #include "src/solver/simplex.h"
 
 namespace threesigma {
@@ -113,6 +114,24 @@ struct DistSchedulerConfig {
   // cycle's root basis seeds the next cycle's root relaxation. Affects LP
   // pivot counts only; thread-count determinism is preserved.
   bool solver_basis_warmstart = true;
+
+  // Eq. 1 valuation engine (src/sched/valuation.h): closed-form utility
+  // kernels over precomputed prefix-sum tables, a deterministic parallel
+  // per-job fan-out across the solver thread pool, and zero-copy Eq. 2
+  // conditional-survival queries for running jobs. Off = the generic
+  // per-atom std::function path with per-cycle Scaled() materializations.
+  // Decisions are bit-identical either way (the kernels replay the generic
+  // accumulation exactly); only speed and the valuation counters change.
+  bool valuation_engine = true;
+  // Retain per-(job, scale) valuation tables across cycles, invalidated on
+  // re-prediction (arrival, fault restart — which covers OE-gate flips) and
+  // job exit. Off = the cache is cleared every cycle, so each (job, group)
+  // pays one table rebuild per cycle.
+  bool valuation_cache = true;
+  // Debug mode: every kernel and survival answer is re-derived with the
+  // generic per-atom loop and TS_CHECKed for bitwise equality. Costs what
+  // the kernels save; tests only.
+  bool valuation_crosscheck = false;
 };
 
 class DistributionScheduler : public Scheduler {
@@ -157,6 +176,9 @@ class DistributionScheduler : public Scheduler {
   const std::vector<std::vector<double>>& expected_consumed() const { return consumed_; }
   int64_t capacity_cache_hits() const { return cache_hits_; }
   int64_t capacity_cache_misses() const { return cache_misses_; }
+  int64_t valuation_cache_hits() const { return val_hits_; }
+  int64_t valuation_cache_misses() const { return val_misses_; }
+  int64_t valuation_kernel_calls() const { return val_kernel_calls_; }
 
  private:
   struct JobInfo {
@@ -206,8 +228,21 @@ class DistributionScheduler : public Scheduler {
 
   // Pure per-slot survival vector of a running job at `now` (no cache or
   // under-estimate state mutation; shared by the cache refresh and the
-  // cross-check recompute).
+  // cross-check recompute). With the valuation engine on, the Eq. 2 ratios
+  // are served from the job's prefix-sum tables (zero-copy; may populate the
+  // mutable table cache) instead of a per-refresh Scaled() materialization.
   void ComputeRunningSurvival(const JobInfo& info, Time now, std::vector<double>* out) const;
+
+  // Values one considered job's (group, slot) options into `out` using the
+  // valuation engine's tables (which must already exist: the serial prepare
+  // pass in RunCycleImpl builds them, so this is read-only and safe to run
+  // from pool workers). Bit-identical to ValueJobOptionsGeneric.
+  void ValueJobOptions(const JobInfo& info, Time now, ValuationScratch& scratch,
+                       JobValuation* out) const;
+  // The pre-engine path: per-(job, group) Scaled() materialization and the
+  // generic per-atom Eq. 1 loop.
+  void ValueJobOptionsGeneric(const JobInfo& info, Time now, ValuationScratch& scratch,
+                              JobValuation* out) const;
   // Recomputes a job's cached survival vector and its validity horizon
   // (calls UpdateUnderestimate first).
   void RefreshRunningSurvival(JobInfo& info, Time now);
@@ -237,6 +272,10 @@ class DistributionScheduler : public Scheduler {
   std::vector<std::vector<double>> consumed_;
   int64_t cache_hits_ = 0;
   int64_t cache_misses_ = 0;
+  // Valuation-engine totals (per-cycle deltas land in CycleResult).
+  int64_t val_hits_ = 0;
+  int64_t val_misses_ = 0;
+  int64_t val_kernel_calls_ = 0;
   // Delta updates accumulate float error; a periodic full rebuild squashes
   // any drift long before it can reach the cross-check tolerance.
   int solves_since_rebuild_ = 0;
@@ -249,6 +288,16 @@ class DistributionScheduler : public Scheduler {
 
   // Shared across cycles so the parallel solver never re-spawns threads.
   std::unique_ptr<ThreadPool> pool_;
+
+  // Eq. 1 valuation engine state. Mutable because ComputeRunningSurvival is
+  // const (pure w.r.t. observable scheduler state) but may populate the
+  // memoized table cache on a lookup miss.
+  mutable ValuationEngine valuation_;
+  // Per-considered-job output slots and per-worker scratch for the parallel
+  // valuation fan-out; cleared and refilled each cycle, capacity retained,
+  // so steady-state valuation does no hot-path allocation.
+  std::vector<JobValuation> value_stage_;
+  std::vector<ValuationScratch> value_scratch_;
 };
 
 }  // namespace threesigma

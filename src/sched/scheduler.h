@@ -87,6 +87,12 @@ struct CycleResult {
   // their cached survival vector vs. recomputed).
   int64_t capacity_cache_hits = 0;
   int64_t capacity_cache_misses = 0;
+  // Valuation-engine traffic this cycle: table cache hits/misses from the
+  // serial prepare pass and Eq. 1 kernel evaluations from the fan-out. All
+  // zero when the engine is off.
+  int64_t valuation_cache_hits = 0;
+  int64_t valuation_cache_misses = 0;
+  int64_t valuation_kernel_calls = 0;
 };
 
 class Scheduler {

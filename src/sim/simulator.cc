@@ -74,7 +74,7 @@ struct Event {
 // v2: open-workload mode — SimOptions.open_workload, RunState submission
 // bookkeeping (submissions_closed, last_arrival), and the per-job arrived
 // flag.
-constexpr uint32_t kSnapshotVersion = 2;
+constexpr uint32_t kSnapshotVersion = 3;
 
 void SaveSimOptions(SnapshotWriter& writer, const SimOptions& o) {
   writer.WriteDouble(o.cycle_period);
@@ -557,6 +557,9 @@ bool Simulator::ProcessEvent() {
       }
       const CycleResult decision = scheduler_->RunCycle(s.now, view);
       if (obs::CycleProfiler::enabled()) {
+        obs::CycleProfiler::Global().SetCycleCounters(decision.valuation_cache_hits,
+                                                      decision.valuation_cache_misses,
+                                                      decision.valuation_kernel_calls);
         obs::CycleProfiler::Global().EndCycle(decision.cycle_seconds);
       }
       if (obs::Tracer::enabled()) {
@@ -587,7 +590,10 @@ bool Simulator::ProcessEvent() {
                                          decision.milp_max_queue_depth,
                                          decision.milp_incumbent_improvements,
                                          decision.capacity_cache_hits,
-                                         decision.capacity_cache_misses});
+                                         decision.capacity_cache_misses,
+                                         decision.valuation_cache_hits,
+                                         decision.valuation_cache_misses,
+                                         decision.valuation_kernel_calls});
 
       // 1. Preemptions free capacity first (slot-0 placements may rely on
       //    the freed nodes).
@@ -1008,6 +1014,9 @@ std::string Simulator::SaveStateToBuffer() {
     writer.WriteVarI64(c.milp_incumbent_improvements);
     writer.WriteVarI64(c.capacity_cache_hits);
     writer.WriteVarI64(c.capacity_cache_misses);
+    writer.WriteVarI64(c.valuation_cache_hits);
+    writer.WriteVarI64(c.valuation_cache_misses);
+    writer.WriteVarI64(c.valuation_kernel_calls);
   }
   writer.EndSection();
 
@@ -1197,6 +1206,9 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
       c.milp_incumbent_improvements = static_cast<int>(reader.ReadVarI64());
       c.capacity_cache_hits = reader.ReadVarI64();
       c.capacity_cache_misses = reader.ReadVarI64();
+      c.valuation_cache_hits = reader.ReadVarI64();
+      c.valuation_cache_misses = reader.ReadVarI64();
+      c.valuation_kernel_calls = reader.ReadVarI64();
     }
   }
   reader.EndSection();

@@ -137,6 +137,10 @@ struct CycleStats {
   int milp_incumbent_improvements = 0;
   int64_t capacity_cache_hits = 0;
   int64_t capacity_cache_misses = 0;
+  // Valuation-engine diagnostics (see CycleResult; zero with the engine off).
+  int64_t valuation_cache_hits = 0;
+  int64_t valuation_cache_misses = 0;
+  int64_t valuation_kernel_calls = 0;
 };
 
 struct SimResult {

@@ -2,6 +2,7 @@
 // distribution (the Eq. 1 / Eq. 2 substrate).
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 #include "src/common/rng.h"
 #include "src/histogram/empirical_distribution.h"
 #include "src/histogram/stream_histogram.h"
+#include "src/snapshot/snapshot_io.h"
 
 namespace threesigma {
 namespace {
@@ -213,6 +215,55 @@ TEST(EmpiricalDistributionTest, ConditionalBeyondSupportIsEmpty) {
   // signal surfaces as an empty conditional distribution.
   EXPECT_TRUE(d.ConditionalGivenExceeds(2.0).empty());
   EXPECT_TRUE(d.ConditionalGivenExceeds(99.0).empty());
+}
+
+TEST(EmpiricalDistributionTest, ConditionalTailViewMatchesConditional) {
+  const auto d = EmpiricalDistribution::FromSamples({1.0, 2.0, 3.0, 4.0});
+  const auto view = d.ConditionalTail(2.5);
+  ASSERT_FALSE(view.empty());
+  EXPECT_EQ(view.count, 2u);
+  EXPECT_DOUBLE_EQ(view.first[0].value, 3.0);
+  EXPECT_NEAR(view.mass, 0.5, 1e-12);
+  // The view sees the same survivors the materialized conditional holds.
+  const auto cond = d.ConditionalGivenExceeds(2.5);
+  ASSERT_EQ(cond.size(), view.count);
+  EXPECT_DOUBLE_EQ(cond.MinValue(), view.first[0].value);
+
+  // Elapsed past the last atom: empty view, no materialization.
+  EXPECT_TRUE(d.ConditionalTail(4.0).empty());
+  EXPECT_TRUE(d.ConditionalTail(1e9).empty());
+  // NaN elapsed: every `value > elapsed` comparison is false, so nothing
+  // survives — same answer as the materialized path.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(d.ConditionalTail(nan).empty());
+  EXPECT_TRUE(d.ConditionalGivenExceeds(nan).empty());
+}
+
+TEST(EmpiricalDistributionTest, ConditionalZeroMassTailIsEmptyNotFatal) {
+  // A verbatim-restored snapshot can carry zero-probability atoms (the codec
+  // round-trips atoms_ without re-normalizing). A tail consisting only of
+  // such atoms has survivors but no mass; conditioning on it must yield an
+  // empty distribution, not a renormalization abort.
+  SnapshotWriter writer;
+  writer.BeginSection("dist", 1);
+  writer.WriteVarU64(2);  // Two atoms, the larger carrying zero mass.
+  writer.WriteDouble(1.0);
+  writer.WriteDouble(1.0);
+  writer.WriteDouble(5.0);
+  writer.WriteDouble(0.0);
+  writer.EndSection();
+  SnapshotReader reader(writer.Finish());
+  ASSERT_TRUE(reader.BeginSection("dist"));
+  EmpiricalDistribution d;
+  d.RestoreState(reader);
+  reader.EndSection();
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(d.size(), 2u);
+
+  const auto view = d.ConditionalTail(1.0);
+  EXPECT_EQ(view.count, 1u);  // One surviving atom...
+  EXPECT_TRUE(view.empty());  // ...but zero mass, so the view reads empty.
+  EXPECT_TRUE(d.ConditionalGivenExceeds(1.0).empty());
 }
 
 TEST(EmpiricalDistributionTest, ExpectedValueOfIdentityIsMean) {

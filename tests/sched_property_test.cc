@@ -51,8 +51,10 @@ ExperimentConfig PropertyConfig() {
 // Serializes everything decision-relevant in a SimResult — job outcomes and
 // per-cycle solver/queue/cache counters in simulated time — while excluding
 // wall-clock measurements (cycle_seconds, solver_seconds), which legitimately
-// vary run to run.
-std::string DecisionTrace(const SimResult& result) {
+// vary run to run. `include_valuation_counters` is dropped when comparing
+// valuation-engine on vs off: those runs must agree on every decision but
+// legitimately differ in hit/miss/kernel tallies (the generic path has none).
+std::string DecisionTrace(const SimResult& result, bool include_valuation_counters = true) {
   std::ostringstream os;
   os << std::setprecision(17);
   for (const JobRecord& job : result.jobs) {
@@ -69,7 +71,12 @@ std::string DecisionTrace(const SimResult& result) {
     os << "cycle " << c.time << " v" << c.milp_variables << " r" << c.milp_rows << " n"
        << c.milp_nodes << " q" << c.milp_max_queue_depth << " i"
        << c.milp_incumbent_improvements << " h" << c.capacity_cache_hits << " m"
-       << c.capacity_cache_misses << " p" << c.pending << " j" << c.running_jobs << "\n";
+       << c.capacity_cache_misses << " p" << c.pending << " j" << c.running_jobs;
+    if (include_valuation_counters) {
+      os << " vh" << c.valuation_cache_hits << " vm" << c.valuation_cache_misses << " vk"
+         << c.valuation_kernel_calls;
+    }
+    os << "\n";
   }
   os << "rejected " << result.rejected_placements << " preempts " << result.total_preemptions
      << " end " << result.end_time << "\n";
@@ -260,6 +267,75 @@ TEST(SchedPropertyTest, CapacityCacheCrosscheckCleanOverFullRun) {
   EXPECT_NEAR(mc.goodput_machine_hours, mu.goodput_machine_hours,
               0.1 * mu.goodput_machine_hours);
   EXPECT_NEAR(mc.slo_miss_rate_percent, mu.slo_miss_rate_percent, 15.0);
+}
+
+// ---------------------------------------------------------------------------
+// Valuation engine: the closed-form kernels, the cross-cycle table cache,
+// and the parallel fan-out never move a decision.
+
+TEST(SchedPropertyTest, ValuationEngineOffMatchesEngineOn) {
+  // The engine's contract is bit-exact replay of the generic Eq. 1 loop, so
+  // an engine-off run must produce a byte-identical decision trace (valuation
+  // counters excluded: the generic path records none) — at 1 and 4 solver
+  // threads, with the cache on and off.
+  ExperimentConfig config = PropertyConfig();
+  const GeneratedWorkload workload = GenerateWorkload(config.cluster, config.workload);
+
+  config.sched.valuation_engine = false;
+  const SimResult generic = SimulateSystem(SystemKind::kThreeSigma, config, workload);
+  EXPECT_GT(generic.jobs.size(), 0u);
+  const std::string generic_trace = DecisionTrace(generic, /*include_valuation_counters=*/false);
+
+  config.sched.valuation_engine = true;
+  for (const int threads : {1, 4}) {
+    config.sched.solver_threads = threads;
+    config.sched.valuation_cache = true;
+    const SimResult with_cache = SimulateSystem(SystemKind::kThreeSigma, config, workload);
+    EXPECT_EQ(generic_trace, DecisionTrace(with_cache, /*include_valuation_counters=*/false))
+        << "engine decisions drifted at solver_threads=" << threads << " (cache on)";
+    const RunMetrics mc = ComputeMetrics(with_cache, "3Sigma");
+    EXPECT_GT(mc.valuation_kernel_calls, 0);
+    EXPECT_GT(mc.valuation_cache_hits, 0) << "table cache never hit";
+
+    // Cache off clears the tables each cycle, so misses must grow; hits can
+    // stay nonzero (groups sharing a runtime multiplier hit within a cycle).
+    config.sched.valuation_cache = false;
+    const SimResult no_cache = SimulateSystem(SystemKind::kThreeSigma, config, workload);
+    EXPECT_EQ(generic_trace, DecisionTrace(no_cache, /*include_valuation_counters=*/false))
+        << "engine decisions drifted at solver_threads=" << threads << " (cache off)";
+    const RunMetrics mn = ComputeMetrics(no_cache, "3Sigma");
+    EXPECT_GT(mn.valuation_cache_misses, mc.valuation_cache_misses)
+        << "cache off should rebuild tables every cycle";
+  }
+
+  // The full per-cycle counter stream is itself thread-count invariant (the
+  // prepare pass and kernel-call set do not depend on the fan-out width).
+  config.sched.valuation_cache = true;
+  config.sched.solver_threads = 1;
+  const SimResult serial = SimulateSystem(SystemKind::kThreeSigma, config, workload);
+  config.sched.solver_threads = 4;
+  const SimResult parallel = SimulateSystem(SystemKind::kThreeSigma, config, workload);
+  EXPECT_EQ(DecisionTrace(serial), DecisionTrace(parallel));
+}
+
+TEST(SchedPropertyTest, ValuationCrosscheckCleanOverFullRun) {
+  // Crosscheck mode re-derives every kernel and survival answer with the
+  // generic per-atom loop and TS_CHECKs bitwise equality; any divergence
+  // aborts the process. Run the full stack through it, cache on and off
+  // (off exercises fresh tables every cycle).
+  ExperimentConfig config = PropertyConfig();
+  const GeneratedWorkload workload = GenerateWorkload(config.cluster, config.workload);
+  config.sched.valuation_crosscheck = true;
+  const SimResult cached = SimulateSystem(SystemKind::kThreeSigma, config, workload);
+  const RunMetrics m = ComputeMetrics(cached, "3Sigma");
+  EXPECT_GT(m.valuation_kernel_calls, 0);
+  EXPECT_GT(m.valuation_cache_hits, 0);
+  EXPECT_GT(m.valuation_cache_hit_rate, 0.0);
+
+  config.sched.valuation_cache = false;
+  const SimResult uncached = SimulateSystem(SystemKind::kThreeSigma, config, workload);
+  EXPECT_EQ(DecisionTrace(cached, /*include_valuation_counters=*/false),
+            DecisionTrace(uncached, /*include_valuation_counters=*/false));
 }
 
 }  // namespace
