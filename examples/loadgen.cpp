@@ -11,6 +11,11 @@
 //                      each maps to exactly one job id, all ids distinct
 //   --drain            graceful Shutdown, then poll until the cluster
 //                      reports drained and check no submission was lost
+//   --whatif           after the submit loop, run a digital-twin what-if
+//                      sweep on the server and print the advisor report
+//                      (--whatif-scenarios/--whatif-horizon shape the sweep;
+//                      --whatif-out also writes the report to a file so CI
+//                      can byte-diff two runs)
 //
 //   ./build/examples/loadgen --unix-socket=/tmp/3sigma.sock --jobs=1000
 //       --checkpoint-at=400 --kill-after=600
@@ -20,6 +25,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
@@ -61,6 +67,12 @@ int main(int argc, char** argv) {
   bool drain = false;
   double drain_wait = 120.0;
   double request_timeout = 10.0;
+  bool whatif = false;
+  std::string whatif_scenarios;
+  int64_t whatif_horizon = 0;
+  int64_t whatif_repeat = 1;
+  bool whatif_live = false;
+  std::string whatif_out;
 
   FlagParser parser(
       "loadgen — submit a generated workload to a serve daemon over RPC.\n"
@@ -87,7 +99,21 @@ int main(int argc, char** argv) {
                "finish with a graceful shutdown and wait for the drain, "
                "checking that no submission was lost")
       .AddDouble("drain-wait", &drain_wait, "max seconds to wait for the drain")
-      .AddDouble("request-timeout", &request_timeout, "per-RPC receive timeout in seconds");
+      .AddDouble("request-timeout", &request_timeout, "per-RPC receive timeout in seconds")
+      .AddBool("whatif", &whatif,
+               "run a what-if sweep after the submit loop and print the advisor "
+               "report (server must run with --twin)")
+      .AddString("whatif-scenarios", &whatif_scenarios,
+                 "';'-separated scenario list for --whatif (empty = server default)")
+      .AddInt("whatif-horizon", &whatif_horizon,
+              "speculative cycles per scenario for --whatif (0 = server default)")
+      .AddInt("whatif-repeat", &whatif_repeat,
+              "issue the WhatIf RPC this many times (latency percentiles; the "
+              "reports must all be byte-identical)")
+      .AddBool("whatif-live", &whatif_live,
+               "sweep without waiting for the service to go idle (exercises real "
+               "speculative cycles; repeats are not compared)")
+      .AddString("whatif-out", &whatif_out, "also write the what-if report to this file");
   if (!parser.Parse(argc, argv)) {
     return parser.exit_code();
   }
@@ -204,6 +230,76 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (whatif) {
+    if (!whatif_live) {
+      // Park the service first: wait until every admitted job has played out
+      // and the admission queue is empty. A parked simulation cannot advance
+      // between requests, so repeated sweeps — and sweeps issued by separate
+      // loadgen runs against the same daemon — fork identical state and must
+      // produce byte-identical reports. --whatif-live skips the gate (the
+      // sweep then forks mid-run state, which exercises real speculative
+      // cycles but is not reproducible between requests).
+      const auto idle_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(120);
+      for (;;) {
+        SimStateInfo state;
+        uint64_t queue_depth = 0;
+        if (!client.GetClusterState(&state, &queue_depth, &error)) {
+          std::cerr << "cluster state failed: " << error << "\n";
+          return 1;
+        }
+        if (state.pending_jobs == 0 && state.running_jobs == 0 && queue_depth == 0) {
+          break;
+        }
+        if (std::chrono::steady_clock::now() >= idle_deadline) {
+          std::cerr << "service never went idle before --whatif\n";
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+    std::string report;
+    std::vector<double> whatif_latencies;
+    for (int64_t i = 0; i < std::max<int64_t>(whatif_repeat, 1); ++i) {
+      std::string this_report;
+      const auto rpc_start = std::chrono::steady_clock::now();
+      if (!client.WhatIf(whatif_scenarios, whatif_horizon, &this_report, &error)) {
+        std::cerr << "whatif failed: " << error << "\n";
+        return 1;
+      }
+      whatif_latencies.push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - rpc_start)
+              .count());
+      // The server is parked between sweeps (we are its only client), so
+      // repeated sweeps fork the same state and must agree byte-for-byte.
+      // Live sweeps fork a moving simulation, so no such guarantee holds.
+      if (!whatif_live && i > 0 && this_report != report) {
+        std::cerr << "whatif reports differ between repeats\n";
+        return 1;
+      }
+      report = std::move(this_report);
+    }
+    std::sort(whatif_latencies.begin(), whatif_latencies.end());
+    std::printf("whatif latency over %zu calls: p50 %.1fms  p90 %.1fms  max %.1fms\n",
+                whatif_latencies.size(), Percentile(whatif_latencies, 0.50) * 1e3,
+                Percentile(whatif_latencies, 0.90) * 1e3, whatif_latencies.back() * 1e3);
+    std::cout << report;
+    std::string status;
+    if (!client.AdvisorStatus(&status, &error)) {
+      std::cerr << "advisor status failed: " << error << "\n";
+      return 1;
+    }
+    std::cout << status;
+    if (!whatif_out.empty()) {
+      std::ofstream out(whatif_out, std::ios::binary | std::ios::trunc);
+      out << report;
+      if (!out) {
+        std::cerr << "cannot write " << whatif_out << "\n";
+        return 1;
+      }
+    }
+  }
+
   if (verify) {
     // Resubmitting every token must dedupe to the already-assigned id (or
     // assign a fresh one for tokens a pre-restore server lost), and distinct
@@ -264,7 +360,9 @@ int main(int argc, char** argv) {
                 static_cast<long long>(state.completed_jobs),
                 static_cast<long long>(state.abandoned_jobs),
                 static_cast<unsigned long long>(state.cycles_completed));
-    if (state.total_jobs != static_cast<int64_t>(token_ids.size())) {
+    // Only meaningful when this invocation was the sole submitter: a
+    // drain-only run (--jobs=0) against a shared daemon sees everyone's jobs.
+    if (jobs > 0 && state.total_jobs != static_cast<int64_t>(token_ids.size())) {
       std::cerr << "verify failed: " << token_ids.size() << " tokens but "
                 << state.total_jobs << " jobs in the simulation\n";
       return 1;

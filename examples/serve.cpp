@@ -13,15 +13,46 @@
 //   ./build/examples/serve --unix-socket=/tmp/3sigma.sock
 //       --restore-from=/tmp/svc.snap
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "src/common/flags.h"
 #include "src/core/config_flags.h"
 #include "src/core/experiment.h"
 #include "src/svc/server.h"
 #include "src/svc/socket_transport.h"
+#include "src/twin/twin.h"
 
 using namespace threesigma;
+
+namespace {
+
+// THREESIGMA_TWIN_* environment fallbacks (CI scripts configure the twin
+// without editing command lines); explicit --twin-* flags win.
+void ApplyTwinEnv(bool* enable, std::string* scenarios, int64_t* horizon,
+                  int64_t* advise_every, bool* auto_apply, double* min_gain) {
+  if (const char* v = std::getenv("THREESIGMA_TWIN")) {
+    *enable = std::string(v) == "1";
+  }
+  if (const char* v = std::getenv("THREESIGMA_TWIN_SCENARIOS")) {
+    *scenarios = v;
+  }
+  if (const char* v = std::getenv("THREESIGMA_TWIN_HORIZON")) {
+    *horizon = std::atoll(v);
+  }
+  if (const char* v = std::getenv("THREESIGMA_TWIN_ADVISE_EVERY")) {
+    *advise_every = std::atoll(v);
+  }
+  if (const char* v = std::getenv("THREESIGMA_TWIN_AUTO_APPLY")) {
+    *auto_apply = std::string(v) == "1";
+  }
+  if (const char* v = std::getenv("THREESIGMA_TWIN_MIN_GAIN")) {
+    *min_gain = std::atof(v);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   ExperimentFlags flags;
@@ -36,6 +67,14 @@ int main(int argc, char** argv) {
   int64_t svc_checkpoint_every = 0;
   std::string restore_from;
   bool pretrain = true;
+  bool twin = false;
+  std::string twin_scenarios;
+  int64_t twin_horizon = 50;
+  int64_t twin_advise_every = 0;
+  bool twin_auto_apply = false;
+  double twin_min_gain = 1e-9;
+  ApplyTwinEnv(&twin, &twin_scenarios, &twin_horizon, &twin_advise_every, &twin_auto_apply,
+               &twin_min_gain);
 
   FlagParser parser(
       "serve — run a scheduler as a long-lived service.\n"
@@ -62,7 +101,21 @@ int main(int argc, char** argv) {
                  "serving (must have been written by an identically configured "
                  "serve)")
       .AddBool("pretrain", &pretrain,
-               "pre-train the predictor on the generated pretrain corpus");
+               "pre-train the predictor on the generated pretrain corpus")
+      .AddBool("twin", &twin,
+               "enable the digital-twin what-if engine (WhatIf/AdvisorStatus RPCs)")
+      .AddString("twin-scenarios", &twin_scenarios,
+                 "';'-separated scenario list for what-if sweeps (empty = built-in "
+                 "default sweep)")
+      .AddInt("twin-horizon", &twin_horizon, "speculative cycles per scenario fork")
+      .AddInt("twin-advise-every", &twin_advise_every,
+              "run an advisory sweep every N live cycles (0 = RPC-only)")
+      .AddBool("twin-auto-apply", &twin_auto_apply,
+               "let the advisor apply winning policy overrides to the live "
+               "scheduler (opt-in; default off)")
+      .AddDouble("twin-min-gain", &twin_min_gain,
+                 "minimum projected-utility gain over baseline before the advisor "
+                 "recommends/applies");
   if (!parser.Parse(argc, argv)) {
     return parser.exit_code();
   }
@@ -113,6 +166,29 @@ int main(int argc, char** argv) {
 
   svc::Server server(config.cluster, instance.scheduler.get(), config.sim, service,
                      &transport);
+
+  std::unique_ptr<WhatIfEngine> whatif;
+  if (twin) {
+    auto* dist_sched = dynamic_cast<DistributionScheduler*>(instance.scheduler.get());
+    if (dist_sched == nullptr) {
+      std::cerr << "--twin requires a DistributionScheduler-family --system\n";
+      return 1;
+    }
+    TwinOptions twin_options;
+    twin_options.kind = kind;
+    twin_options.horizon_cycles = static_cast<int>(twin_horizon);
+    twin_options.auto_apply = twin_auto_apply;
+    twin_options.min_gain = twin_min_gain;
+    twin_options.advise_every = twin_advise_every;
+    if (!twin_scenarios.empty() &&
+        !ParseScenarioList(twin_scenarios, &twin_options.advisory_scenarios, &error)) {
+      std::cerr << "bad --twin-scenarios: " << error << "\n";
+      return 1;
+    }
+    whatif = std::make_unique<WhatIfEngine>(config.cluster, dist_sched, twin_options);
+    server.AttachWhatIfEngine(whatif.get());
+  }
+
   if (!restore_from.empty()) {
     if (!server.RestoreFromFile(restore_from, &error)) {
       std::cerr << "cannot restore from '" << restore_from << "': " << error << "\n";
@@ -124,6 +200,9 @@ int main(int argc, char** argv) {
 
   // Scripts wait for this line before connecting.
   std::cout << "READY system=" << system_name;
+  if (twin) {
+    std::cout << " twin=1";
+  }
   if (!unix_socket.empty()) {
     std::cout << " unix=" << unix_socket;
   }
@@ -139,6 +218,9 @@ int main(int argc, char** argv) {
             << state.completed_jobs << " completed, " << state.abandoned_jobs
             << " abandoned, " << state.cycles_completed << " cycles, sim time "
             << state.now << "s\n";
+  if (whatif != nullptr) {
+    std::cout << whatif->AdvisorStatusText();
+  }
   transport.Close();
   if (config.obs.any()) {
     std::string obs_error;

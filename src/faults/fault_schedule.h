@@ -97,6 +97,16 @@ class FaultSchedule {
   const std::vector<FaultEvent>& node_events() const { return node_events_; }
   const FaultOptions& options() const { return options_; }
 
+  // Appends overlay events (what-if perturbations) WITHOUT re-sorting: the
+  // simulator's pending kNodeFault queue entries index into node_events() by
+  // position, so the existing prefix must stay put. Returns the index of the
+  // first appended event so the caller can enqueue exactly the new ones.
+  size_t AppendEvents(const std::vector<FaultEvent>& events) {
+    const size_t first = node_events_.size();
+    node_events_.insert(node_events_.end(), events.begin(), events.end());
+    return first;
+  }
+
   // Deterministic per-(job, attempt) draw: true if this run attempt is killed
   // by a fault, with `*kill_fraction` in (0, 1) — the fraction of the run's
   // duration after which the kill lands.

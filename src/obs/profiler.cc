@@ -26,6 +26,8 @@ void CycleProfiler::BeginCycle(int64_t cycle, double sim_time) {
   // delivery) belongs to the cycle it precedes.
   current_.phase_seconds = pending_;
   pending_.fill(0.0);
+  current_.twin_sweep_seconds = pending_twin_;
+  pending_twin_ = 0.0;
   cycle_open_ = true;
   Tracer::Global().SetCycle(cycle);
 }
@@ -33,6 +35,14 @@ void CycleProfiler::BeginCycle(int64_t cycle, double sim_time) {
 void CycleProfiler::AddPhase(Phase phase, double seconds) {
   auto& sink = cycle_open_ ? current_.phase_seconds : pending_;
   sink[static_cast<size_t>(phase)] += seconds;
+}
+
+void CycleProfiler::AddTwinSweep(double seconds) {
+  if (cycle_open_) {
+    current_.twin_sweep_seconds += seconds;
+  } else {
+    pending_twin_ += seconds;
+  }
 }
 
 void CycleProfiler::SetCycleCounters(int64_t valuation_cache_hits,
@@ -61,7 +71,8 @@ void CycleProfiler::WriteCsv(std::ostream& os) const {
   for (size_t p = 0; p < static_cast<size_t>(Phase::kCount); ++p) {
     os << "," << PhaseName(static_cast<Phase>(p)) << "_s";
   }
-  os << ",sched_phase_sum_s,cycle_s,val_cache_hits,val_cache_misses,val_kernel_calls\n";
+  os << ",sched_phase_sum_s,cycle_s,val_cache_hits,val_cache_misses,val_kernel_calls"
+     << ",twin_sweep_s\n";
   for (const CyclePhaseRow& row : rows_) {
     os << row.cycle << "," << row.sim_time;
     for (size_t p = 0; p < static_cast<size_t>(Phase::kCount); ++p) {
@@ -69,7 +80,7 @@ void CycleProfiler::WriteCsv(std::ostream& os) const {
     }
     os << "," << row.sched_phase_seconds() << "," << row.cycle_seconds << ","
        << row.valuation_cache_hits << "," << row.valuation_cache_misses << ","
-       << row.valuation_kernel_calls << "\n";
+       << row.valuation_kernel_calls << "," << row.twin_sweep_seconds << "\n";
   }
 }
 
@@ -78,6 +89,7 @@ void CycleProfiler::Clear() {
   current_ = CyclePhaseRow{};
   cycle_open_ = false;
   pending_.fill(0.0);
+  pending_twin_ = 0.0;
 }
 
 DecisionLog& DecisionLog::Global() {

@@ -45,6 +45,9 @@ struct CyclePhaseRow {
   int64_t valuation_cache_hits = 0;
   int64_t valuation_cache_misses = 0;
   int64_t valuation_kernel_calls = 0;
+  // Wall time spent in digital-twin advisory sweeps between the previous
+  // cycle and this one (zero when the twin is off).
+  double twin_sweep_seconds = 0.0;
 
   // Sum of the six disjoint scheduler pipeline phases (capacity..placement).
   double sched_phase_seconds() const {
@@ -60,12 +63,19 @@ class CycleProfiler {
  public:
   static CycleProfiler& Global();
 
-  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  // Reads false under speculative (digital twin) execution so forked runs
+  // never append phase rows to the live profiler.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed) && !SpeculativeSuppressed();
+  }
   void SetEnabled(bool enabled);
 
   void BeginCycle(int64_t cycle, double sim_time);
   // Called by Span::End for phase-tagged spans (driver thread only).
   void AddPhase(Phase phase, double seconds);
+  // Digital-twin sweep wall time; folded into the next cycle's row like
+  // inter-cycle phase time (driver thread only).
+  void AddTwinSweep(double seconds);
   // Stamps the open row's valuation counters; no-op without an open cycle.
   void SetCycleCounters(int64_t valuation_cache_hits, int64_t valuation_cache_misses,
                         int64_t valuation_kernel_calls);
@@ -85,6 +95,7 @@ class CycleProfiler {
   bool cycle_open_ = false;
   // Phase time observed outside any open cycle; folded into the next row.
   std::array<double, static_cast<size_t>(Phase::kCount)> pending_{};
+  double pending_twin_ = 0.0;
 };
 
 // One cycle's executed decisions, in deterministic content (no wall clock).
@@ -103,7 +114,11 @@ class DecisionLog {
  public:
   static DecisionLog& Global();
 
-  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  // Also gated off under speculative execution (see src/obs/speculative.h):
+  // twin cycles must never reach the live decision CSV.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed) && !SpeculativeSuppressed();
+  }
   void SetEnabled(bool enabled);
 
   void Record(DecisionRecord record);

@@ -33,6 +33,9 @@ void Counter::Set(int64_t value) {
 }
 
 void Gauge::Set(double value) {
+  if (SpeculativeSuppressed()) {
+    return;
+  }
   uint64_t bits;
   std::memcpy(&bits, &value, sizeof(bits));
   bits_.store(bits, std::memory_order_relaxed);
@@ -58,6 +61,9 @@ Histogram::Histogram(std::string name, std::vector<double> edges)
 }
 
 void Histogram::Observe(double value) {
+  if (SpeculativeSuppressed()) {
+    return;
+  }
   // Inclusive upper bounds: bucket b is the first edge >= value, the
   // overflow bucket everything beyond the last edge.
   const size_t b = static_cast<size_t>(

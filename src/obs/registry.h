@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/speculative.h"
+
 namespace threesigma {
 
 class SnapshotReader;
@@ -55,6 +57,9 @@ int ThreadStripe();
 class Counter {
  public:
   void Add(int64_t delta) {
+    if (SpeculativeSuppressed()) {
+      return;
+    }
     cells_[static_cast<size_t>(ThreadStripe())].v.fetch_add(delta, std::memory_order_relaxed);
   }
   void Increment() { Add(1); }

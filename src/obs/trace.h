@@ -43,6 +43,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/speculative.h"
+
 namespace threesigma {
 
 class SnapshotWriter;
@@ -102,8 +104,11 @@ class Tracer {
  public:
   static Tracer& Global();
 
-  // The one-branch gate every span site reads first.
-  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  // The one-branch gate every span site reads first. Speculative (digital
+  // twin) execution reads as disabled so forked runs never emit spans.
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed) && !SpeculativeSuppressed();
+  }
   void SetEnabled(bool enabled);
 
   // Ring capacity per thread (records). Takes effect for rings created

@@ -44,6 +44,59 @@ DistributionScheduler::DistributionScheduler(const ClusterConfig& cluster,
   }
 }
 
+void DistributionScheduler::UpdateConfig(const DistSchedulerConfig& config) {
+  TS_CHECK_GT(config.num_start_slots, 0);
+  TS_CHECK_GT(config.planahead, 0.0);
+  const bool dist_flip = config.use_distribution != config_.use_distribution;
+  const bool pool_change = config.solver_threads != config_.solver_threads;
+  const bool valuation_change = config.valuation_cache != config_.valuation_cache ||
+                                config.valuation_crosscheck != config_.valuation_crosscheck;
+  config_ = config;
+
+  // The expected-capacity rows, cached survival vectors, planned options,
+  // and valuation tables all encode the old (planahead, slots, distribution)
+  // policy; drop them and let the next cycle rebuild from scratch.
+  consumed_.assign(static_cast<size_t>(cluster_.num_groups()),
+                   std::vector<double>(static_cast<size_t>(config_.num_start_slots), 0.0));
+  for (auto& [id, info] : jobs_) {
+    (void)id;
+    info.capacity_applied = false;
+    info.cached_survival.clear();
+    info.survival_valid_until = -1e18;
+    info.planned_group = -1;
+    info.planned_start = kNever;
+    if (dist_flip) {
+      const RuntimePrediction prediction =
+          predictor_->Predict(info.record_features, info.spec.true_runtime);
+      info.point_estimate = prediction.point_estimate;
+      if (config_.use_distribution) {
+        info.sched_dist = prediction.distribution;
+      } else {
+        info.sched_dist = EmpiricalDistribution::Point(prediction.point_estimate);
+      }
+    }
+    // Fault-restarted jobs keep their forced OE decay (the restart verdict
+    // outlives any policy change); everyone else re-runs the adaptive gate.
+    ApplyOverestimateDecay(info, /*force=*/info.attempts > 0);
+  }
+  if (valuation_change) {
+    valuation_ = ValuationEngine(
+        ValuationEngine::Config{config_.valuation_cache, config_.valuation_crosscheck});
+  } else {
+    valuation_.Clear();
+  }
+  last_root_basis_ = LpBasis();
+  dirty_ = true;
+  last_solve_ = -1e18;
+  solves_since_rebuild_ = 0;
+  if (pool_change) {
+    pool_.reset();
+    if (config_.solver_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(config_.solver_threads);
+    }
+  }
+}
+
 void DistributionScheduler::ApplyOverestimateDecay(JobInfo& info, bool force) const {
   // §4.2.2/§4.2.3: over-estimate handling turns the SLO utility cliff into a
   // linear decay. Adaptive mode enables it only when the history claims the

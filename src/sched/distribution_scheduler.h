@@ -168,6 +168,22 @@ class DistributionScheduler : public Scheduler {
   void SaveState(SnapshotWriter& writer) const override;
   void RestoreState(SnapshotReader& reader) override;
 
+  // Replaces the policy configuration of a live scheduler at a cycle
+  // boundary (digital-twin scenario overrides and opt-in advisor
+  // auto-apply). The job table survives; derived per-job state is rebuilt
+  // under the new policy: sched_dist is re-predicted when use_distribution
+  // flips, the OE decay gate is re-evaluated for every job, and the
+  // expected-capacity rows, valuation tables, solve-skip plan, and warm-start
+  // basis are all reset (they encode the old policy). The cluster and
+  // predictor are unchanged; `config.name` is adopted as-is.
+  void UpdateConfig(const DistSchedulerConfig& config);
+
+  // The shared solver pool (null when solver_threads <= 1). The digital-twin
+  // engine borrows it for the scenario fan-out while the live cycle is
+  // parked; ParallelFor is one-at-a-time, so the borrow must not overlap a
+  // running cycle.
+  ThreadPool* solver_pool() const { return pool_.get(); }
+
   // Diagnostics.
   int pending_count() const { return static_cast<int>(pending_.size()); }
   const DistSchedulerConfig& config() const { return config_; }

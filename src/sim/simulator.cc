@@ -791,10 +791,12 @@ bool FailWith(std::string* error, const std::string& message) {
 bool Simulator::InjectJob(JobSpec spec, std::string* error) {
   EnsureStarted();
   RunState& s = *state_;
-  if (!options_.open_workload) {
+  // Speculative forks may inject what-if arrivals (surge overlays) even when
+  // the underlying run is a closed batch workload.
+  if (!options_.open_workload && !options_.speculative) {
     return FailWith(error, "job injection requires open_workload mode");
   }
-  if (s.submissions_closed) {
+  if (s.submissions_closed && !options_.speculative) {
     return FailWith(error, "submissions are closed");
   }
   if (s.index_by_id.count(spec.id) > 0) {
@@ -834,6 +836,32 @@ void Simulator::CloseSubmissions() {
   if (s.live_jobs == 0 && (s.queue.empty() || s.chaos)) {
     s.drained = true;
   }
+}
+
+bool Simulator::InjectFaultOverlay(const std::vector<FaultEvent>& events, std::string* error) {
+  EnsureStarted();
+  RunState& s = *state_;
+  if (!options_.speculative) {
+    return FailWith(error, "fault overlays are restricted to speculative forks");
+  }
+  for (const FaultEvent& ev : events) {
+    if (ev.time <= s.now) {
+      return FailWith(error, "fault overlay event not in the future");
+    }
+    if (ev.group < 0 || ev.group >= cluster_.num_groups()) {
+      return FailWith(error, "fault overlay event names an unknown group");
+    }
+  }
+  // Append (never insert): pending kNodeFault queue entries index into
+  // node_events() by position, so the existing prefix must not move.
+  const size_t first = s.fault_schedule.AppendEvents(events);
+  for (size_t i = 0; i < events.size(); ++i) {
+    s.PushEvent(Event{events[i].time, s.seq++, EventKind::kNodeFault, first + i, 0});
+  }
+  if (!events.empty()) {
+    s.chaos = true;
+  }
+  return true;
 }
 
 bool Simulator::CancelJob(JobId id, std::string* error) {
@@ -1057,7 +1085,9 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
     return false;
   };
 
-  SnapshotReader reader(buffer);
+  // Borrowed: restore reads straight out of the caller's buffer (the twin
+  // engine restores many forks from one live snapshot; no copy per fork).
+  SnapshotReader reader(SnapshotReader::Borrowed{}, buffer);
   if (!reader.ok()) {
     return fail(reader.error());
   }
@@ -1092,6 +1122,7 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
   snap_options.checkpoint_every = options_.checkpoint_every;
   snap_options.checkpoint_dir = options_.checkpoint_dir;
   snap_options.max_cycles = options_.max_cycles;
+  snap_options.speculative = options_.speculative;
 
   auto state = std::make_unique<RunState>();
   RunState& s = *state;
@@ -1227,7 +1258,12 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
   // Restore is absolute, so the resumed process continues the saved totals.
   if (reader.ok() && reader.PeekSectionName() == "obs") {
     reader.BeginSection("obs");
-    obs::MetricsRegistry::Global().RestoreState(reader);
+    // A speculative fork shares the process-global registry with the live
+    // run; applying the section would clobber live totals. Consume it
+    // unapplied (EndSection skips the payload).
+    if (!options_.speculative) {
+      obs::MetricsRegistry::Global().RestoreState(reader);
+    }
     reader.EndSection();
   }
 

@@ -86,6 +86,15 @@ struct SimOptions {
   // result is finalized normally; with checkpointing on this emulates a kill
   // at a known cycle.
   int64_t max_cycles = 0;
+
+  // Digital-twin fork mode (src/twin). A speculative simulator is a
+  // restored clone of a live run whose cycles are hypothetical: restore
+  // leaves the global metrics registry untouched (the "obs" section is
+  // consumed but not applied), InjectJob accepts what-if arrivals even in
+  // batch mode, and InjectFaultOverlay is permitted. Like the checkpoint
+  // knobs this describes the local run, not the simulation — it is never
+  // serialized and restore keeps the caller's value.
+  bool speculative = false;
 };
 
 enum class JobStatus {
@@ -255,8 +264,17 @@ class Simulator {
   // arrival was already delivered.
   bool CancelJob(JobId id, std::string* error = nullptr);
 
+  // Speculative-only (options.speculative): appends extra node-churn events
+  // to the fork's fault schedule and enqueues the ones still in the future.
+  // Events at or before the current sim time are rejected. Scenario overlays
+  // use this to ask "what if `count` nodes of `group` crashed at time t?".
+  bool InjectFaultOverlay(const std::vector<FaultEvent>& events, std::string* error = nullptr);
+
   // Read-only accessors (valid in both modes).
   bool QueryJob(JobId id, JobStatusInfo* info);
+  // Every job spec this run knows about, arrival-event index order (batch
+  // workload first, then injections). Scenario surge overlays sample this.
+  const std::vector<JobSpec>& workload() const { return workload_; }
   SimStateInfo StateNow();
   Time now();
   bool drained();

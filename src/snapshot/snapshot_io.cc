@@ -94,7 +94,7 @@ bool WalkSections(const std::string& buffer, std::vector<SnapshotSection>* out,
 }
 
 // Magic + CRC validation shared by the reader and the enumerators.
-bool VerifyEnvelope(const std::string& buffer, std::string* error) {
+bool VerifyEnvelope(std::string_view buffer, std::string* error) {
   if (buffer.size() < kMagicSize + kCrcSize) {
     *error = "snapshot truncated: shorter than header + CRC";
     return false;
@@ -234,7 +234,16 @@ bool SnapshotWriter::FinishToFile(const std::string& path, std::string* error) {
   return WriteFileAtomic(path, Finish(), error);
 }
 
-SnapshotReader::SnapshotReader(std::string buffer) : buffer_(std::move(buffer)) {
+SnapshotReader::SnapshotReader(std::string buffer) : owned_(std::move(buffer)), buffer_(owned_) {
+  std::string error;
+  if (!VerifyEnvelope(buffer_, &error)) {
+    Fail(error);
+    return;
+  }
+  pos_ = kMagicSize;
+}
+
+SnapshotReader::SnapshotReader(Borrowed, std::string_view buffer) : buffer_(buffer) {
   std::string error;
   if (!VerifyEnvelope(buffer_, &error)) {
     Fail(error);
@@ -255,7 +264,7 @@ std::string SnapshotReader::PeekSectionName() {
   if (name_len == 0 || pos_ + 1 + name_len > buffer_.size() - kCrcSize) {
     return "";
   }
-  return buffer_.substr(pos_ + 1, name_len);
+  return std::string(buffer_.substr(pos_ + 1, name_len));
 }
 
 bool SnapshotReader::BeginSection(std::string_view name, uint32_t* version) {

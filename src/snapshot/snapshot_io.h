@@ -94,9 +94,23 @@ class SnapshotWriter {
 
 class SnapshotReader {
  public:
+  // Tag selecting the non-owning constructor below.
+  struct Borrowed {};
+
   // Verifies magic and CRC up front; ok() is false on a truncated or
   // corrupted buffer and every read then returns zero values.
   explicit SnapshotReader(std::string buffer);
+
+  // Non-owning mode: reads directly out of `buffer`, which must outlive the
+  // reader. The digital-twin fork path restores many clones from one live
+  // snapshot and uses this to avoid a full buffer copy per fork. Same
+  // up-front magic + CRC validation as the owning constructor.
+  SnapshotReader(Borrowed, std::string_view buffer);
+
+  // Readers hand out no references into the buffer, but the owning mode's
+  // view points at owned_ — copying or moving would dangle it.
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
 
   bool ok() const { return ok_; }
   const std::string& error() const { return error_; }
@@ -140,7 +154,8 @@ class SnapshotReader {
   bool TakeBytes(void* out, size_t size);
   void Fail(const std::string& message);
 
-  std::string buffer_;
+  std::string owned_;        // Empty in borrowed mode.
+  std::string_view buffer_;  // Views owned_ or the caller's buffer.
   size_t pos_ = 0;
   size_t section_end_ = 0;
   bool in_section_ = false;

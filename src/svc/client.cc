@@ -218,6 +218,41 @@ bool Client::TriggerCheckpoint(std::string* path, std::string* error) {
   return true;
 }
 
+bool Client::WhatIf(const std::string& scenarios, int64_t horizon, std::string* report,
+                    std::string* error) {
+  Request request;
+  request.verb = Verb::kWhatIf;
+  request.scenarios = scenarios;
+  request.horizon = horizon;
+  Reply reply;
+  if (!Call(std::move(request), &reply, error)) {
+    return false;
+  }
+  if (reply.code != StatusCode::kOk) {
+    return FailWith(error, DescribeReply(reply));
+  }
+  if (report != nullptr) {
+    *report = reply.text;
+  }
+  return true;
+}
+
+bool Client::AdvisorStatus(std::string* text, std::string* error) {
+  Request request;
+  request.verb = Verb::kAdvisorStatus;
+  Reply reply;
+  if (!Call(std::move(request), &reply, error)) {
+    return false;
+  }
+  if (reply.code != StatusCode::kOk) {
+    return FailWith(error, DescribeReply(reply));
+  }
+  if (text != nullptr) {
+    *text = reply.text;
+  }
+  return true;
+}
+
 bool Client::Shutdown(bool drain, std::string* error) {
   Request request;
   request.verb = Verb::kShutdown;

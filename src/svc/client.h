@@ -66,6 +66,12 @@ class Client {
   bool DumpMetrics(std::string* text, std::string* error);
   bool TriggerCheckpoint(std::string* path, std::string* error);
   bool Shutdown(bool drain, std::string* error);
+  // WhatIf: runs a speculative scenario sweep on the server (`scenarios` in
+  // the src/twin text format, empty = server default; `horizon` cycles per
+  // scenario, 0 = server default) and returns the deterministic report text.
+  bool WhatIf(const std::string& scenarios, int64_t horizon, std::string* report,
+              std::string* error);
+  bool AdvisorStatus(std::string* text, std::string* error);
 
   // Attempts beyond the first across all Calls (observability for loadgen).
   int64_t total_retries() const { return total_retries_; }

@@ -34,7 +34,8 @@ Server::Server(const ClusterConfig& cluster, Scheduler* scheduler, SimOptions si
   auto& registry = obs::MetricsRegistry::Global();
   for (const Verb verb :
        {Verb::kSubmitJob, Verb::kJobStatus, Verb::kCancelJob, Verb::kClusterState,
-        Verb::kMetricsDump, Verb::kTriggerCheckpoint, Verb::kShutdown}) {
+        Verb::kMetricsDump, Verb::kTriggerCheckpoint, Verb::kShutdown, Verb::kWhatIf,
+        Verb::kAdvisorStatus}) {
     verb_counters_[verb] = registry.GetCounter(std::string("svc.rpc.") + VerbName(verb));
   }
   malformed_frames_ = registry.GetCounter("svc.malformed_frames");
@@ -128,6 +129,12 @@ Reply Server::Dispatch(const Request& request) {
       break;
     case Verb::kShutdown:
       reply = HandleShutdown(request);
+      break;
+    case Verb::kWhatIf:
+      reply = HandleWhatIf(request);
+      break;
+    case Verb::kAdvisorStatus:
+      reply = HandleAdvisorStatus(request);
       break;
   }
   reply.request_id = request.request_id;
@@ -284,6 +291,47 @@ Reply Server::HandleCheckpoint(const Request& /*request*/) {
   return reply;
 }
 
+Reply Server::HandleWhatIf(const Request& request) {
+  // Dispatch runs inside HandleReady, before StepCycle, so the live
+  // simulation is parked at a cycle boundary — the engine's contract.
+  Reply reply;
+  if (whatif_ == nullptr) {
+    reply.code = StatusCode::kInvalidArgument;
+    reply.message = "server started without a what-if engine";
+    return reply;
+  }
+  std::vector<Scenario> scenarios;
+  std::string error;
+  if (!ParseScenarioList(request.scenarios, &scenarios, &error)) {
+    reply.code = StatusCode::kInvalidArgument;
+    reply.message = error;
+    return reply;
+  }
+  if (scenarios.empty()) {
+    scenarios = whatif_->options().advisory_scenarios;
+    if (scenarios.empty()) {
+      scenarios = DefaultScenarios();
+    }
+  }
+  const WhatIfReport report =
+      whatif_->Run(sim_, scenarios, static_cast<int>(request.horizon));
+  reply.code = StatusCode::kOk;
+  reply.text = report.ToText();
+  return reply;
+}
+
+Reply Server::HandleAdvisorStatus(const Request& /*request*/) {
+  Reply reply;
+  if (whatif_ == nullptr) {
+    reply.code = StatusCode::kInvalidArgument;
+    reply.message = "server started without a what-if engine";
+    return reply;
+  }
+  reply.code = StatusCode::kOk;
+  reply.text = whatif_->AdvisorStatusText();
+  return reply;
+}
+
 Reply Server::HandleShutdown(const Request& request) {
   Reply reply;
   reply.code = StatusCode::kOk;
@@ -320,6 +368,12 @@ bool Server::StepCycle() {
   }
   const bool stepped = sim_.Step();
   if (stepped) {
+    // Advisory sweeps run at the just-completed cycle boundary, before the
+    // checkpoint — so the checkpointed advisor state includes the sweep and
+    // a resumed run does not re-advise the same cycle.
+    if (whatif_ != nullptr) {
+      whatif_->MaybeAdvise(sim_, sim_.cycles_completed());
+    }
     MaybeCheckpoint();
   }
   return stepped;
@@ -389,6 +443,9 @@ void Server::SaveState(SnapshotWriter& writer) const {
     writer.WriteVarI64(id);
   }
   writer.EndSection();
+  if (whatif_ != nullptr) {
+    whatif_->SaveState(writer);  // Versioned "twin" section.
+  }
 }
 
 void Server::RestoreState(SnapshotReader& reader) {
@@ -418,6 +475,11 @@ void Server::RestoreState(SnapshotReader& reader) {
     cancelled_before_injection_.insert(reader.ReadVarI64());
   }
   reader.EndSection();
+  // Older snapshots (or runs without the engine) have no "twin" section;
+  // reading is gated on both sides so either combination restores cleanly.
+  if (whatif_ != nullptr && reader.ok() && reader.PeekSectionName() == "twin") {
+    whatif_->RestoreState(reader);
+  }
 }
 
 }  // namespace threesigma::svc

@@ -32,6 +32,7 @@
 #include "src/sim/simulator.h"
 #include "src/svc/transport.h"
 #include "src/svc/wire.h"
+#include "src/twin/twin.h"
 
 namespace threesigma::svc {
 
@@ -62,6 +63,12 @@ class Server : public SimulatorStateExtension {
   Server(const ClusterConfig& cluster, Scheduler* scheduler, SimOptions sim,
          ServiceOptions options, ServerTransport* transport);
   ~Server() override;
+
+  // Attaches the digital-twin what-if engine (not owned; must outlive the
+  // server). Enables the kWhatIf / kAdvisorStatus verbs, the periodic
+  // advisory hook, and the "twin" checkpoint section. Attach before any
+  // RestoreFromFile so a checkpointed advisor state round-trips.
+  void AttachWhatIfEngine(WhatIfEngine* engine) { whatif_ = engine; }
 
   // Restores a checkpoint written by this service (simulator + scheduler +
   // the "svc" section). Must be called before the first PollOnce.
@@ -103,6 +110,8 @@ class Server : public SimulatorStateExtension {
   Reply HandleMetricsDump(const Request& request);
   Reply HandleCheckpoint(const Request& request);
   Reply HandleShutdown(const Request& request);
+  Reply HandleWhatIf(const Request& request);
+  Reply HandleAdvisorStatus(const Request& request);
 
   // A job id is taken if the simulation, the admission queue, or the
   // cancelled-before-injection set knows it.
@@ -115,6 +124,7 @@ class Server : public SimulatorStateExtension {
   ServiceOptions options_;
   ServerTransport* transport_;
   Simulator sim_;
+  WhatIfEngine* whatif_ = nullptr;  // Not owned; null = twin verbs disabled.
 
   // Admission state (checkpointed via the "svc" section).
   std::deque<JobSpec> queue_;            // Admitted, not yet injected.

@@ -86,6 +86,10 @@ const char* VerbName(Verb verb) {
       return "trigger_checkpoint";
     case Verb::kShutdown:
       return "shutdown";
+    case Verb::kWhatIf:
+      return "whatif";
+    case Verb::kAdvisorStatus:
+      return "advisor_status";
   }
   return "unknown";
 }
@@ -129,9 +133,14 @@ std::string EncodeRequest(const Request& request) {
     case Verb::kShutdown:
       writer.WriteBool(request.drain);
       break;
+    case Verb::kWhatIf:
+      writer.WriteString(request.scenarios);
+      writer.WriteVarI64(request.horizon);
+      break;
     case Verb::kClusterState:
     case Verb::kMetricsDump:
     case Verb::kTriggerCheckpoint:
+    case Verb::kAdvisorStatus:
       break;
   }
   writer.EndSection();
@@ -153,7 +162,7 @@ bool DecodeRequest(const std::string& payload, Request* out, std::string* error)
   }
   const uint8_t verb = reader.ReadU8();
   if (!reader.ok() || verb < static_cast<uint8_t>(Verb::kSubmitJob) ||
-      verb > static_cast<uint8_t>(Verb::kShutdown)) {
+      verb > static_cast<uint8_t>(Verb::kAdvisorStatus)) {
     return FailWith(error, "unknown request verb");
   }
   out->verb = static_cast<Verb>(verb);
@@ -170,9 +179,14 @@ bool DecodeRequest(const std::string& payload, Request* out, std::string* error)
     case Verb::kShutdown:
       out->drain = reader.ReadBool();
       break;
+    case Verb::kWhatIf:
+      out->scenarios = reader.ReadString();
+      out->horizon = reader.ReadVarI64();
+      break;
     case Verb::kClusterState:
     case Verb::kMetricsDump:
     case Verb::kTriggerCheckpoint:
+    case Verb::kAdvisorStatus:
       break;
   }
   reader.EndSection();

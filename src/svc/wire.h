@@ -36,6 +36,11 @@ enum class Verb : uint8_t {
   kMetricsDump = 5,
   kTriggerCheckpoint = 6,
   kShutdown = 7,
+  // Digital-twin verbs (src/twin): run a speculative scenario sweep against
+  // the live run / read the online advisor's state. Both reply in
+  // Reply.text with a deterministic fixed-format report.
+  kWhatIf = 8,
+  kAdvisorStatus = 9,
 };
 
 const char* VerbName(Verb verb);
@@ -68,6 +73,13 @@ struct Request {
 
   // kShutdown: true = drain admitted work first, false = stop immediately.
   bool drain = true;
+
+  // kWhatIf. `scenarios` is a ';'-separated scenario list in the
+  // src/twin/scenario.h text format (empty = the server's default sweep);
+  // `horizon` is the speculative cycle count per scenario (0 = server
+  // default).
+  std::string scenarios;
+  int64_t horizon = 0;
 };
 
 // Flat reply; which fields are meaningful depends on the request verb.

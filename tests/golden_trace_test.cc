@@ -18,7 +18,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/common/env.h"
 #include "src/core/experiment.h"
@@ -58,6 +61,50 @@ std::string DecisionCsvFor(const ExperimentConfig& config) {
   return csv;
 }
 
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+// A unified-diff excerpt around the first divergence: a few lines of shared
+// context, then up to `max_diff_lines` of -golden/+actual pairs. Line-level
+// and human-readable, unlike gtest's byte-offset dump of two multi-KB blobs.
+std::string UnifiedDiffExcerpt(const std::string& expected, const std::string& actual,
+                               size_t max_diff_lines = 10) {
+  const std::vector<std::string> golden = SplitLines(expected);
+  const std::vector<std::string> got = SplitLines(actual);
+  size_t first = 0;
+  while (first < golden.size() && first < got.size() && golden[first] == got[first]) {
+    ++first;
+  }
+  const size_t context_start = first >= 3 ? first - 3 : 0;
+  const size_t last = std::min({first + max_diff_lines, golden.size(), got.size()});
+  std::ostringstream out;
+  out << "@@ golden line " << (first + 1) << " (of " << golden.size() << " golden / "
+      << got.size() << " actual lines) @@\n";
+  for (size_t i = context_start; i < first; ++i) {
+    out << "  " << golden[i] << "\n";
+  }
+  for (size_t i = first; i < last; ++i) {
+    if (i < golden.size() && (i >= got.size() || golden[i] != got[i])) {
+      out << "- " << golden[i] << "\n";
+    }
+    if (i < got.size() && (i >= golden.size() || golden[i] != got[i])) {
+      out << "+ " << got[i] << "\n";
+    }
+  }
+  if (last < golden.size() || last < got.size()) {
+    out << "  ... (" << (std::max(golden.size(), got.size()) - last)
+        << " more lines not shown)\n";
+  }
+  return out.str();
+}
+
 void CheckGolden(const std::string& name, const ExperimentConfig& config) {
   const std::string actual = DecisionCsvFor(config);
   ASSERT_GT(actual.size(),
@@ -76,10 +123,11 @@ void CheckGolden(const std::string& name, const ExperimentConfig& config) {
   ASSERT_TRUE(ReadFileToString(path, &expected, &error))
       << "missing golden '" << path
       << "' — generate it with THREESIGMA_UPDATE_GOLDENS=1 (" << error << ")";
-  EXPECT_EQ(expected, actual)
-      << "per-cycle decisions drifted from " << path
-      << "; if the scheduling change is intentional, regenerate with "
-         "THREESIGMA_UPDATE_GOLDENS=1 and commit the new golden";
+  EXPECT_TRUE(expected == actual)
+      << "per-cycle decisions drifted from " << path << "\n"
+      << UnifiedDiffExcerpt(expected, actual)
+      << "if the scheduling change is intentional, regenerate and commit the "
+         "goldens with:\n  THREESIGMA_UPDATE_GOLDENS=1 ./build/tests/golden_trace_test";
 }
 
 TEST(GoldenTraceTest, Baseline) { CheckGolden("baseline", BaseConfig()); }

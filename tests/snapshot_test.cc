@@ -160,6 +160,67 @@ TEST(SnapshotCodecTest, CorruptionIsDetectedUpFront) {
   }
 }
 
+TEST(SnapshotCodecTest, BorrowedReaderRoundTripSharesOneBuffer) {
+  // The twin fork fan-out restores many clones from one live snapshot; each
+  // borrowed reader must decode the shared bytes without copying or mutating
+  // them.
+  SnapshotWriter writer;
+  writer.BeginSection("shared", 2);
+  writer.WriteVarU64(41);
+  writer.WriteString("forked");
+  writer.WriteDoubleVec({2.5, -0.125});
+  writer.EndSection();
+  const std::string buffer = writer.Finish();
+  const std::string before = buffer;
+
+  for (int fork = 0; fork < 3; ++fork) {
+    SnapshotReader reader(SnapshotReader::Borrowed{}, buffer);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    uint32_t version = 0;
+    ASSERT_TRUE(reader.BeginSection("shared", &version));
+    EXPECT_EQ(version, 2u);
+    EXPECT_EQ(reader.ReadVarU64(), 41u);
+    EXPECT_EQ(reader.ReadString(), "forked");
+    EXPECT_EQ(reader.ReadDoubleVec(), (std::vector<double>{2.5, -0.125}));
+    reader.EndSection();
+    EXPECT_TRUE(reader.ok()) << reader.error();
+    EXPECT_FALSE(reader.HasMoreSections());
+  }
+  EXPECT_EQ(buffer, before);  // Borrowed readers never touch the bytes.
+}
+
+TEST(SnapshotCodecTest, BorrowedReaderDetectsCorruptionUpFront) {
+  SnapshotWriter writer;
+  writer.BeginSection("data", 1);
+  for (int i = 0; i < 100; ++i) {
+    writer.WriteVarU64(static_cast<uint64_t>(i));
+  }
+  writer.EndSection();
+  const std::string good = writer.Finish();
+
+  {
+    const std::string truncated = good.substr(0, good.size() / 2);
+    SnapshotReader reader(SnapshotReader::Borrowed{}, truncated);
+    EXPECT_FALSE(reader.ok());
+    // Fail-soft, same as the owning mode: reads return zero values.
+    EXPECT_FALSE(reader.BeginSection("data"));
+    EXPECT_EQ(reader.ReadVarU64(), 0u);
+  }
+  {
+    std::string flipped = good;
+    flipped[good.size() / 2] = static_cast<char>(flipped[good.size() / 2] ^ 0x40);
+    SnapshotReader reader(SnapshotReader::Borrowed{}, flipped);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.error().find("CRC"), std::string::npos) << reader.error();
+  }
+  {
+    std::string bad_magic = good;
+    bad_magic[0] = 'X';
+    SnapshotReader reader(SnapshotReader::Borrowed{}, bad_magic);
+    EXPECT_FALSE(reader.ok());
+  }
+}
+
 TEST(SnapshotCodecTest, ListAndDiffSections) {
   const auto build = [](uint64_t payload) {
     SnapshotWriter writer;
