@@ -12,6 +12,10 @@
 //       pivot-count comparisons. Each setting is deterministic, but warm and
 //       cold runs may return different equally-scored schedules: a warm LP
 //       can surface a different optimal vertex of a degenerate relaxation.)
+//   THREESIGMA_SOLVER_SHARDS=0|1    (connected-component decomposition of the
+//       per-cycle MILP into independently solved sub-MILPs; default 0. Exact
+//       and byte-identical at any shard/thread count when the node budget
+//       does not bind — see DESIGN.md for the budget caveat.)
 //   THREESIGMA_VALUATION_ENGINE=0|1      (closed-form Eq. 1 kernels + parallel
 //       valuation fan-out; default 1. Decisions are byte-identical either way;
 //       0 is the generic per-atom baseline for A/B timing.)
@@ -95,6 +99,12 @@ inline bool SolverWarmstartEnv() {
   return GetEnvInt("THREESIGMA_SOLVER_WARMSTART", 1) != 0;
 }
 
+// THREESIGMA_SOLVER_SHARDS: connected-component decomposition (default off,
+// matching the production default).
+inline bool SolverShardsEnv() {
+  return GetEnvInt("THREESIGMA_SOLVER_SHARDS", 0) != 0;
+}
+
 // Baseline experiment configuration; `base_hours` is the workload length at
 // default scale (the paper's counterpart is usually 2 or 5 hours).
 inline ExperimentConfig MakeE2EConfig(double base_hours, double load = 1.4) {
@@ -111,6 +121,7 @@ inline ExperimentConfig MakeE2EConfig(double base_hours, double load = 1.4) {
   config.sched.solver_threads =
       static_cast<int>(GetEnvInt("THREESIGMA_SOLVER_THREADS", 1));
   config.sched.solver_basis_warmstart = SolverWarmstartEnv();
+  config.sched.solver_shards = SolverShardsEnv();
   config.sched.valuation_engine = GetEnvInt("THREESIGMA_VALUATION_ENGINE", 1) != 0;
   config.sched.valuation_cache = GetEnvInt("THREESIGMA_VALUATION_CACHE", 1) != 0;
   config.sched.valuation_crosscheck = GetEnvInt("THREESIGMA_VALUATION_CROSSCHECK", 0) != 0;

@@ -115,6 +115,17 @@ struct DistSchedulerConfig {
   // pivot counts only; thread-count determinism is preserved.
   bool solver_basis_warmstart = true;
 
+  // Shard decomposition (src/solver/sharded_milp.h): split the cycle MILP
+  // into connected components of the job↔equivalence-set constraint graph
+  // and solve them as independent sub-MILPs on the solver pool, each with
+  // its own fingerprint-keyed warm-start basis. Exact — the merged solution
+  // matches the monolithic objective bitwise — and byte-identical at any
+  // shard/thread count. Interacts with budgets: every shard receives the
+  // full solver_max_nodes, so with a *binding* node budget the sharded
+  // search explores more of the tree than the monolithic one (run with
+  // solver_max_nodes = 0 when comparing against the monolithic solve).
+  bool solver_shards = false;
+
   // Eq. 1 valuation engine (src/sched/valuation.h): closed-form utility
   // kernels over precomputed prefix-sum tables, a deterministic parallel
   // per-job fan-out across the solver thread pool, and zero-copy Eq. 2
@@ -161,8 +172,9 @@ class DistributionScheduler : public Scheduler {
 
   // Checkpointing: serializes the full scheduler state (job table with
   // conditioned distributions and cached survival vectors, pending order,
-  // solve-skip state, consumed_ rows, cache counters, last_root_basis_) into
-  // a "sched" section, then the predictor into a "predict" section.
+  // solve-skip state, consumed_ rows, cache counters, last_root_basis_, and
+  // the per-shard basis map) into a "sched" section, then the predictor into
+  // a "predict" section.
   // RestoreState requires a scheduler constructed with the same config and
   // predictor graph; the cluster shape is validated via consumed_ geometry.
   void SaveState(SnapshotWriter& writer) const override;
@@ -301,6 +313,12 @@ class DistributionScheduler : public Scheduler {
   // to the simplex itself). A shape mismatch is detected and discarded at
   // install time, so consecutive cycles of different sizes are safe.
   LpBasis last_root_basis_;
+
+  // Sharded counterpart of last_root_basis_: per-component root bases keyed
+  // by structural fingerprint (sharded_milp.h), reused across cycles while a
+  // component keeps its shape. Deterministically cleared when it outgrows
+  // kMaxShardBases (a hard bound on snapshot size and stale entries).
+  std::map<uint64_t, LpBasis> shard_bases_;
 
   // Shared across cycles so the parallel solver never re-spawns threads.
   std::unique_ptr<ThreadPool> pool_;

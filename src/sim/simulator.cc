@@ -74,7 +74,7 @@ struct Event {
 // v2: open-workload mode — SimOptions.open_workload, RunState submission
 // bookkeeping (submissions_closed, last_arrival), and the per-job arrived
 // flag.
-constexpr uint32_t kSnapshotVersion = 3;
+constexpr uint32_t kSnapshotVersion = 4;
 
 void SaveSimOptions(SnapshotWriter& writer, const SimOptions& o) {
   writer.WriteDouble(o.cycle_period);
@@ -559,7 +559,8 @@ bool Simulator::ProcessEvent() {
       if (obs::CycleProfiler::enabled()) {
         obs::CycleProfiler::Global().SetCycleCounters(decision.valuation_cache_hits,
                                                       decision.valuation_cache_misses,
-                                                      decision.valuation_kernel_calls);
+                                                      decision.valuation_kernel_calls,
+                                                      decision.milp_shards);
         obs::CycleProfiler::Global().EndCycle(decision.cycle_seconds);
       }
       if (obs::Tracer::enabled()) {
@@ -593,7 +594,9 @@ bool Simulator::ProcessEvent() {
                                          decision.capacity_cache_misses,
                                          decision.valuation_cache_hits,
                                          decision.valuation_cache_misses,
-                                         decision.valuation_kernel_calls});
+                                         decision.valuation_kernel_calls,
+                                         decision.milp_shards,
+                                         decision.milp_max_shard_vars});
 
       // 1. Preemptions free capacity first (slot-0 placements may rely on
       //    the freed nodes).
@@ -1045,6 +1048,8 @@ std::string Simulator::SaveStateToBuffer() {
     writer.WriteVarI64(c.valuation_cache_hits);
     writer.WriteVarI64(c.valuation_cache_misses);
     writer.WriteVarI64(c.valuation_kernel_calls);
+    writer.WriteVarI64(c.milp_shards);
+    writer.WriteVarI64(c.milp_max_shard_vars);
   }
   writer.EndSection();
 
@@ -1240,6 +1245,8 @@ bool Simulator::TryRestoreStateFromBuffer(const std::string& buffer, std::string
       c.valuation_cache_hits = reader.ReadVarI64();
       c.valuation_cache_misses = reader.ReadVarI64();
       c.valuation_kernel_calls = reader.ReadVarI64();
+      c.milp_shards = static_cast<int>(reader.ReadVarI64());
+      c.milp_max_shard_vars = static_cast<int>(reader.ReadVarI64());
     }
   }
   reader.EndSection();

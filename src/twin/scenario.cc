@@ -47,6 +47,9 @@ std::string Scenario::Describe() const {
   if (solver_threads > 0) {
     out += ",solver_threads=" + std::to_string(solver_threads);
   }
+  if (solver_shards >= 0) {
+    out += ",solver_shards=" + std::to_string(solver_shards);
+  }
   if (padding != 1.0) {
     out += ",padding=" + FmtDouble(padding);
   }
@@ -100,6 +103,9 @@ bool ParseScenario(const std::string& text, Scenario* out, std::string* error) {
            out->oe_probability_threshold >= 0.0 && out->oe_probability_threshold <= 1.0;
     } else if (key == "solver_threads") {
       ok = ParseInt(value, &out->solver_threads) && out->solver_threads > 0;
+    } else if (key == "solver_shards") {
+      ok = ParseInt(value, &out->solver_shards) &&
+           (out->solver_shards == 0 || out->solver_shards == 1);
     } else if (key == "padding") {
       ok = ParseDouble(value, &out->padding) && out->padding > 0.0;
     } else if (key == "surge") {

@@ -155,6 +155,9 @@ void TwinFork::ApplyScenario() {
     if (scenario_.solver_threads > 0) {
       config.solver_threads = scenario_.solver_threads;
     }
+    if (scenario_.solver_shards >= 0) {
+      config.solver_shards = scenario_.solver_shards != 0;
+    }
     sched_->UpdateConfig(config);
   }
 
@@ -363,6 +366,9 @@ void Advisor::Evaluate(WhatIfReport* report, const std::vector<Scenario>& scenar
   if (winner.solver_threads > 0) {
     config.solver_threads = winner.solver_threads;
   }
+  if (winner.solver_shards >= 0) {
+    config.solver_shards = winner.solver_shards != 0;
+  }
   live_sched->UpdateConfig(config);
   report->applied = true;
   ++state_.applied;
@@ -373,6 +379,7 @@ void Advisor::Evaluate(WhatIfReport* report, const std::vector<Scenario>& scenar
   record.planahead = winner.planahead;
   record.oe_probability_threshold = winner.oe_probability_threshold;
   record.solver_threads = winner.solver_threads;
+  record.solver_shards = winner.solver_shards;
   state_.applied_scenario = record;
 }
 
@@ -434,6 +441,9 @@ void Advisor::RestoreState(SnapshotReader& reader, DistributionScheduler* live_s
   }
   if (rec.solver_threads > 0) {
     config.solver_threads = rec.solver_threads;
+  }
+  if (rec.solver_shards >= 0) {
+    config.solver_shards = rec.solver_shards != 0;
   }
   live_sched->UpdateConfig(config);
 }

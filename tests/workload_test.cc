@@ -315,6 +315,111 @@ TEST(GeneratorTest, RuntimesCappedToWindow) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Moment reproduction: the generative pieces actually deliver the moments
+// their parameters promise under fixed seeds.
+
+TEST(TraceModelTest, PureLognormalPopulationReproducesConfiguredMoments) {
+  // One population, no straggler tail: runtime ~ LogNormal(log_mu, log_sigma),
+  // so mean = exp(mu + sigma^2/2) and CoV = sqrt(exp(sigma^2) - 1). The
+  // [1, 250000] clamp is ~5 sigma away at these parameters.
+  JobPopulation pop;
+  pop.user = "u";
+  pop.jobname = "j";
+  pop.log_mu = 4.0;
+  pop.log_sigma = 0.6;
+  pop.tail_prob = 0.0;
+  const EnvironmentModel model(EnvironmentKind::kGoogle, {pop});
+
+  Rng rng(42);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(model.Sample(rng).runtime);
+  }
+  const double expected_mean = std::exp(4.0 + 0.6 * 0.6 / 2.0);
+  const double expected_cov = std::sqrt(std::exp(0.6 * 0.6) - 1.0);
+  EXPECT_NEAR(stats.mean(), expected_mean, 0.03 * expected_mean);
+  EXPECT_NEAR(stats.cov(), expected_cov, 0.05 * expected_cov);
+}
+
+TEST(TraceModelTest, LognormalMixtureReproducesPerPopulationMoments) {
+  // Two populations with distinct scales: conditioning on the population
+  // (the user feature) must recover each one's configured moments — the
+  // property 3sigmaPredict's per-feature-value histories rely on.
+  JobPopulation fast;
+  fast.user = "fast";
+  fast.jobname = "a";
+  fast.weight = 3.0;
+  fast.log_mu = 3.0;
+  fast.log_sigma = 0.4;
+  JobPopulation slow;
+  slow.user = "slow";
+  slow.jobname = "b";
+  slow.weight = 1.0;
+  slow.log_mu = 6.0;
+  slow.log_sigma = 0.9;
+  const EnvironmentModel model(EnvironmentKind::kHedgeFund, {fast, slow});
+
+  Rng rng(7);
+  std::map<std::string, RunningStats> by_user;
+  for (int i = 0; i < 80000; ++i) {
+    const TraceJob job = model.Sample(rng);
+    by_user[job.user].Add(job.runtime);
+  }
+  // Weights 3:1 steer sampling itself.
+  EXPECT_NEAR(static_cast<double>(by_user["fast"].count()), 60000.0, 2000.0);
+  for (const auto& [user, pop] : {std::pair<std::string, JobPopulation>{"fast", fast},
+                                  {"slow", slow}}) {
+    const RunningStats& s = by_user[user];
+    const double mean = std::exp(pop.log_mu + pop.log_sigma * pop.log_sigma / 2.0);
+    const double cov = std::sqrt(std::exp(pop.log_sigma * pop.log_sigma) - 1.0);
+    EXPECT_NEAR(s.mean(), mean, 0.05 * mean) << user;
+    EXPECT_NEAR(s.cov(), cov, 0.08 * cov) << user;
+  }
+}
+
+TEST(RngMomentTest, HyperExponentialReproducesMeanAndCv2) {
+  // The arrival process draws gaps from HyperExponential(mean, cv2 = 4): the
+  // paper's bursty arrivals. Check the advertised first two moments.
+  for (const double cv2 : {1.0, 4.0, 9.0}) {
+    Rng rng(1234);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i) {
+      stats.Add(rng.HyperExponential(10.0, cv2));
+    }
+    EXPECT_NEAR(stats.mean(), 10.0, 0.4) << "cv2=" << cv2;
+    const double sample_cv2 = stats.cov() * stats.cov();
+    EXPECT_NEAR(sample_cv2, cv2, 0.15 * cv2 + 0.1) << "cv2=" << cv2;
+  }
+}
+
+TEST(GeneratorTest, ArrivalGapsCarryConfiguredBurstiness) {
+  // Generated inter-arrival gaps inherit the hyper-exponential c_a^2 ~= 4
+  // (up to load-targeting truncation); Poisson arrivals (cv2 = 1) must come
+  // out measurably smoother under the same seed and load.
+  const ClusterConfig cluster = ClusterConfig::Uniform(4, 64);
+  WorkloadOptions options = SmallWorkload();
+  options.duration = Hours(8.0);
+
+  auto gap_cv2 = [&](double arrival_cv2) {
+    WorkloadOptions local = options;
+    local.arrival_cv2 = arrival_cv2;
+    const GeneratedWorkload w = GenerateWorkload(cluster, local);
+    RunningStats gaps;
+    for (size_t i = 1; i < w.jobs.size(); ++i) {
+      gaps.Add(w.jobs[i].submit_time - w.jobs[i - 1].submit_time);
+    }
+    EXPECT_GT(gaps.count(), 300u);
+    return gaps.cov() * gaps.cov();
+  };
+
+  const double bursty = gap_cv2(4.0);
+  const double poisson = gap_cv2(1.0);
+  EXPECT_NEAR(poisson, 1.0, 0.5);
+  EXPECT_GT(bursty, 2.0);
+  EXPECT_GT(bursty, 1.5 * poisson);
+}
+
 TEST(GeneratorTest, PretrainJobsShareFeatureSpaceWithWorkload) {
   // The predictor can only warm up if pre-training jobs hit the same feature
   // values the experiment jobs carry.
